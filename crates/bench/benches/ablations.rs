@@ -1,0 +1,98 @@
+//! Ablation benches for the design choices called out in DESIGN.md §6:
+//! credit-pool depth, frame size (MTU/MSS), the eager-copy cost folded into
+//! SocketVIA's wire rate, and the demand-driven window.
+//!
+//! Each bench measures the *simulated outcome* (bandwidth, execution time)
+//! at several parameter values; Criterion tracks the cost of evaluating
+//! each point, and the printed labels carry the parameter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpsock_net::{PathCosts, TransportKind};
+use hpsock_vizserver::hetero::dd_execution_time_with_window;
+use hpsock_vizserver::LbSetup;
+use socketvia::{microbench, Provider};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+}
+
+/// How deep must the receive-descriptor pool be before bandwidth stops
+/// improving? (SocketVIA flow control.)
+fn ablation_credits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_credits");
+    configure(&mut g);
+    for credits in [1u32, 2, 4, 8, 32] {
+        let mut costs = PathCosts::for_kind(TransportKind::SocketVia);
+        costs.flow = hpsock_net::FlowModel::Credits { count: credits };
+        let p = Provider::from_costs(costs);
+        g.bench_with_input(BenchmarkId::from_parameter(credits), &p, |b, p| {
+            b.iter(|| black_box(microbench::streaming_mbps(p, 8_192, 128)))
+        });
+    }
+    g.finish();
+}
+
+/// Frame-size (MSS) sensitivity of the kernel TCP path.
+fn ablation_mtu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_mtu");
+    configure(&mut g);
+    for mss in [512u32, 1_460, 4_096, 9_000] {
+        let mut costs = PathCosts::for_kind(TransportKind::KTcp);
+        costs.frame_payload = mss;
+        let p = Provider::from_costs(costs);
+        g.bench_with_input(BenchmarkId::from_parameter(mss), &p, |b, p| {
+            b.iter(|| black_box(microbench::streaming_mbps(p, 65_536, 64)))
+        });
+    }
+    g.finish();
+}
+
+/// The eager-copy memory-bus cost folded into SocketVIA's effective wire
+/// rate: 10.06 ns/B is the copy-free VIA rate; higher values model more
+/// expensive copies.
+fn ablation_eager_copy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_eager_copy");
+    configure(&mut g);
+    for tenths in [100u32, 105, 110, 120] {
+        let wire = tenths as f64 / 10.0;
+        let mut costs = PathCosts::for_kind(TransportKind::SocketVia);
+        costs.wire_ns_per_byte = wire;
+        let p = Provider::from_costs(costs);
+        g.bench_with_input(BenchmarkId::from_parameter(tenths), &p, |b, p| {
+            b.iter(|| black_box(microbench::streaming_mbps(p, 65_536, 64)))
+        });
+    }
+    g.finish();
+}
+
+/// Demand-driven window depth vs heterogeneous execution time: too small
+/// starves the pipeline, too large approaches round-robin blindness.
+fn ablation_dd_window(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_dd_window");
+    configure(&mut g);
+    let setup = LbSetup::paper(TransportKind::SocketVia);
+    let blocks = ((512 * 1024) / setup.block_bytes) as u32;
+    for window in [1u32, 2, 8, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            b.iter(|| {
+                black_box(dd_execution_time_with_window(
+                    &setup, w, 0.3, 4.0, blocks, 7,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_credits,
+    ablation_mtu,
+    ablation_eager_copy,
+    ablation_dd_window,
+);
+criterion_main!(ablations);

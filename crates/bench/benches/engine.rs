@@ -1,0 +1,114 @@
+//! Engine micro-benchmarks: raw event-dispatch throughput, FCFS resource
+//! scheduling, scheduler decisions, and transport message throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hpsock_datacutter::{Policy, Scheduler};
+use hpsock_sim::resource::Resource;
+use hpsock_sim::{Ctx, Dur, Message, Process, Sim, SimTime};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// A self-perpetuating event chain of fixed length.
+struct Chain {
+    remaining: u64,
+}
+impl Process for Chain {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.send_self_in(Dur::nanos(1), Box::new(()));
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _msg: Message) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send_self_in(Dur::nanos(1), Box::new(()));
+        }
+    }
+}
+
+fn bench_event_dispatch(c: &mut Criterion) {
+    const EVENTS: u64 = 100_000;
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.throughput(Throughput::Elements(EVENTS));
+    g.bench_function("event_dispatch_100k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            sim.add_process(Box::new(Chain { remaining: EVENTS }));
+            black_box(sim.run())
+        })
+    });
+    g.finish();
+}
+
+fn bench_resource_schedule(c: &mut Criterion) {
+    const JOBS: u64 = 100_000;
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(JOBS));
+    g.bench_function("resource_fcfs_100k", |b| {
+        b.iter(|| {
+            let mut r = Resource::new("cpu", 2);
+            for i in 0..JOBS {
+                let t = SimTime::from_nanos(i);
+                black_box(r.schedule(t, Dur::nanos(100)));
+            }
+            black_box(r.busy_time())
+        })
+    });
+    g.finish();
+}
+
+fn bench_scheduler_pick(c: &mut Criterion) {
+    const PICKS: u64 = 100_000;
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(PICKS));
+    for (label, policy) in [
+        ("rr_pick_100k", Policy::RoundRobin),
+        ("dd_pick_100k", Policy::DemandDriven { window: 8 }),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut s = Scheduler::new(policy, 8);
+                for i in 0..PICKS {
+                    if let Some(k) = s.pick() {
+                        s.on_sent(k);
+                        if i % 2 == 1 {
+                            s.on_ack(k);
+                        }
+                    } else {
+                        // Window full: ack the most loaded copy.
+                        let k = (0..8).max_by_key(|&k| s.unacked(k)).unwrap();
+                        s.on_ack(k);
+                    }
+                }
+                black_box(s.sent(0))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_transport_messages(c: &mut Criterion) {
+    use hpsock_net::TransportKind;
+    use socketvia::{microbench, Provider};
+    const MSGS: u64 = 500;
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.throughput(Throughput::Elements(MSGS));
+    g.bench_function("socketvia_500_msgs_2k", |b| {
+        let p = Provider::new(TransportKind::SocketVia);
+        b.iter(|| black_box(microbench::streaming_mbps(&p, 2_048, MSGS as u32)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    engine,
+    bench_event_dispatch,
+    bench_resource_schedule,
+    bench_scheduler_pick,
+    bench_transport_messages,
+);
+criterion_main!(engine);

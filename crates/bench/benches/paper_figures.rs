@@ -1,0 +1,173 @@
+//! One Criterion group per paper table/figure. Each bench runs a reduced
+//! but structurally identical version of the figure's experiment through
+//! the discrete-event engine, so `cargo bench` tracks the cost (and,
+//! via the printed check values, the result shape) of every reproduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpsock_experiments::runner::{isolated_partial_us, run_saturation_ups};
+use hpsock_net::TransportKind;
+use hpsock_sim::SimTime;
+use hpsock_vizserver::{
+    dd_execution_time, rr_reaction_time, ComputeModel, LbSetup,
+};
+use socketvia::{microbench, Provider};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+}
+
+/// Figure 4(a): ping-pong latency micro-benchmark.
+fn bench_fig4_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4a_latency");
+    configure(&mut g);
+    for kind in TransportKind::PAPER_SET {
+        let provider = Provider::new(kind);
+        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &provider, |b, p| {
+            b.iter(|| black_box(microbench::oneway_us(p, black_box(4), 8)))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 4(b): streamed bandwidth micro-benchmark.
+fn bench_fig4_bandwidth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4b_bandwidth");
+    configure(&mut g);
+    for kind in TransportKind::PAPER_SET {
+        let provider = Provider::new(kind);
+        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &provider, |b, p| {
+            b.iter(|| black_box(microbench::streaming_mbps(p, black_box(65_536), 64)))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 7: isolated partial-update latency at the planned block sizes.
+fn bench_fig7_partial_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_partial_latency");
+    configure(&mut g);
+    for (label, kind, block) in [
+        ("TCP_16KB", TransportKind::KTcp, 16_384u64),
+        ("SocketVIA_16KB", TransportKind::SocketVia, 16_384),
+        ("SocketVIA_DR_2KB", TransportKind::SocketVia, 2_048),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(isolated_partial_us(
+                    kind,
+                    black_box(block),
+                    ComputeModel::None,
+                    2,
+                    7,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 8: saturation throughput (reduced to 2 updates per run).
+fn bench_fig8_saturation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_saturation");
+    configure(&mut g);
+    for (label, kind) in [
+        ("TCP", TransportKind::KTcp),
+        ("SocketVIA", TransportKind::SocketVia),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(run_saturation_ups(
+                    kind,
+                    black_box(65_536),
+                    ComputeModel::None,
+                    2,
+                    7,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 9: one closed-loop mixed-query stream point.
+fn bench_fig9_query_mix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_query_mix");
+    configure(&mut g);
+    for (label, kind) in [
+        ("TCP_64part", TransportKind::KTcp),
+        ("SocketVIA_64part", TransportKind::SocketVia),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(hpsock_experiments::fig9::mean_response_ms(
+                    kind,
+                    ComputeModel::None,
+                    64,
+                    black_box(0.5),
+                    4,
+                    7,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 10: one round-robin reaction-time measurement.
+fn bench_fig10_reaction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_rr_reaction");
+    configure(&mut g);
+    for (label, kind) in [
+        ("TCP", TransportKind::KTcp),
+        ("SocketVIA", TransportKind::SocketVia),
+    ] {
+        let setup = LbSetup::paper(kind);
+        let emit_ns = (setup.ns_per_byte * setup.block_bytes as f64) as u64;
+        let slow_at = SimTime::from_nanos(emit_ns * 40);
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(rr_reaction_time(
+                    &setup,
+                    black_box(4.0),
+                    slow_at,
+                    120,
+                    7,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 11: one demand-driven heterogeneous execution.
+fn bench_fig11_dd_execution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_dd_execution");
+    configure(&mut g);
+    for (label, kind) in [
+        ("TCP", TransportKind::KTcp),
+        ("SocketVIA", TransportKind::SocketVia),
+    ] {
+        let setup = LbSetup::paper(kind);
+        let blocks = ((512 * 1024) / setup.block_bytes) as u32;
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(dd_execution_time(&setup, black_box(0.3), 4.0, blocks, 7)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    paper_figures,
+    bench_fig4_latency,
+    bench_fig4_bandwidth,
+    bench_fig7_partial_latency,
+    bench_fig8_saturation,
+    bench_fig9_query_mix,
+    bench_fig10_reaction,
+    bench_fig11_dd_execution,
+);
+criterion_main!(paper_figures);

@@ -1,0 +1,18 @@
+//! # hpsock-bench — Criterion benchmark harness
+//!
+//! One benchmark group per paper table/figure (`benches/paper_figures.rs`),
+//! engine micro-benchmarks (`benches/engine.rs`), and ablation benches for
+//! the design choices called out in `DESIGN.md` §6
+//! (`benches/ablations.rs`). Run with `cargo bench`.
+//!
+//! The groups deliberately use reduced workload sizes so `cargo bench`
+//! completes quickly; the full-scale figure regeneration lives in the
+//! `hpsock-experiments` binaries (`cargo run --release --bin all`).
+
+/// Shared reduced-scale constants so the benches stay quick.
+pub mod scale {
+    /// Blocks per reduced workload.
+    pub const BLOCKS: u32 = 64;
+    /// Reduced image bytes for pipeline benches.
+    pub const IMAGE_BYTES: u64 = 1024 * 1024;
+}

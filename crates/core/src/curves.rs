@@ -1,0 +1,203 @@
+//! The `t(s) = a + b·s` performance-curve abstraction and the planning
+//! primitives behind the paper's data-repartitioning (DR) insight.
+//!
+//! An application developer characterizes a sockets layer by its
+//! small-message latency `a` (from the ping-pong benchmark) and its peak
+//! per-byte cost `b` (from the bandwidth benchmark). The paper's Figure 2
+//! observations fall out directly:
+//!
+//! * **(a)** to attain a required bandwidth `B`, kernel sockets need message
+//!   size `U1` while a high-performance substrate needs only `U2 < U1`
+//!   ([`PerfCurve::min_size_for_bandwidth_mbps`]);
+//! * **(b)** switching substrate at the same message size drops latency
+//!   `L1 → L2`, and *re-chunking* to `U2` drops it further to `L3`
+//!   ([`crossover`]).
+
+use crate::microbench;
+use crate::provider::Provider;
+use hpsock_net::{PathCosts, TransportKind};
+
+/// A fitted `t(s) = a + b·s` transfer-time curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfCurve {
+    /// Latency intercept in microseconds (small-message one-way latency).
+    pub a_us: f64,
+    /// Per-byte cost in nanoseconds at peak bandwidth.
+    pub b_ns_per_byte: f64,
+}
+
+impl PerfCurve {
+    /// Curve from the calibrated closed-form model for `kind`.
+    pub fn from_kind(kind: TransportKind) -> PerfCurve {
+        PerfCurve::from_costs(&PathCosts::for_kind(kind))
+    }
+
+    /// Curve from an explicit cost model.
+    pub fn from_costs(costs: &PathCosts) -> PerfCurve {
+        let a_us = costs.oneway_latency(1).as_micros_f64();
+        let big = 1u64 << 20;
+        let b_ns_per_byte = costs.bottleneck_occupancy(big).as_nanos() as f64 / big as f64;
+        PerfCurve { a_us, b_ns_per_byte }
+    }
+
+    /// Curve *measured* with the micro-benchmarks through the
+    /// discrete-event engine (what a real application developer would do).
+    pub fn measure(provider: &Provider) -> PerfCurve {
+        let a_us = microbench::oneway_us(provider, 4, 16);
+        let big = 65_536u64;
+        let mbps = microbench::streaming_mbps(provider, big, 128);
+        // mbps = 8 bits/byte / (b ns/byte) * 1000.
+        let b_ns_per_byte = 8_000.0 / mbps;
+        PerfCurve { a_us, b_ns_per_byte }
+    }
+
+    /// Transfer time in microseconds for an `s`-byte message.
+    pub fn transfer_us(&self, s: u64) -> f64 {
+        self.a_us + self.b_ns_per_byte * s as f64 / 1_000.0
+    }
+
+    /// Sustained bandwidth in Mbps when streaming `s`-byte messages
+    /// (per-message overhead amortized over the pipeline: the bottleneck is
+    /// `a` only below the pipelining threshold; we use the conservative
+    /// unpipelined form `8·s / t(s)`, which matches the paper's measured
+    /// single-stream curves).
+    pub fn bandwidth_mbps(&self, s: u64) -> f64 {
+        let t_ns = self.transfer_us(s) * 1_000.0;
+        if t_ns <= 0.0 {
+            0.0
+        } else {
+            8.0 * s as f64 / t_ns * 1_000.0
+        }
+    }
+
+    /// Peak (asymptotic) bandwidth in Mbps.
+    pub fn peak_bandwidth_mbps(&self) -> f64 {
+        8_000.0 / self.b_ns_per_byte
+    }
+
+    /// Smallest message size attaining `target` Mbps, or `None` if the
+    /// target exceeds peak bandwidth. This is Figure 2(a)'s U1/U2.
+    pub fn min_size_for_bandwidth_mbps(&self, target: f64) -> Option<u64> {
+        if target <= 0.0 {
+            return Some(1);
+        }
+        // 8000 * s / (a_us*1000 + b*s) = target  =>  s*(8000 - target*b) = target*a_ns.
+        let denom = 8_000.0 - target * self.b_ns_per_byte;
+        if denom <= 0.0 {
+            return None;
+        }
+        let s = target * (self.a_us * 1_000.0) / denom;
+        Some(s.ceil().max(1.0) as u64)
+    }
+
+    /// Largest message size whose transfer time stays within `limit_us`,
+    /// or `None` if even a 1-byte message exceeds the limit.
+    pub fn max_size_for_latency_us(&self, limit_us: f64) -> Option<u64> {
+        if self.transfer_us(1) > limit_us {
+            return None;
+        }
+        let s = (limit_us - self.a_us) * 1_000.0 / self.b_ns_per_byte;
+        Some(s.floor().max(1.0) as u64)
+    }
+}
+
+/// The Figure 2(b) decomposition for a required bandwidth: message sizes
+/// `U1` (baseline) and `U2` (substrate), and latencies `L1` (baseline at
+/// U1), `L2` (substrate at U1 — the *direct* improvement) and `L3`
+/// (substrate at U2 — the *indirect* improvement from repartitioning).
+#[derive(Debug, Clone, Copy)]
+pub struct Crossover {
+    /// Message size the baseline needs for the required bandwidth.
+    pub u1: u64,
+    /// Message size the substrate needs for the same bandwidth.
+    pub u2: u64,
+    /// Baseline latency at `u1`, microseconds.
+    pub l1_us: f64,
+    /// Substrate latency at `u1`, microseconds.
+    pub l2_us: f64,
+    /// Substrate latency at `u2`, microseconds.
+    pub l3_us: f64,
+}
+
+/// Compute the Figure 2 crossover between a `baseline` and a `substrate`
+/// curve for a required bandwidth. Returns `None` if either curve cannot
+/// attain the bandwidth.
+pub fn crossover(baseline: &PerfCurve, substrate: &PerfCurve, required_mbps: f64) -> Option<Crossover> {
+    let u1 = baseline.min_size_for_bandwidth_mbps(required_mbps)?;
+    let u2 = substrate.min_size_for_bandwidth_mbps(required_mbps)?;
+    Some(Crossover {
+        u1,
+        u2,
+        l1_us: baseline.transfer_us(u1),
+        l2_us: substrate.transfer_us(u1),
+        l3_us: substrate.transfer_us(u2),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_curves_match_calibration() {
+        let tcp = PerfCurve::from_kind(TransportKind::KTcp);
+        let sv = PerfCurve::from_kind(TransportKind::SocketVia);
+        assert!((tcp.a_us - 47.5).abs() < 2.0, "TCP a = {}", tcp.a_us);
+        assert!((sv.a_us - 9.5).abs() < 0.5, "SocketVIA a = {}", sv.a_us);
+        assert!((tcp.peak_bandwidth_mbps() - 510.0).abs() < 20.0);
+        assert!((sv.peak_bandwidth_mbps() - 763.0).abs() < 25.0);
+    }
+
+    #[test]
+    fn measured_curve_close_to_closed_form() {
+        let p = Provider::new(TransportKind::SocketVia);
+        let m = PerfCurve::measure(&p);
+        let c = PerfCurve::from_kind(TransportKind::SocketVia);
+        assert!((m.a_us - c.a_us).abs() / c.a_us < 0.1, "a: {m:?} vs {c:?}");
+        assert!(
+            (m.b_ns_per_byte - c.b_ns_per_byte).abs() / c.b_ns_per_byte < 0.1,
+            "b: {m:?} vs {c:?}"
+        );
+    }
+
+    #[test]
+    fn size_for_bandwidth_roundtrip() {
+        let sv = PerfCurve::from_kind(TransportKind::SocketVia);
+        for target in [100.0, 300.0, 500.0, 700.0] {
+            let s = sv.min_size_for_bandwidth_mbps(target).unwrap();
+            assert!(sv.bandwidth_mbps(s) >= target * 0.999);
+            if s > 1 {
+                assert!(sv.bandwidth_mbps(s - 1) < target * 1.001);
+            }
+        }
+        assert!(sv.min_size_for_bandwidth_mbps(800.0).is_none(), "beyond peak");
+    }
+
+    #[test]
+    fn size_for_latency_roundtrip() {
+        let tcp = PerfCurve::from_kind(TransportKind::KTcp);
+        let s = tcp.max_size_for_latency_us(500.0).unwrap();
+        assert!(tcp.transfer_us(s) <= 500.0);
+        assert!(tcp.transfer_us(s + 1_000) > 500.0 || s > 100_000);
+        // TCP cannot meet a 40us bound at all (a = 47.5us): Figure 8's
+        // "TCP drops out" behaviour.
+        assert!(tcp.max_size_for_latency_us(40.0).is_none());
+    }
+
+    #[test]
+    fn figure2_crossover_shape() {
+        let tcp = PerfCurve::from_kind(TransportKind::KTcp);
+        let sv = PerfCurve::from_kind(TransportKind::SocketVia);
+        let x = crossover(&tcp, &sv, 400.0).unwrap();
+        assert!(x.u2 < x.u1 / 4, "U2={} far below U1={}", x.u2, x.u1);
+        assert!(x.l2_us < x.l1_us, "direct improvement");
+        assert!(x.l3_us < x.l2_us, "indirect improvement from repartitioning");
+    }
+
+    #[test]
+    fn trivial_targets() {
+        let sv = PerfCurve::from_kind(TransportKind::SocketVia);
+        assert_eq!(sv.min_size_for_bandwidth_mbps(0.0), Some(1));
+        assert!(sv.max_size_for_latency_us(5.0).is_none(), "below intercept");
+    }
+}

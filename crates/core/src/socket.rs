@@ -1,0 +1,261 @@
+//! A sockets-style API over the simulated transports.
+//!
+//! The paper's artifact is precisely a *sockets interface*: applications
+//! written against `socket()/send()/recv()` keep working while the bytes
+//! move over VIA. This module gives simulation actors the same shape: a
+//! connected, bidirectional [`Socket`] pair created before the run
+//! (connection setup happens up front, as in DataCutter), `send` from
+//! handler code, and deliveries demultiplexed with [`Socket::accepts`] /
+//! [`SocketSet`].
+//!
+//! ```
+//! use hpsock_net::{Cluster, NodeId, TransportKind};
+//! use hpsock_sim::Sim;
+//! use socketvia::{socket::Socket, Provider};
+//!
+//! let mut sim = Sim::new(1);
+//! let cluster = Cluster::build(&mut sim, 2);
+//! let provider = Provider::new(TransportKind::SocketVia);
+//! // pids for two endpoint processes created elsewhere...
+//! # use hpsock_sim::{Ctx, Message, Process};
+//! # struct Quiet;
+//! # impl Process for Quiet { fn on_message(&mut self, _c: &mut Ctx<'_>, _m: Message) {} }
+//! let a_pid = sim.add_process(Box::new(Quiet));
+//! let b_pid = sim.add_process(Box::new(Quiet));
+//! let (a_sock, b_sock) = Socket::pair(
+//!     &provider,
+//!     &cluster.network(),
+//!     cluster.endpoint(NodeId(0), a_pid),
+//!     cluster.endpoint(NodeId(1), b_pid),
+//! );
+//! assert!(a_sock.peer_conn() == b_sock.local_conn());
+//! ```
+
+use crate::provider::Provider;
+use hpsock_net::{ConnId, Delivery, Endpoint, Network};
+use hpsock_sim::{Ctx, Message};
+
+/// One end of a connected, bidirectional byte-stream.
+#[derive(Clone)]
+pub struct Socket {
+    net: Network,
+    /// Connection this end sends on.
+    out: ConnId,
+    /// Connection this end receives on.
+    inp: ConnId,
+}
+
+impl Socket {
+    /// Create a connected pair between two endpoints (socketpair-style;
+    /// the simulated analogue of `connect`+`accept` which DataCutter
+    /// performs before query execution).
+    pub fn pair(provider: &Provider, net: &Network, a: Endpoint, b: Endpoint) -> (Socket, Socket) {
+        let (ab, ba) = provider.duplex(net, a, b);
+        (
+            Socket {
+                net: net.clone(),
+                out: ab,
+                inp: ba,
+            },
+            Socket {
+                net: net.clone(),
+                out: ba,
+                inp: ab,
+            },
+        )
+    }
+
+    /// Send `bytes` simulated bytes with an opaque payload to the peer.
+    pub fn send(&self, ctx: &mut Ctx<'_>, bytes: u64, payload: Message) {
+        self.net.send(ctx, self.out, bytes, payload);
+    }
+
+    /// Does this delivery belong to this socket?
+    pub fn accepts(&self, d: &Delivery) -> bool {
+        d.conn == self.inp
+    }
+
+    /// Mark a delivery as consumed (read by the application), releasing
+    /// transport flow-control resources.
+    pub fn consumed(&self, ctx: &mut Ctx<'_>, d: &Delivery) {
+        self.net.consumed(ctx, d.conn, d.msg_id);
+    }
+
+    /// The connection id this end transmits on.
+    pub fn local_conn(&self) -> ConnId {
+        self.out
+    }
+
+    /// The connection id the peer transmits on (this end's receive side).
+    pub fn peer_conn(&self) -> ConnId {
+        self.inp
+    }
+}
+
+/// A demultiplexer for processes holding several sockets.
+#[derive(Clone, Default)]
+pub struct SocketSet {
+    sockets: Vec<Socket>,
+}
+
+impl SocketSet {
+    /// Empty set.
+    pub fn new() -> SocketSet {
+        SocketSet::default()
+    }
+
+    /// Add a socket; returns its index within the set.
+    pub fn add(&mut self, s: Socket) -> usize {
+        self.sockets.push(s);
+        self.sockets.len() - 1
+    }
+
+    /// Which socket (by index) a delivery belongs to.
+    pub fn route(&self, d: &Delivery) -> Option<usize> {
+        self.sockets.iter().position(|s| s.accepts(d))
+    }
+
+    /// Access a socket by index.
+    pub fn get(&self, i: usize) -> &Socket {
+        &self.sockets[i]
+    }
+
+    /// Number of sockets.
+    pub fn len(&self) -> usize {
+        self.sockets.len()
+    }
+
+    /// True if no sockets were added.
+    pub fn is_empty(&self) -> bool {
+        self.sockets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpsock_net::{Cluster, NodeId, TransportKind};
+    use hpsock_sim::{Message as SimMessage, Process, Sim, SimTime};
+
+    /// Echo client: sends `n` requests, one at a time, over the Socket API.
+    struct Client {
+        sock: Option<Socket>,
+        sockets: std::sync::Arc<std::sync::Mutex<Vec<Socket>>>,
+        remaining: u32,
+        rtts_us: Vec<f64>,
+        sent_at: SimTime,
+    }
+    impl Process for Client {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.sock = Some(self.sockets.lock().unwrap()[0].clone());
+            self.sent_at = ctx.now();
+            self.sock
+                .as_ref()
+                .unwrap()
+                .send(ctx, 512, Box::new("ping"));
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: SimMessage) {
+            let d = msg.downcast::<Delivery>().unwrap();
+            let sock = self.sock.as_ref().unwrap().clone();
+            assert!(sock.accepts(&d));
+            sock.consumed(ctx, &d);
+            self.rtts_us
+                .push(ctx.now().since(self.sent_at).as_micros_f64());
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                self.sent_at = ctx.now();
+                sock.send(ctx, 512, Box::new("ping"));
+            }
+        }
+    }
+
+    /// Echo server over the Socket API.
+    struct Server {
+        sockets: std::sync::Arc<std::sync::Mutex<Vec<Socket>>>,
+        sock: Option<Socket>,
+        served: u32,
+    }
+    impl Process for Server {
+        fn on_start(&mut self, _ctx: &mut Ctx<'_>) {
+            self.sock = Some(self.sockets.lock().unwrap()[1].clone());
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: SimMessage) {
+            let d = msg.downcast::<Delivery>().unwrap();
+            let sock = self.sock.as_ref().unwrap().clone();
+            sock.consumed(ctx, &d);
+            sock.send(ctx, d.bytes, Box::new("pong"));
+            self.served += 1;
+        }
+    }
+
+    #[test]
+    fn echo_over_socket_api() {
+        let mut sim = Sim::new(4);
+        let cluster = Cluster::build(&mut sim, 2);
+        let net = cluster.network();
+        let provider = Provider::new(TransportKind::SocketVia);
+        let shared = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let client = sim.add_process(Box::new(Client {
+            sock: None,
+            sockets: shared.clone(),
+            remaining: 9,
+            rtts_us: vec![],
+            sent_at: SimTime::ZERO,
+        }));
+        let server = sim.add_process(Box::new(Server {
+            sockets: shared.clone(),
+            sock: None,
+            served: 0,
+        }));
+        let (cs, ss) = Socket::pair(
+            &provider,
+            &net,
+            cluster.endpoint(NodeId(0), client),
+            cluster.endpoint(NodeId(1), server),
+        );
+        shared.lock().unwrap().extend([cs, ss]);
+        sim.run();
+        let c: &Client = sim.process(client).unwrap();
+        let s: &Server = sim.process(server).unwrap();
+        assert_eq!(s.served, 10);
+        assert_eq!(c.rtts_us.len(), 10);
+        // RTT of a 512B echo over SocketVIA: ~2x one-way(512B) ~ 30us.
+        let mean = c.rtts_us.iter().sum::<f64>() / 10.0;
+        assert!((25.0..40.0).contains(&mean), "mean RTT {mean}us");
+    }
+
+    #[test]
+    fn socket_set_routes_by_connection() {
+        let mut sim = Sim::new(4);
+        let cluster = Cluster::build(&mut sim, 3);
+        let net = cluster.network();
+        let provider = Provider::new(TransportKind::KTcp);
+        struct Quiet;
+        impl Process for Quiet {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, _m: SimMessage) {}
+        }
+        let hub = sim.add_process(Box::new(Quiet));
+        let p1 = sim.add_process(Box::new(Quiet));
+        let p2 = sim.add_process(Box::new(Quiet));
+        let (h1, _s1) = Socket::pair(
+            &provider,
+            &net,
+            cluster.endpoint(NodeId(0), hub),
+            cluster.endpoint(NodeId(1), p1),
+        );
+        let (h2, _s2) = Socket::pair(
+            &provider,
+            &net,
+            cluster.endpoint(NodeId(0), hub),
+            cluster.endpoint(NodeId(2), p2),
+        );
+        let mut set = SocketSet::new();
+        assert!(set.is_empty());
+        let i1 = set.add(h1.clone());
+        let i2 = set.add(h2.clone());
+        assert_eq!(set.len(), 2);
+        assert_ne!(i1, i2);
+        assert_eq!(set.get(i1).local_conn(), h1.local_conn());
+        assert_ne!(h1.peer_conn(), h2.peer_conn());
+    }
+}

@@ -1,0 +1,99 @@
+//! Data buffers and stream control messages.
+//!
+//! A [`DataBuffer`] is the unit applications move along logical streams: an
+//! array of data elements in DataCutter terms. Buffers here carry a
+//! *simulated* size plus lightweight metadata (the experiments reason about
+//! timing and placement, not pixel values), and an optional tag used by
+//! conservation checks.
+
+use std::any::Any;
+use std::sync::Arc;
+
+/// Simulated wire size of a stream control message (end-of-work marker or
+/// demand-driven acknowledgment).
+pub const CONTROL_BYTES: u64 = 16;
+
+/// A unit of application data flowing on a stream.
+pub struct DataBuffer {
+    /// Unit-of-work this buffer belongs to.
+    pub uow: u32,
+    /// Simulated payload size in bytes.
+    pub bytes: u64,
+    /// Application tag (e.g. block index) used by tests and conservation
+    /// checks.
+    pub tag: u64,
+    /// Optional shared metadata (e.g. a query descriptor).
+    pub meta: Option<Arc<dyn Any + Send + Sync>>,
+}
+
+impl DataBuffer {
+    /// A buffer with no metadata.
+    pub fn new(uow: u32, bytes: u64, tag: u64) -> DataBuffer {
+        DataBuffer {
+            uow,
+            bytes,
+            tag,
+            meta: None,
+        }
+    }
+
+    /// Attach shared metadata.
+    pub fn with_meta(mut self, meta: Arc<dyn Any + Send + Sync>) -> DataBuffer {
+        self.meta = Some(meta);
+        self
+    }
+}
+
+impl std::fmt::Debug for DataBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataBuffer")
+            .field("uow", &self.uow)
+            .field("bytes", &self.bytes)
+            .field("tag", &self.tag)
+            .finish()
+    }
+}
+
+/// What travels on a stream connection.
+pub enum StreamMsg {
+    /// Application data.
+    Data(DataBuffer),
+    /// End-of-work marker: the sending producer copy has emitted all
+    /// buffers of `uow` on this stream.
+    Eow {
+        /// The finished unit of work.
+        uow: u32,
+    },
+    /// Demand-driven acknowledgment: the consumer started processing one
+    /// buffer (travels on the reverse connection).
+    Ack,
+    /// Completion notification: the consumer *finished* processing one
+    /// buffer. Sent only on [`crate::sched::Policy::RoundRobinAcked`]
+    /// streams — the instrumentation the load-balancer reaction-time
+    /// experiment uses to observe slow nodes.
+    Done,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_construction() {
+        let b = DataBuffer::new(3, 2048, 17);
+        assert_eq!(b.uow, 3);
+        assert_eq!(b.bytes, 2048);
+        assert_eq!(b.tag, 17);
+        assert!(b.meta.is_none());
+        let m: Arc<dyn Any + Send + Sync> = Arc::new(42u32);
+        let b = b.with_meta(m);
+        let got = b.meta.unwrap().downcast::<u32>().unwrap();
+        assert_eq!(*got, 42);
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        let s = format!("{:?}", DataBuffer::new(1, 2, 3));
+        assert!(s.contains("uow: 1") && s.contains("bytes: 2"));
+    }
+}

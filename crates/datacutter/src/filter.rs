@@ -1,0 +1,568 @@
+//! The filter runtime: one simulation process per transparent copy.
+//!
+//! A [`FilterProcess`] owns a user [`FilterLogic`], an inbox of arrived
+//! buffers, per-output-port schedulers and queues, and end-of-work
+//! bookkeeping. It serializes its own processing (a DataCutter filter is a
+//! single thread) while co-located copies contend for the node's CPU
+//! resource, and it implements the demand-driven acknowledgment protocol:
+//! an ack is sent on the reverse connection when a buffer *starts*
+//! processing, exactly as in DataCutter §4.1.
+
+use crate::buffer::{DataBuffer, StreamMsg, CONTROL_BYTES};
+use crate::logic::{Action, FilterCtx, FilterLogic, SpeedModel};
+use crate::sched::{Policy, Scheduler};
+use hpsock_net::{ConnId, Delivery, Network, NodeId};
+use hpsock_sim::stats::Tally;
+use hpsock_sim::{Ctx, Dur, Message, Process, ProcessId, ResourceId, SimTime};
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Driver → source-filter message: start a unit of work.
+pub struct UowStartMsg {
+    /// Unit-of-work id.
+    pub uow: u32,
+    /// Opaque descriptor (e.g. a query).
+    pub desc: Arc<dyn Any + Send + Sync>,
+}
+
+/// Driver → filter message: tear down (invokes `FilterLogic::finalize`).
+pub struct Shutdown;
+
+/// How a connection's deliveries are interpreted by this copy.
+#[derive(Debug, Clone, Copy)]
+pub enum Route {
+    /// Data/EOW from producer copy `producer` on input port `port`.
+    DataIn {
+        /// Input port index.
+        port: usize,
+        /// Producer copy index on that stream.
+        producer: usize,
+    },
+    /// Demand-driven ack from consumer copy `consumer` on output `port`.
+    AckIn {
+        /// Output port index.
+        port: usize,
+        /// Consumer copy index on that stream.
+        consumer: usize,
+    },
+}
+
+/// Wiring of one input port.
+#[derive(Debug, Clone)]
+pub struct InputWiring {
+    /// Scheduling policy of the stream (determines whether acks are sent).
+    pub policy: Policy,
+    /// Number of producer copies feeding this port.
+    pub producers: usize,
+    /// Reverse (ack) connection to each producer copy.
+    pub ack_conns: Vec<ConnId>,
+}
+
+/// Wiring of one output port.
+#[derive(Debug, Clone)]
+pub struct OutputWiring {
+    /// Scheduling policy for distribution among consumer copies.
+    pub policy: Policy,
+    /// Forward (data) connection to each consumer copy.
+    pub data_conns: Vec<ConnId>,
+}
+
+/// Everything a copy needs to run, filled in by the group builder after
+/// all processes and connections exist.
+pub struct CopyWiring {
+    /// Node this copy is placed on.
+    pub node: NodeId,
+    /// The node's application CPU resource.
+    pub cpu: ResourceId,
+    /// Input ports in stream-declaration order.
+    pub inputs: Vec<InputWiring>,
+    /// Output ports in stream-declaration order.
+    pub outputs: Vec<OutputWiring>,
+    /// Delivery classification for every connection touching this copy.
+    pub routes: HashMap<ConnId, Route>,
+    /// Compute speed model for this copy.
+    pub speed: SpeedModel,
+    /// Record per-buffer ack round-trips (Figure 10 instrumentation).
+    pub ack_log: bool,
+}
+
+/// One matched send→ack round-trip (demand-driven instrumentation).
+#[derive(Debug, Clone, Copy)]
+pub struct AckRecord {
+    /// Output port.
+    pub port: usize,
+    /// Consumer copy index.
+    pub consumer: usize,
+    /// When the buffer was sent.
+    pub sent_at: SimTime,
+    /// When its processing-start ack arrived back.
+    pub acked_at: SimTime,
+}
+
+/// Counters collected by each copy.
+#[derive(Debug, Clone, Default)]
+pub struct FilterStats {
+    /// Buffers processed from input streams.
+    pub buffers_in: u64,
+    /// Bytes processed from input streams.
+    pub bytes_in: u64,
+    /// Buffers emitted on output streams.
+    pub buffers_out: u64,
+    /// Bytes emitted on output streams.
+    pub bytes_out: u64,
+    /// Total (speed-scaled) CPU demand charged.
+    pub compute_busy: Dur,
+    /// Time buffers waited in the inbox before processing started, µs.
+    pub queue_wait_us: Tally,
+    /// `(uow, time)` each unit of work completed at this copy.
+    pub uow_ends: Vec<(u32, SimTime)>,
+}
+
+enum WorkItem {
+    Buffer {
+        port: usize,
+        producer: usize,
+        buf: DataBuffer,
+        arrived: SimTime,
+        conn: ConnId,
+        msg_id: u64,
+    },
+    Eow {
+        port: usize,
+        uow: u32,
+        conn: ConnId,
+        msg_id: u64,
+    },
+    UowStart {
+        uow: u32,
+        desc: Arc<dyn Any + Send + Sync>,
+    },
+}
+
+enum OutItem {
+    Buf(DataBuffer),
+    Eow(u32),
+}
+
+struct ComputeDone {
+    outputs: Vec<(usize, DataBuffer)>,
+    flush_eow: Option<u32>,
+    continue_uow: Option<u32>,
+    /// Reverse connection to notify with a completion `Done` message
+    /// (RoundRobinAcked instrumentation).
+    done_notify: Option<ConnId>,
+}
+
+/// The runtime actor for one transparent copy of a filter.
+pub struct FilterProcess {
+    name: String,
+    copy: usize,
+    copies: usize,
+    logic: Box<dyn FilterLogic>,
+    net: Network,
+    wiring_slot: Arc<Mutex<Option<CopyWiring>>>,
+    wiring: Option<CopyWiring>,
+    inbox: VecDeque<WorkItem>,
+    busy: bool,
+    out_queues: Vec<VecDeque<OutItem>>,
+    scheds: Vec<Scheduler>,
+    /// Send timestamps per `[port][consumer]` for ack matching (FIFO).
+    sent_times: Vec<Vec<VecDeque<SimTime>>>,
+    /// Send timestamps per `[port][consumer]` for completion matching.
+    done_times: Vec<Vec<VecDeque<SimTime>>>,
+    /// EOW markers seen per `(uow, port)`.
+    eow_seen: HashMap<(u32, usize), usize>,
+    /// Ports fully ended per uow.
+    ports_done: HashMap<u32, usize>,
+    /// Collected statistics.
+    pub stats: FilterStats,
+    /// Ack (processing-start) round-trip log, if enabled.
+    pub ack_log: Vec<AckRecord>,
+    /// Completion (processing-end) round-trip log, if enabled
+    /// (RoundRobinAcked streams only).
+    pub done_log: Vec<AckRecord>,
+}
+
+impl FilterProcess {
+    /// Construct a copy; wiring arrives later through the shared slot.
+    pub fn new(
+        name: String,
+        copy: usize,
+        copies: usize,
+        logic: Box<dyn FilterLogic>,
+        net: Network,
+        wiring_slot: Arc<Mutex<Option<CopyWiring>>>,
+    ) -> FilterProcess {
+        FilterProcess {
+            name,
+            copy,
+            copies,
+            logic,
+            net,
+            wiring_slot,
+            wiring: None,
+            inbox: VecDeque::new(),
+            busy: false,
+            out_queues: Vec::new(),
+            scheds: Vec::new(),
+            sent_times: Vec::new(),
+            done_times: Vec::new(),
+            eow_seen: HashMap::new(),
+            ports_done: HashMap::new(),
+            stats: FilterStats::default(),
+            ack_log: Vec::new(),
+            done_log: Vec::new(),
+        }
+    }
+
+    fn wiring(&self) -> &CopyWiring {
+        self.wiring.as_ref().expect("wiring installed at start")
+    }
+
+    fn filter_ctx<'a>(
+        now: SimTime,
+        copy: usize,
+        copies: usize,
+        rng: &'a mut rand::rngs::SmallRng,
+        external: &'a mut Vec<(ProcessId, Message)>,
+    ) -> FilterCtx<'a> {
+        FilterCtx {
+            now,
+            copy,
+            copies,
+            rng,
+            external,
+        }
+    }
+
+    /// Run a logic callback, charge the CPU, and arrange the completion.
+    fn run_logic<F>(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        flush_eow_after: Option<u32>,
+        done_notify: Option<ConnId>,
+        call: F,
+    ) where
+        F: FnOnce(&mut Box<dyn FilterLogic>, &mut FilterCtx<'_>) -> Action,
+    {
+        let mut external = Vec::new();
+        let now = ctx.now();
+        let (copy, copies) = (self.copy, self.copies);
+        let mut action = {
+            let mut fc = Self::filter_ctx(now, copy, copies, ctx.rng(), &mut external);
+            call(&mut self.logic, &mut fc)
+        };
+        for (pid, msg) in external {
+            ctx.send(pid, msg);
+        }
+        let factor = {
+            let speed = self.wiring().speed;
+            speed.factor(now, ctx.rng())
+        };
+        let scaled = action.compute.mul_f64(factor);
+        self.stats.compute_busy += scaled;
+        self.busy = true;
+        let done = ComputeDone {
+            outputs: std::mem::take(&mut action.outputs),
+            flush_eow: flush_eow_after.or(action.end_uow),
+            continue_uow: action.continue_uow,
+            done_notify,
+        };
+        let cpu = self.wiring().cpu;
+        ctx.use_resource(cpu, scaled, Box::new(done));
+    }
+
+    /// Emit buffers/EOW into output queues and dispatch what flow allows.
+    fn emit(&mut self, ctx: &mut Ctx<'_>, outputs: Vec<(usize, DataBuffer)>) {
+        for (port, buf) in outputs {
+            assert!(
+                port < self.out_queues.len(),
+                "{}[{}]: emit on unknown output port {port}",
+                self.name,
+                self.copy
+            );
+            self.out_queues[port].push_back(OutItem::Buf(buf));
+        }
+        for port in 0..self.out_queues.len() {
+            self.dispatch(ctx, port);
+        }
+    }
+
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, port: usize) {
+        loop {
+            match self.out_queues[port].front() {
+                None => return,
+                Some(OutItem::Eow(_)) => {
+                    let Some(OutItem::Eow(uow)) = self.out_queues[port].pop_front() else {
+                        unreachable!()
+                    };
+                    // EOW is broadcast to every consumer copy, outside the
+                    // demand-driven window (it carries no data).
+                    let conns = self.wiring().outputs[port].data_conns.clone();
+                    for conn in conns {
+                        self.net
+                            .send(ctx, conn, CONTROL_BYTES, Box::new(StreamMsg::Eow { uow }));
+                    }
+                }
+                Some(OutItem::Buf(_)) => {
+                    let Some(i) = self.scheds[port].pick() else {
+                        return; // demand-driven: all consumers at the cap
+                    };
+                    let Some(OutItem::Buf(buf)) = self.out_queues[port].pop_front() else {
+                        unreachable!()
+                    };
+                    self.scheds[port].on_sent(i);
+                    let policy = self.scheds[port].policy();
+                    if policy.wants_acks() {
+                        self.sent_times[port][i].push_back(ctx.now());
+                    }
+                    if matches!(policy, Policy::RoundRobinAcked) {
+                        self.done_times[port][i].push_back(ctx.now());
+                    }
+                    self.stats.buffers_out += 1;
+                    self.stats.bytes_out += buf.bytes;
+                    let conn = self.wiring().outputs[port].data_conns[i];
+                    let bytes = buf.bytes;
+                    self.net
+                        .send(ctx, conn, bytes, Box::new(StreamMsg::Data(buf)));
+                }
+            }
+        }
+    }
+
+    /// Start processing the next inbox item if idle.
+    fn maybe_start(&mut self, ctx: &mut Ctx<'_>) {
+        while !self.busy {
+            let Some(item) = self.inbox.pop_front() else {
+                return;
+            };
+            match item {
+                WorkItem::Buffer {
+                    port,
+                    producer,
+                    buf,
+                    arrived,
+                    conn,
+                    msg_id,
+                } => {
+                    // Processing starts now: consume transport resources and
+                    // send the demand-driven ack.
+                    self.net.consumed(ctx, conn, msg_id);
+                    let input = &self.wiring().inputs[port];
+                    let input_policy = input.policy;
+                    let ack_conn_for_done = input.ack_conns[producer];
+                    if input_policy.wants_acks() {
+                        let ack_conn = input.ack_conns[producer];
+                        self.net
+                            .send(ctx, ack_conn, CONTROL_BYTES, Box::new(StreamMsg::Ack));
+                    }
+                    self.stats.buffers_in += 1;
+                    self.stats.bytes_in += buf.bytes;
+                    self.stats
+                        .queue_wait_us
+                        .add(ctx.now().since(arrived).as_micros_f64());
+                    let done_notify = if matches!(input_policy, Policy::RoundRobinAcked) {
+                        Some(ack_conn_for_done)
+                    } else {
+                        None
+                    };
+                    self.run_logic(ctx, None, done_notify, |logic, fc| {
+                        logic.on_buffer(fc, port, buf)
+                    });
+                }
+                WorkItem::Eow {
+                    port,
+                    uow,
+                    conn,
+                    msg_id,
+                } => {
+                    self.net.consumed(ctx, conn, msg_id);
+                    let producers = self.wiring().inputs[port].producers;
+                    let seen = self.eow_seen.entry((uow, port)).or_insert(0);
+                    *seen += 1;
+                    if *seen == producers {
+                        self.eow_seen.remove(&(uow, port));
+                        let done = self.ports_done.entry(uow).or_insert(0);
+                        *done += 1;
+                        if *done == self.wiring().inputs.len() {
+                            self.ports_done.remove(&uow);
+                            self.stats.uow_ends.push((uow, ctx.now()));
+                            self.run_logic(ctx, Some(uow), None, |logic, fc| {
+                                logic.on_uow_end(fc, uow)
+                            });
+                        }
+                    }
+                }
+                WorkItem::UowStart { uow, desc } => {
+                    self.run_logic(ctx, None, None, |logic, fc| {
+                        logic.on_uow_start(fc, uow, desc)
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl Process for FilterProcess {
+    fn name(&self) -> String {
+        format!("{}[{}]", self.name, self.copy)
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let wiring = self
+            .wiring_slot
+            .lock()
+            .expect("wiring lock")
+            .take()
+            .unwrap_or_else(|| panic!("{}: wiring was not installed", self.name));
+        self.out_queues = wiring.outputs.iter().map(|_| VecDeque::new()).collect();
+        self.scheds = wiring
+            .outputs
+            .iter()
+            .map(|o| Scheduler::new(o.policy, o.data_conns.len()))
+            .collect();
+        self.sent_times = wiring
+            .outputs
+            .iter()
+            .map(|o| vec![VecDeque::new(); o.data_conns.len()])
+            .collect();
+        self.done_times = self.sent_times.clone();
+        self.wiring = Some(wiring);
+        let mut external = Vec::new();
+        let now = ctx.now();
+        let (copy, copies) = (self.copy, self.copies);
+        {
+            let mut fc = Self::filter_ctx(now, copy, copies, ctx.rng(), &mut external);
+            self.logic.init(&mut fc);
+        }
+        for (pid, msg) in external {
+            ctx.send(pid, msg);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let msg = match msg.downcast::<Delivery>() {
+            Ok(d) => {
+                let d = *d;
+                let route = *self
+                    .wiring()
+                    .routes
+                    .get(&d.conn)
+                    .unwrap_or_else(|| panic!("{}: delivery on unknown conn", self.name));
+                match route {
+                    Route::DataIn { port, producer } => {
+                        match *d.payload.downcast::<StreamMsg>().expect("stream message") {
+                            StreamMsg::Data(buf) => self.inbox.push_back(WorkItem::Buffer {
+                                port,
+                                producer,
+                                buf,
+                                arrived: ctx.now(),
+                                conn: d.conn,
+                                msg_id: d.msg_id,
+                            }),
+                            StreamMsg::Eow { uow } => self.inbox.push_back(WorkItem::Eow {
+                                port,
+                                uow,
+                                conn: d.conn,
+                                msg_id: d.msg_id,
+                            }),
+                            StreamMsg::Ack | StreamMsg::Done => {
+                                panic!("control message arrived on a data route")
+                            }
+                        }
+                    }
+                    Route::AckIn { port, consumer } => {
+                        self.net.consumed(ctx, d.conn, d.msg_id);
+                        match *d.payload.downcast::<StreamMsg>().expect("stream message") {
+                            StreamMsg::Ack => {
+                                self.scheds[port].on_ack(consumer);
+                                let sent_at = self.sent_times[port][consumer]
+                                    .pop_front()
+                                    .expect("ack matches a sent buffer");
+                                if self.wiring().ack_log {
+                                    self.ack_log.push(AckRecord {
+                                        port,
+                                        consumer,
+                                        sent_at,
+                                        acked_at: ctx.now(),
+                                    });
+                                }
+                                self.dispatch(ctx, port);
+                            }
+                            StreamMsg::Done => {
+                                let sent_at = self.done_times[port][consumer]
+                                    .pop_front()
+                                    .expect("done matches a sent buffer");
+                                if self.wiring().ack_log {
+                                    self.done_log.push(AckRecord {
+                                        port,
+                                        consumer,
+                                        sent_at,
+                                        acked_at: ctx.now(),
+                                    });
+                                }
+                            }
+                            _ => panic!("data message arrived on an ack route"),
+                        }
+                    }
+                }
+                self.maybe_start(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<UowStartMsg>() {
+            Ok(s) => {
+                self.inbox.push_back(WorkItem::UowStart {
+                    uow: s.uow,
+                    desc: s.desc,
+                });
+                self.maybe_start(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<ComputeDone>() {
+            Ok(done) => {
+                let done = *done;
+                if let Some(conn) = done.done_notify {
+                    self.net
+                        .send(ctx, conn, CONTROL_BYTES, Box::new(StreamMsg::Done));
+                }
+                self.emit(ctx, done.outputs);
+                if let Some(uow) = done.flush_eow {
+                    for q in &mut self.out_queues {
+                        q.push_back(OutItem::Eow(uow));
+                    }
+                    for port in 0..self.out_queues.len() {
+                        self.dispatch(ctx, port);
+                    }
+                }
+                if let Some(uow) = done.continue_uow {
+                    self.busy = false;
+                    self.run_logic(ctx, None, None, |logic, fc| logic.on_continue(fc, uow));
+                } else {
+                    self.busy = false;
+                    self.maybe_start(ctx);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        if msg.downcast::<Shutdown>().is_ok() {
+            let mut external = Vec::new();
+            let now = ctx.now();
+            let (copy, copies) = (self.copy, self.copies);
+            {
+                let mut fc = Self::filter_ctx(now, copy, copies, ctx.rng(), &mut external);
+                self.logic.finalize(&mut fc);
+            }
+            for (pid, m) in external {
+                ctx.send(pid, m);
+            }
+            return;
+        }
+        panic!("{}: unknown message type", self.name);
+    }
+}

@@ -1,0 +1,243 @@
+//! The user-facing filter programming model: DataCutter's
+//! init / process / finalize interface, adapted to the event-driven kernel.
+//!
+//! A filter author implements [`FilterLogic`]. Each callback returns an
+//! [`Action`]: how much CPU the processing consumes and which buffers to
+//! emit on which output ports once that computation finishes. The runtime
+//! ([`crate::filter::FilterProcess`]) charges the CPU resource, applies the
+//! node's speed model, emits the outputs through the stream scheduler, and
+//! handles end-of-work propagation.
+
+use crate::buffer::DataBuffer;
+use hpsock_sim::{Dur, Message, ProcessId, SimTime};
+use rand::rngs::SmallRng;
+use std::any::Any;
+use std::sync::Arc;
+
+/// The result of one filter callback: computation to charge, buffers to
+/// emit afterwards, and an optional continuation.
+pub struct Action {
+    /// CPU demand for this processing step (scaled by the node speed
+    /// model before charging).
+    pub compute: Dur,
+    /// `(output_port, buffer)` pairs emitted when the computation ends.
+    pub outputs: Vec<(usize, DataBuffer)>,
+    /// If set, the runtime calls [`FilterLogic::on_continue`] for this
+    /// unit of work right after emitting the outputs — the idiom source
+    /// filters use to generate a long buffer sequence with paced,
+    /// per-buffer cost.
+    pub continue_uow: Option<u32>,
+    /// If set (source filters only), the runtime appends the end-of-work
+    /// marker for this unit of work on every output stream after emitting
+    /// the outputs. Non-source filters never set this: the runtime
+    /// propagates EOW automatically after [`FilterLogic::on_uow_end`].
+    pub end_uow: Option<u32>,
+}
+
+impl Action {
+    /// No computation, no outputs.
+    pub fn none() -> Action {
+        Action {
+            compute: Dur::ZERO,
+            outputs: Vec::new(),
+            continue_uow: None,
+            end_uow: None,
+        }
+    }
+
+    /// Computation only.
+    pub fn compute(compute: Dur) -> Action {
+        Action {
+            compute,
+            ..Action::none()
+        }
+    }
+
+    /// Emit one buffer on `port` after `compute`.
+    pub fn emit(compute: Dur, port: usize, buf: DataBuffer) -> Action {
+        Action {
+            compute,
+            outputs: vec![(port, buf)],
+            ..Action::none()
+        }
+    }
+
+    /// Request a continuation for `uow`.
+    pub fn and_continue(mut self, uow: u32) -> Action {
+        self.continue_uow = Some(uow);
+        self
+    }
+
+    /// Append this unit of work's end-of-work marker after the outputs
+    /// (source filters).
+    pub fn and_end_uow(mut self, uow: u32) -> Action {
+        self.end_uow = Some(uow);
+        self
+    }
+}
+
+/// Read-only/side-channel context handed to filter callbacks.
+pub struct FilterCtx<'a> {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// This copy's index among the filter's transparent copies.
+    pub copy: usize,
+    /// Total transparent copies of this filter.
+    pub copies: usize,
+    /// Deterministic per-process RNG stream.
+    pub rng: &'a mut SmallRng,
+    /// Messages to deliver to non-filter processes (e.g. "unit of work
+    /// done" notifications to an experiment driver); sent when the
+    /// callback returns.
+    pub external: &'a mut Vec<(ProcessId, Message)>,
+}
+
+impl<'a> FilterCtx<'a> {
+    /// Queue a message to an arbitrary process (delivered at the current
+    /// instant).
+    pub fn notify(&mut self, target: ProcessId, msg: Message) {
+        self.external.push((target, msg));
+    }
+}
+
+/// A filter's behaviour. All callbacks default to "do nothing".
+pub trait FilterLogic: Send + 'static {
+    /// Called once when the filter group is instantiated (DataCutter
+    /// `init`): pre-allocate state.
+    fn init(&mut self, _fc: &mut FilterCtx<'_>) {}
+
+    /// A new unit of work arrived at this (source) filter with an opaque
+    /// descriptor (e.g. a query). Non-source filters never receive this.
+    fn on_uow_start(
+        &mut self,
+        _fc: &mut FilterCtx<'_>,
+        _uow: u32,
+        _desc: Arc<dyn Any + Send + Sync>,
+    ) -> Action {
+        Action::none()
+    }
+
+    /// Continuation requested by a previous [`Action::and_continue`].
+    fn on_continue(&mut self, _fc: &mut FilterCtx<'_>, _uow: u32) -> Action {
+        Action::none()
+    }
+
+    /// A data buffer arrived on input port `port` (DataCutter `process`).
+    fn on_buffer(&mut self, _fc: &mut FilterCtx<'_>, _port: usize, _buf: DataBuffer) -> Action {
+        Action::none()
+    }
+
+    /// Every producer copy on every input stream has ended `uow`; after
+    /// the returned action completes, the runtime forwards the end-of-work
+    /// marker downstream.
+    fn on_uow_end(&mut self, _fc: &mut FilterCtx<'_>, _uow: u32) -> Action {
+        Action::none()
+    }
+
+    /// The filter group is being torn down (DataCutter `finalize`).
+    fn finalize(&mut self, _fc: &mut FilterCtx<'_>) {}
+}
+
+/// Per-copy speed model: multiplies computation demand. Emulates
+/// heterogeneous and dynamically shared nodes exactly as the paper does
+/// ("making some of the nodes do the processing on the data more than
+/// once").
+#[derive(Debug, Clone, Copy)]
+pub enum SpeedModel {
+    /// Constant multiplier (1.0 = the paper's 1 GHz PIII baseline).
+    Uniform(f64),
+    /// Node becomes `after`× slower at time `t` (Figure 10's scenario).
+    StepAt {
+        /// Instant the slowdown begins.
+        t: SimTime,
+        /// Multiplier before `t`.
+        before: f64,
+        /// Multiplier from `t` on.
+        after: f64,
+    },
+    /// Each buffer independently runs `factor`× slower with probability
+    /// `prob` (Figure 11's scenario).
+    RandomSlow {
+        /// Probability a given buffer is processed at the slow rate.
+        prob: f64,
+        /// Slowdown multiplier when slow (the "factor of heterogeneity").
+        factor: f64,
+    },
+}
+
+impl SpeedModel {
+    /// The multiplier to apply to a buffer's compute demand at `now`.
+    pub fn factor(&self, now: SimTime, rng: &mut SmallRng) -> f64 {
+        use rand::Rng;
+        match *self {
+            SpeedModel::Uniform(f) => f,
+            SpeedModel::StepAt { t, before, after } => {
+                if now >= t {
+                    after
+                } else {
+                    before
+                }
+            }
+            SpeedModel::RandomSlow { prob, factor } => {
+                if rng.gen_bool(prob.clamp(0.0, 1.0)) {
+                    factor
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+}
+
+impl Default for SpeedModel {
+    fn default() -> Self {
+        SpeedModel::Uniform(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn action_builders() {
+        let a = Action::none();
+        assert_eq!(a.compute, Dur::ZERO);
+        assert!(a.outputs.is_empty());
+        let a = Action::emit(Dur::micros(5), 1, DataBuffer::new(0, 10, 0)).and_continue(7);
+        assert_eq!(a.compute, Dur::micros(5));
+        assert_eq!(a.outputs.len(), 1);
+        assert_eq!(a.outputs[0].0, 1);
+        assert_eq!(a.continue_uow, Some(7));
+    }
+
+    #[test]
+    fn speed_uniform_and_step() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let u = SpeedModel::Uniform(2.0);
+        assert_eq!(u.factor(SimTime::ZERO, &mut rng), 2.0);
+        let s = SpeedModel::StepAt {
+            t: SimTime::from_nanos(100),
+            before: 1.0,
+            after: 4.0,
+        };
+        assert_eq!(s.factor(SimTime::from_nanos(99), &mut rng), 1.0);
+        assert_eq!(s.factor(SimTime::from_nanos(100), &mut rng), 4.0);
+    }
+
+    #[test]
+    fn speed_random_slow_frequency() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let m = SpeedModel::RandomSlow {
+            prob: 0.3,
+            factor: 8.0,
+        };
+        let n = 10_000;
+        let slow = (0..n)
+            .filter(|_| m.factor(SimTime::ZERO, &mut rng) > 1.0)
+            .count();
+        let frac = slow as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.03, "observed {frac}");
+    }
+}

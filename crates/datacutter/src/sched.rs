@@ -1,0 +1,239 @@
+//! Buffer scheduling between transparent copies: Round-Robin and
+//! Demand-Driven, as in DataCutter §4.1.
+//!
+//! The scheduler is pure bookkeeping (no simulator coupling): the filter
+//! runtime asks it which consumer copy should get the next buffer and
+//! reports sends and acknowledgment arrivals.
+//!
+//! * **Round-Robin** cycles through consumer copies unconditionally.
+//! * **Demand-Driven** sends to the copy with the fewest unacknowledged
+//!   buffers ("the filter that would process them fastest"), and defers
+//!   dispatch entirely while every copy is at its outstanding-window cap —
+//!   that is what makes it demand *driven* rather than push-balanced.
+
+/// Scheduling policy for one logical stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Cycle through consumer copies.
+    RoundRobin,
+    /// Round-robin distribution, but consumers still send
+    /// processing-start acknowledgments — the instrumentation the
+    /// load-balancer reaction-time experiment (Figure 10) relies on.
+    RoundRobinAcked,
+    /// Min-unacknowledged-buffers choice with a per-consumer outstanding
+    /// cap (`window`).
+    DemandDriven {
+        /// Maximum unacknowledged buffers per consumer copy.
+        window: u32,
+    },
+}
+
+impl Policy {
+    /// The paper's demand-driven configuration with a sensible default
+    /// window.
+    pub fn demand_driven() -> Policy {
+        Policy::DemandDriven { window: 8 }
+    }
+
+    /// Whether consumers on this stream send processing-start acks.
+    pub fn wants_acks(self) -> bool {
+        !matches!(self, Policy::RoundRobin)
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::RoundRobin | Policy::RoundRobinAcked => "RR",
+            Policy::DemandDriven { .. } => "DD",
+        }
+    }
+}
+
+/// Per-output-stream scheduler state.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    policy: Policy,
+    rr_next: usize,
+    unacked: Vec<u32>,
+    sent: Vec<u64>,
+    acked: Vec<u64>,
+}
+
+impl Scheduler {
+    /// Scheduler over `consumers` transparent copies.
+    pub fn new(policy: Policy, consumers: usize) -> Scheduler {
+        assert!(consumers >= 1, "a stream needs at least one consumer copy");
+        Scheduler {
+            policy,
+            rr_next: 0,
+            unacked: vec![0; consumers],
+            sent: vec![0; consumers],
+            acked: vec![0; consumers],
+        }
+    }
+
+    /// Which consumer copy should receive the next buffer, or `None` if
+    /// dispatch must wait for an acknowledgment (demand-driven, all copies
+    /// at the window cap).
+    pub fn pick(&self) -> Option<usize> {
+        match self.policy {
+            Policy::RoundRobin | Policy::RoundRobinAcked => Some(self.rr_next),
+            Policy::DemandDriven { window } => self
+                .unacked
+                .iter()
+                .enumerate()
+                .filter(|(_, &u)| u < window)
+                .min_by_key(|(i, &u)| (u, *i))
+                .map(|(i, _)| i),
+        }
+    }
+
+    /// Record that a buffer was sent to copy `i` (as returned by `pick`).
+    pub fn on_sent(&mut self, i: usize) {
+        self.sent[i] += 1;
+        self.unacked[i] += 1;
+        if matches!(self.policy, Policy::RoundRobin | Policy::RoundRobinAcked) {
+            debug_assert_eq!(i, self.rr_next, "round-robin sends follow pick order");
+            self.rr_next = (self.rr_next + 1) % self.unacked.len();
+        }
+    }
+
+    /// Record an acknowledgment from copy `i`.
+    pub fn on_ack(&mut self, i: usize) {
+        assert!(self.unacked[i] > 0, "ack without an outstanding buffer");
+        self.unacked[i] -= 1;
+        self.acked[i] += 1;
+    }
+
+    /// Unacknowledged buffers currently outstanding at copy `i`.
+    pub fn unacked(&self, i: usize) -> u32 {
+        self.unacked[i]
+    }
+
+    /// Buffers ever sent to copy `i`.
+    pub fn sent(&self, i: usize) -> u64 {
+        self.sent[i]
+    }
+
+    /// Acks ever received from copy `i`.
+    pub fn acked(&self, i: usize) -> u64 {
+        self.acked[i]
+    }
+
+    /// Number of consumer copies.
+    pub fn consumers(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut s = Scheduler::new(Policy::RoundRobin, 3);
+        let mut order = vec![];
+        for _ in 0..7 {
+            let i = s.pick().unwrap();
+            s.on_sent(i);
+            order.push(i);
+        }
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn demand_driven_prefers_least_loaded() {
+        let mut s = Scheduler::new(Policy::DemandDriven { window: 4 }, 3);
+        // Load copy 0 with two outstanding, copy 1 with one.
+        s.on_sent(0);
+        s.on_sent(0);
+        s.on_sent(1);
+        assert_eq!(s.pick(), Some(2), "copy 2 has zero outstanding");
+        s.on_sent(2);
+        assert_eq!(s.pick(), Some(1), "tie 1,2 at one each -> lowest index");
+    }
+
+    #[test]
+    fn demand_driven_window_blocks() {
+        let mut s = Scheduler::new(Policy::DemandDriven { window: 2 }, 2);
+        for _ in 0..4 {
+            let i = s.pick().unwrap();
+            s.on_sent(i);
+        }
+        assert_eq!(s.pick(), None, "all copies at the cap");
+        s.on_ack(1);
+        assert_eq!(s.pick(), Some(1), "ack reopens that copy");
+    }
+
+    #[test]
+    fn counters() {
+        let mut s = Scheduler::new(Policy::demand_driven(), 2);
+        s.on_sent(0);
+        s.on_sent(0);
+        s.on_ack(0);
+        assert_eq!(s.sent(0), 2);
+        assert_eq!(s.acked(0), 1);
+        assert_eq!(s.unacked(0), 1);
+        assert_eq!(s.consumers(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ack_underflow_panics() {
+        let mut s = Scheduler::new(Policy::RoundRobin, 1);
+        s.on_ack(0);
+    }
+
+    proptest! {
+        /// Unacked counts always equal sent minus acked, never exceed the
+        /// window under DD, and pick never returns a copy at the cap.
+        #[test]
+        fn dd_invariants(ops in proptest::collection::vec(0u8..2, 1..300)) {
+            let window = 3u32;
+            let mut s = Scheduler::new(Policy::DemandDriven { window }, 4);
+            for op in ops {
+                match op {
+                    0 => {
+                        if let Some(i) = s.pick() {
+                            prop_assert!(s.unacked(i) < window);
+                            s.on_sent(i);
+                        }
+                    }
+                    _ => {
+                        // Ack the most loaded copy, if any.
+                        if let Some(i) = (0..4).max_by_key(|&i| s.unacked(i)) {
+                            if s.unacked(i) > 0 {
+                                s.on_ack(i);
+                            }
+                        }
+                    }
+                }
+                for i in 0..4 {
+                    prop_assert!(s.unacked(i) <= window);
+                    prop_assert_eq!(s.sent(i) - s.acked(i), s.unacked(i) as u64);
+                }
+            }
+        }
+
+        /// Round-robin distributes evenly: after k*n sends the counts are
+        /// all exactly k.
+        #[test]
+        fn rr_is_even(n in 1usize..8, k in 1u64..50) {
+            let mut s = Scheduler::new(Policy::RoundRobin, n);
+            for _ in 0..(k * n as u64) {
+                let i = s.pick().unwrap();
+                s.on_sent(i);
+            }
+            for i in 0..n {
+                prop_assert_eq!(s.sent(i), k);
+            }
+        }
+    }
+}

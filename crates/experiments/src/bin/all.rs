@@ -1,0 +1,31 @@
+//! Regenerate every table and figure of the paper in one run.
+
+use hpsock_experiments as x;
+
+fn main() {
+    let quick = x::quick_mode();
+    let dir = x::results_dir();
+    eprintln!("[1/8] Figure 4 + Figure 2 ...");
+    let (iters, total) = if quick { (4, 1 << 20) } else { (16, 1 << 22) };
+    x::emit(&x::fig4::run(iters, total), &dir);
+    eprintln!("[2/8] Figure 7 ...");
+    let scale = if quick {
+        x::fig7::Scale { n_complete: 3, n_partial: 2 }
+    } else {
+        x::fig7::Scale::default()
+    };
+    x::emit(&x::fig7::run(scale), &dir);
+    eprintln!("[3/8] Figure 8 ...");
+    x::emit(&x::fig8::run(if quick { 3 } else { 5 }), &dir);
+    eprintln!("[4/8] Figure 9 ...");
+    x::emit(&x::fig9::run(if quick { 5 } else { 10 }), &dir);
+    eprintln!("[5/8] Figure 10 ...");
+    x::emit(&x::fig10::run(), &dir);
+    eprintln!("[6/8] Figure 11 ...");
+    x::emit(&x::fig11::run(), &dir);
+    eprintln!("[7/8] Future work: RDMA ...");
+    x::emit(&x::future::run(), &dir);
+    eprintln!("[8/8] Supplementary: Figure 1 amplification, partition trade-off ...");
+    x::emit(&x::extra::run(if quick { 3 } else { 6 }), &dir);
+    eprintln!("done: CSVs under {}", dir.display());
+}

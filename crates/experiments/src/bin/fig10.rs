@@ -1,0 +1,6 @@
+//! Regenerate Figure 10: round-robin load-balancer reaction time.
+
+fn main() {
+    let tables = hpsock_experiments::fig10::run();
+    hpsock_experiments::emit(&tables, hpsock_experiments::results_dir());
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 11: demand-driven execution on heterogeneous nodes.
+
+fn main() {
+    let tables = hpsock_experiments::fig11::run();
+    hpsock_experiments::emit(&tables, hpsock_experiments::results_dir());
+}

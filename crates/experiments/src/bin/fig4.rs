@@ -1,0 +1,8 @@
+//! Regenerate Figure 4 (micro-benchmarks) and the Figure 2 crossover.
+
+fn main() {
+    let quick = hpsock_experiments::quick_mode();
+    let (iters, total) = if quick { (4, 1 << 20) } else { (16, 1 << 22) };
+    let tables = hpsock_experiments::fig4::run(iters, total);
+    hpsock_experiments::emit(&tables, hpsock_experiments::results_dir());
+}

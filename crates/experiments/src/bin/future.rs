@@ -1,0 +1,6 @@
+//! Quantify the paper's stated future work: sockets over RDMA.
+
+fn main() {
+    let tables = hpsock_experiments::future::run();
+    hpsock_experiments::emit(&tables, hpsock_experiments::results_dir());
+}

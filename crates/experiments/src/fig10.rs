@@ -1,0 +1,71 @@
+//! Figure 10 — load-balancer reaction time to heterogeneity under
+//! round-robin scheduling, vs the factor of heterogeneity, for TCP (16 KB
+//! blocks) and SocketVIA (2 KB blocks) at their perfect-pipelining points.
+
+use crate::sweep::parallel_map;
+use crate::table::{fmt_opt, Table};
+use hpsock_net::TransportKind;
+use hpsock_sim::{Dur, SimTime};
+use hpsock_vizserver::{rr_reaction_time, LbSetup};
+
+/// Heterogeneity factors on the x-axis.
+pub fn factors() -> Vec<f64> {
+    vec![2.0, 4.0, 6.0, 8.0, 10.0]
+}
+
+/// Reaction time (µs) for one transport at one factor.
+pub fn reaction_us(kind: TransportKind, factor: f64, seed: u64) -> Option<f64> {
+    let setup = LbSetup::paper(kind);
+    // One node turns slow a third of the way through a workload long
+    // enough to observe the balancer's mistake.
+    let emit_ns = (setup.ns_per_byte * setup.block_bytes as f64) as u64;
+    let blocks = 3 * 100u32; // ~100 emissions before and after the switch
+    let slow_at = SimTime::ZERO + Dur::nanos(emit_ns * 100);
+    rr_reaction_time(&setup, factor, slow_at, blocks, seed).map(|d| d.as_micros_f64())
+}
+
+/// Run the sweep.
+pub fn run() -> Vec<Table> {
+    let jobs: Vec<f64> = factors();
+    let rows = parallel_map(jobs, |f| {
+        (
+            f,
+            reaction_us(TransportKind::SocketVia, f, 0x10),
+            reaction_us(TransportKind::KTcp, f, 0x10),
+        )
+    });
+    let mut t = Table::new(
+        "Figure 10: load-balancer reaction time (us) vs factor of heterogeneity (round-robin)",
+        &["factor", "SocketVIA", "TCP", "TCP/SocketVIA"],
+    );
+    for (f, sv, tcp) in rows {
+        let ratio = match (sv, tcp) {
+            (Some(s), Some(t)) if s > 0.0 => Some(t / s),
+            _ => None,
+        };
+        t.add_row(vec![
+            format!("{f:.0}"),
+            fmt_opt(sv, 1),
+            fmt_opt(tcp, 1),
+            fmt_opt(ratio, 1),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_reaction_is_much_slower_and_grows_with_factor() {
+        let sv4 = reaction_us(TransportKind::SocketVia, 4.0, 1).unwrap();
+        let tcp4 = reaction_us(TransportKind::KTcp, 4.0, 1).unwrap();
+        assert!(
+            tcp4 / sv4 > 4.0,
+            "block-size ratio shows: TCP {tcp4:.0}us vs SocketVIA {sv4:.0}us"
+        );
+        let tcp8 = reaction_us(TransportKind::KTcp, 8.0, 1).unwrap();
+        assert!(tcp8 > tcp4, "reaction grows with factor: {tcp4} -> {tcp8}");
+    }
+}

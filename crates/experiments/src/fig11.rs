@@ -1,0 +1,91 @@
+//! Figure 11 — execution time under demand-driven scheduling on a
+//! heterogeneous cluster: nodes slow down per-block with probability `p`
+//! (x-axis) at factors 2/4/8, for SocketVIA and TCP at their
+//! perfect-pipelining block sizes.
+
+use crate::sweep::parallel_map;
+use crate::table::Table;
+use hpsock_net::TransportKind;
+use hpsock_vizserver::{dd_execution_time, LbSetup};
+
+/// Probabilities on the x-axis (percent / 100).
+pub fn probabilities() -> Vec<f64> {
+    (1..=9).map(|i| i as f64 / 10.0).collect()
+}
+
+/// Heterogeneity factors plotted.
+pub const FACTORS: [f64; 3] = [2.0, 4.0, 8.0];
+
+/// Workload processed per run (the same byte volume for both transports,
+/// split into each transport's block size).
+pub const WORKLOAD_BYTES: u64 = 2 * 1024 * 1024;
+
+/// Execution time (µs) for one point.
+pub fn exec_us(kind: TransportKind, prob: f64, factor: f64, seed: u64) -> f64 {
+    let setup = LbSetup::paper(kind);
+    let blocks = (WORKLOAD_BYTES / setup.block_bytes) as u32;
+    dd_execution_time(&setup, prob, factor, blocks, seed).as_micros_f64()
+}
+
+/// Run the sweep.
+pub fn run() -> Vec<Table> {
+    let probs = probabilities();
+    let mut jobs = Vec::new();
+    for &p in &probs {
+        for kind in [TransportKind::SocketVia, TransportKind::KTcp] {
+            for f in FACTORS {
+                jobs.push((kind, p, f));
+            }
+        }
+    }
+    let results = parallel_map(jobs, |(kind, p, f)| exec_us(kind, p, f, 0x11));
+    let mut t = Table::new(
+        "Figure 11: execution time (us) vs probability of being slow (demand-driven)",
+        &[
+            "prob_%",
+            "SocketVIA(2)",
+            "SocketVIA(4)",
+            "SocketVIA(8)",
+            "TCP(2)",
+            "TCP(4)",
+            "TCP(8)",
+        ],
+    );
+    let cols = 6;
+    for (i, &p) in probs.iter().enumerate() {
+        let base = i * cols;
+        let mut row = vec![format!("{:.0}", p * 100.0)];
+        for j in 0..cols {
+            row.push(format!("{:.0}", results[base + j]));
+        }
+        t.add_row(row);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn execution_grows_with_probability_at_high_factor() {
+        let lo = exec_us(TransportKind::SocketVia, 0.1, 8.0, 1);
+        let hi = exec_us(TransportKind::SocketVia, 0.9, 8.0, 1);
+        assert!(hi > 1.5 * lo, "p=0.9 {hi:.0}us vs p=0.1 {lo:.0}us");
+    }
+
+    #[test]
+    fn tcp_stays_close_to_socketvia_under_dd() {
+        // The paper's headline for this figure: demand-driven scheduling +
+        // pipelining make the substrates comparable.
+        for p in [0.3, 0.7] {
+            let sv = exec_us(TransportKind::SocketVia, p, 4.0, 2);
+            let tcp = exec_us(TransportKind::KTcp, p, 4.0, 2);
+            let ratio = tcp / sv;
+            assert!(
+                (0.6..1.7).contains(&ratio),
+                "p={p}: TCP {tcp:.0}us vs SocketVIA {sv:.0}us"
+            );
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Figure 7 — average partial-update latency under an updates-per-second
+//! guarantee, for (a) no computation and (b) linear (18 ns/B) computation.
+//!
+//! For each target rate the distribution block size is planned against the
+//! transport's measured curve (`hpsock_vizserver::guarantee`); then the
+//! pipeline streams complete updates at the target rate while partial
+//! probes measure latency under load. Three series, as in the paper:
+//!
+//! * **TCP** — TCP sockets with the block TCP's curve requires;
+//! * **SocketVIA** — SocketVIA carrying the *same* (TCP-planned) blocks,
+//!   i.e. an unmodified application (the direct improvement);
+//! * **SocketVIA (with DR)** — SocketVIA with blocks re-planned against
+//!   its own curve (the indirect improvement).
+
+use crate::runner::{isolated_partial_us, run_guarantee, GuaranteeRun};
+use crate::sweep::parallel_map;
+use crate::table::{fmt_opt, Table};
+use hpsock_net::TransportKind;
+use hpsock_vizserver::{block_size_for_update_rate, ComputeModel};
+use socketvia::PerfCurve;
+
+/// The paper's 16 MB image.
+pub const IMAGE_BYTES: u64 = 16 * 1024 * 1024;
+
+/// Target rates of panel (a).
+pub fn rates_no_compute() -> Vec<f64> {
+    vec![4.0, 3.75, 3.5, 3.25, 3.0, 2.75, 2.5, 2.25, 2.0]
+}
+
+/// Target rates of panel (b).
+pub fn rates_linear_compute() -> Vec<f64> {
+    vec![3.25, 3.0, 2.75, 2.5, 2.25, 2.0]
+}
+
+/// One sweep point: the three series' measurements at a target rate.
+///
+/// Latencies are the paper's "latency for this message chunk": the
+/// end-to-end pipeline latency of a one-block partial update with the
+/// block size the rate guarantee dictates. Sustainability of the rate
+/// itself is verified with a separate loaded run.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Target updates per second.
+    pub ups: f64,
+    /// TCP partial latency, µs (None = planner dropout).
+    pub tcp_us: Option<f64>,
+    /// SocketVIA partial latency at TCP's block, µs.
+    pub sv_us: f64,
+    /// SocketVIA partial latency at its own planned block, µs.
+    pub sv_dr_us: f64,
+    /// Did TCP sustain the target rate in the loaded run?
+    pub tcp_sustained: Option<bool>,
+    /// Did SocketVIA (with DR) sustain the target rate?
+    pub sv_dr_sustained: bool,
+    /// Blocks used: (tcp, socketvia_dr).
+    pub blocks: (Option<u64>, u64),
+}
+
+/// Sweep scale: how many updates/probes each point streams.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Complete updates per point.
+    pub n_complete: u32,
+    /// Partial probes per point.
+    pub n_partial: u32,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            n_complete: 6,
+            n_partial: 4,
+        }
+    }
+}
+
+/// Run one panel.
+pub fn sweep(compute: ComputeModel, rates: &[f64], scale: Scale) -> Vec<Point> {
+    let tcp_curve = PerfCurve::from_kind(TransportKind::KTcp);
+    let sv_curve = PerfCurve::from_kind(TransportKind::SocketVia);
+    // An unmodified sockets application keeps the chunking it was written
+    // with: when TCP cannot plan a block for the target rate at all, the
+    // no-DR SocketVIA series reuses TCP's block at TCP's best feasible
+    // rate.
+    let tcp_fallback = (0..)
+        .map(|i| 3.25 - 0.25 * i as f64)
+        .find_map(|r| block_size_for_update_rate(&tcp_curve, IMAGE_BYTES, r))
+        .expect("TCP can sustain some rate");
+    let jobs: Vec<(f64, Option<u64>, u64, u64)> = rates
+        .iter()
+        .map(|&ups| {
+            let tcp_block = block_size_for_update_rate(&tcp_curve, IMAGE_BYTES, ups);
+            let sv_block = block_size_for_update_rate(&sv_curve, IMAGE_BYTES, ups)
+                .expect("SocketVIA sustains all paper rates");
+            (ups, tcp_block, sv_block, tcp_fallback)
+        })
+        .collect();
+    parallel_map(jobs, move |(ups, tcp_block, sv_block, fallback)| {
+        let sustain = |kind, block| {
+            run_guarantee(&GuaranteeRun {
+                kind,
+                block_bytes: block,
+                compute,
+                target_ups: ups,
+                n_complete: scale.n_complete,
+                n_partial: scale.n_partial,
+                seed: 0xF167,
+            })
+            .sustained
+        };
+        let probe = |kind, block| isolated_partial_us(kind, block, compute, 4, 0xF167);
+        let tcp_us = tcp_block.map(|b| probe(TransportKind::KTcp, b));
+        let sv_us = probe(TransportKind::SocketVia, tcp_block.unwrap_or(fallback));
+        let sv_dr_us = probe(TransportKind::SocketVia, sv_block);
+        let tcp_sustained = tcp_block.map(|b| sustain(TransportKind::KTcp, b));
+        let sv_dr_sustained = sustain(TransportKind::SocketVia, sv_block);
+        Point {
+            ups,
+            tcp_us,
+            sv_us,
+            sv_dr_us,
+            tcp_sustained,
+            sv_dr_sustained,
+            blocks: (tcp_block, sv_block),
+        }
+    })
+}
+
+/// Render a panel as the paper's series (partial-update latency in µs).
+pub fn to_table(title: &str, points: &[Point]) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "updates_per_sec",
+            "TCP",
+            "SocketVIA",
+            "SocketVIA(DR)",
+            "tcp_block",
+            "dr_block",
+            "tcp_sustained",
+        ],
+    );
+    for p in points {
+        t.add_row(vec![
+            format!("{:.2}", p.ups),
+            fmt_opt(p.tcp_us, 1),
+            format!("{:.1}", p.sv_us),
+            format!("{:.1}", p.sv_dr_us),
+            p.blocks
+                .0
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "-".into()),
+            p.blocks.1.to_string(),
+            p.tcp_sustained
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    t
+}
+
+/// Run both panels at the given scale.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let a = sweep(ComputeModel::None, &rates_no_compute(), scale);
+    let b = sweep(ComputeModel::paper_linear(), &rates_linear_compute(), scale);
+    vec![
+        to_table(
+            "Figure 7(a): avg partial-update latency (us) with updates/sec guarantee, no computation",
+            &a,
+        ),
+        to_table(
+            "Figure 7(b): avg partial-update latency (us) with updates/sec guarantee, linear computation",
+            &b,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_holds_at_a_midrange_point() {
+        let pts = sweep(
+            ComputeModel::None,
+            &[3.0],
+            Scale {
+                n_complete: 4,
+                n_partial: 3,
+            },
+        );
+        let p = &pts[0];
+        assert_eq!(p.tcp_sustained, Some(true), "TCP sustains 3 ups");
+        let t = p.tcp_us.unwrap();
+        let (s, d) = (p.sv_us, p.sv_dr_us);
+        assert!(s < t, "direct improvement: {s} < {t}");
+        assert!(d < s, "DR improves further: {d} < {s}");
+        assert!(t / d > 3.0, "combined improvement is large: {}", t / d);
+    }
+
+    #[test]
+    fn tcp_drops_out_at_four_ups() {
+        let pts = sweep(
+            ComputeModel::None,
+            &[4.0],
+            Scale {
+                n_complete: 3,
+                n_partial: 2,
+            },
+        );
+        assert!(pts[0].tcp_us.is_none(), "no TCP block for 4 ups");
+        assert!(pts[0].sv_dr_sustained, "SocketVIA DR sustains 4 ups");
+    }
+}

@@ -1,0 +1,160 @@
+//! Figure 8 — achievable full updates per second under a partial-update
+//! latency guarantee, for (a) no computation and (b) linear computation.
+//!
+//! For each latency bound the planner picks the *largest* block whose
+//! one-block transfer honours the bound; the pipeline is then saturated
+//! with back-to-back complete updates and the completion rate measured.
+//! TCP "drops out" once the bound falls below its latency intercept
+//! (~47.5 µs + block transfer): at the paper's 100 µs point TCP barely
+//! fits a block and its rate collapses.
+
+use crate::runner::run_saturation_ups;
+use crate::sweep::parallel_map;
+use crate::table::{fmt_opt, Table};
+use hpsock_net::TransportKind;
+use hpsock_vizserver::{block_size_for_partial_latency, ComputeModel};
+use socketvia::PerfCurve;
+
+/// The paper's 16 MB image.
+pub const IMAGE_BYTES: u64 = 16 * 1024 * 1024;
+
+/// Latency bounds of both panels (µs).
+pub fn latency_bounds() -> Vec<f64> {
+    vec![
+        1000.0, 900.0, 800.0, 700.0, 600.0, 500.0, 400.0, 300.0, 200.0, 100.0,
+    ]
+}
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Latency bound, µs.
+    pub limit_us: f64,
+    /// TCP updates/s (None = no feasible block).
+    pub tcp_ups: Option<f64>,
+    /// SocketVIA at TCP's block size.
+    pub sv_ups: Option<f64>,
+    /// SocketVIA at its own (larger) planned block.
+    pub sv_dr_ups: f64,
+    /// Blocks used: (tcp, socketvia_dr).
+    pub blocks: (Option<u64>, u64),
+}
+
+/// Run one panel: `n` updates per saturation measurement.
+pub fn sweep(compute: ComputeModel, bounds: &[f64], n: u32) -> Vec<Point> {
+    let tcp_curve = PerfCurve::from_kind(TransportKind::KTcp);
+    let sv_curve = PerfCurve::from_kind(TransportKind::SocketVia);
+    let jobs: Vec<(f64, Option<u64>, u64)> = bounds
+        .iter()
+        .map(|&limit| {
+            (
+                limit,
+                block_size_for_partial_latency(&tcp_curve, IMAGE_BYTES, limit),
+                block_size_for_partial_latency(&sv_curve, IMAGE_BYTES, limit)
+                    .expect("SocketVIA fits a block at every paper bound"),
+            )
+        })
+        .collect();
+    parallel_map(jobs, move |(limit, tcp_block, sv_block)| {
+        let tcp_ups = tcp_block.map(|b| run_saturation_ups(TransportKind::KTcp, b, compute, n, 8));
+        let sv_ups =
+            tcp_block.map(|b| run_saturation_ups(TransportKind::SocketVia, b, compute, n, 8));
+        let sv_dr_ups = run_saturation_ups(TransportKind::SocketVia, sv_block, compute, n, 8);
+        Point {
+            limit_us: limit,
+            tcp_ups,
+            sv_ups,
+            sv_dr_ups,
+            blocks: (tcp_block, sv_block),
+        }
+    })
+}
+
+/// Render a panel as the paper's series.
+pub fn to_table(title: &str, points: &[Point]) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "latency_us",
+            "TCP",
+            "SocketVIA",
+            "SocketVIA(DR)",
+            "tcp_block",
+            "dr_block",
+        ],
+    );
+    for p in points {
+        t.add_row(vec![
+            format!("{:.0}", p.limit_us),
+            fmt_opt(p.tcp_ups, 2),
+            fmt_opt(p.sv_ups, 2),
+            format!("{:.2}", p.sv_dr_ups),
+            p.blocks
+                .0
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "-".into()),
+            p.blocks.1.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Run both panels, `n` updates per point.
+pub fn run(n: u32) -> Vec<Table> {
+    let bounds = latency_bounds();
+    let a = sweep(ComputeModel::None, &bounds, n);
+    let b = sweep(ComputeModel::paper_linear(), &bounds, n);
+    vec![
+        to_table(
+            "Figure 8(a): updates/sec with latency guarantee, no computation",
+            &a,
+        ),
+        to_table(
+            "Figure 8(b): updates/sec with latency guarantee, linear computation",
+            &b,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dr_dominates_and_tcp_degrades_at_tight_bounds() {
+        let pts = sweep(ComputeModel::None, &[1000.0, 100.0], 4);
+        let loose = &pts[0];
+        let tight = &pts[1];
+        // At a loose bound everyone works; DR at least matches.
+        assert!(loose.sv_dr_ups >= loose.tcp_ups.unwrap() * 1.2);
+        // At 100us TCP fits only a tiny block and collapses, while
+        // SocketVIA DR stays near its peak.
+        let tcp_tight = tight.tcp_ups.unwrap_or(0.0);
+        assert!(
+            tight.sv_dr_ups > 4.0 * tcp_tight.max(0.05),
+            "DR {} vs TCP {} at 100us",
+            tight.sv_dr_ups,
+            tcp_tight
+        );
+        assert!(
+            tight.sv_dr_ups > 0.75 * loose.sv_dr_ups,
+            "DR stays near peak: {} vs {}",
+            tight.sv_dr_ups,
+            loose.sv_dr_ups
+        );
+    }
+
+    #[test]
+    fn compute_compresses_the_gap() {
+        // With 18ns/B compute the processing dominates and TCP ~ SocketVIA
+        // at loose bounds (paper: "TCP and SocketVIA perform very
+        // closely").
+        let pts = sweep(ComputeModel::paper_linear(), &[1000.0], 4);
+        let p = &pts[0];
+        let (tcp, sv) = (p.tcp_ups.unwrap(), p.sv_ups.unwrap());
+        assert!(
+            sv / tcp < 2.0,
+            "compute narrows the ratio: sv {sv} tcp {tcp}"
+        );
+    }
+}

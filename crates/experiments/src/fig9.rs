@@ -1,0 +1,163 @@
+//! Figure 9 — average response time of a mixed query stream (zoom queries
+//! touching 4 chunks vs complete updates touching everything), as the
+//! fraction of complete updates varies, for dataset partitionings of
+//! none / 8 / 64 chunks, over TCP and SocketVIA, with and without
+//! computation.
+
+use crate::sweep::parallel_map;
+use crate::table::Table;
+use hpsock_net::{Cluster, TransportKind};
+use hpsock_sim::Sim;
+use hpsock_vizserver::{
+    complete_update, zoom_query, BlockedImage, ComputeModel, Plan, PipelineCfg, QueryDesc,
+    QueryDriver, VizPipeline,
+};
+use socketvia::Provider;
+
+/// The paper's 16 MB image.
+pub const IMAGE_BYTES: u64 = 16 * 1024 * 1024;
+
+/// Partition counts plotted in the paper ("No Partitions", 8, 64).
+pub const PARTITIONS: [u64; 3] = [1, 8, 64];
+
+/// Complete-update fractions (x-axis).
+pub fn fractions() -> Vec<f64> {
+    (0..=10).map(|i| i as f64 / 10.0).collect()
+}
+
+/// Deterministically interleave `n` queries so a fraction `f` of them are
+/// complete updates, the rest zooms (Bresenham-style spacing).
+pub fn query_mix(img: &BlockedImage, f: f64, n: u32) -> Vec<QueryDesc> {
+    let mut out = Vec::with_capacity(n as usize);
+    let mut acc = 0.0f64;
+    for _ in 0..n {
+        acc += f;
+        if acc >= 1.0 - 1e-9 {
+            acc -= 1.0;
+            out.push(complete_update(img));
+        } else {
+            out.push(zoom_query(img));
+        }
+    }
+    out
+}
+
+/// Mean response time (ms) of a closed-loop mixed stream.
+pub fn mean_response_ms(
+    kind: TransportKind,
+    compute: ComputeModel,
+    partitions: u64,
+    fraction: f64,
+    n: u32,
+    seed: u64,
+) -> f64 {
+    let img = BlockedImage::paper_image(IMAGE_BYTES / partitions);
+    let queries = query_mix(&img, fraction, n);
+    let mut sim = Sim::new(seed);
+    let cluster = Cluster::build(&mut sim, VizPipeline::nodes_needed(3));
+    let cfg = PipelineCfg::paper(Provider::new(kind), compute);
+    let (driver_pid, targets) = QueryDriver::install(&mut sim, Plan::ClosedLoop(queries));
+    let pipe = VizPipeline::build(&mut sim, &cluster, &cfg, driver_pid);
+    *targets.lock().expect("targets") = pipe.repo_pids();
+    sim.run();
+    let d: &QueryDriver = sim.process(driver_pid).expect("driver persists");
+    assert_eq!(d.results.len(), n as usize, "closed loop drained");
+    d.mean_latency_all_us().expect("results present") / 1_000.0
+}
+
+/// Run one panel: rows = fractions, columns = partitionings × transports.
+pub fn panel(compute: ComputeModel, n: u32) -> Table {
+    let fr = fractions();
+    let mut jobs = Vec::new();
+    for &f in &fr {
+        for kind in [TransportKind::SocketVia, TransportKind::KTcp] {
+            for parts in PARTITIONS {
+                jobs.push((kind, parts, f));
+            }
+        }
+    }
+    let results = parallel_map(jobs, move |(kind, parts, f)| {
+        mean_response_ms(kind, compute, parts, f, n, 0xF19)
+    });
+    let mut t = Table::new(
+        format!(
+            "Figure 9: avg response time (ms) vs fraction of complete-update queries, {}",
+            compute.label()
+        ),
+        &[
+            "fraction",
+            "NoPart(SV)",
+            "8Part(SV)",
+            "64Part(SV)",
+            "NoPart(TCP)",
+            "8Part(TCP)",
+            "64Part(TCP)",
+        ],
+    );
+    let cols = 6;
+    for (i, &f) in fr.iter().enumerate() {
+        let base = i * cols;
+        let mut row = vec![format!("{f:.1}")];
+        for j in 0..cols {
+            row.push(format!("{:.1}", results[base + j]));
+        }
+        t.add_row(row);
+    }
+    t
+}
+
+/// Run both panels with `n` queries per point.
+pub fn run(n: u32) -> Vec<Table> {
+    vec![
+        panel(ComputeModel::None, n),
+        panel(ComputeModel::paper_linear(), n),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_proportional() {
+        let img = BlockedImage::paper_image(IMAGE_BYTES / 64);
+        let qs = query_mix(&img, 0.3, 10);
+        let completes = qs
+            .iter()
+            .filter(|q| q.kind == hpsock_vizserver::QueryKind::Complete)
+            .count();
+        assert_eq!(completes, 3);
+        let again = query_mix(&img, 0.3, 10);
+        let k: Vec<_> = qs.iter().map(|q| q.kind).collect();
+        let k2: Vec<_> = again.iter().map(|q| q.kind).collect();
+        assert_eq!(k, k2);
+    }
+
+    #[test]
+    fn response_grows_faster_for_tcp_with_partitioning() {
+        // The paper's observation: with 64 partitions, TCP's response time
+        // rises much faster in the complete fraction than SocketVIA's.
+        let n = 6;
+        let sv0 = mean_response_ms(TransportKind::SocketVia, ComputeModel::None, 64, 0.0, n, 1);
+        let sv1 = mean_response_ms(TransportKind::SocketVia, ComputeModel::None, 64, 1.0, n, 1);
+        let tcp0 = mean_response_ms(TransportKind::KTcp, ComputeModel::None, 64, 0.0, n, 1);
+        let tcp1 = mean_response_ms(TransportKind::KTcp, ComputeModel::None, 64, 1.0, n, 1);
+        let sv_slope = sv1 - sv0;
+        let tcp_slope = tcp1 - tcp0;
+        assert!(
+            tcp_slope > 1.5 * sv_slope,
+            "TCP slope {tcp_slope:.1}ms vs SocketVIA slope {sv_slope:.1}ms"
+        );
+    }
+
+    #[test]
+    fn unpartitioned_response_is_flat_in_fraction() {
+        // With no partitioning every query fetches everything, so the
+        // response time barely varies with the mix.
+        let n = 5;
+        let lo = mean_response_ms(TransportKind::SocketVia, ComputeModel::None, 1, 0.0, n, 2);
+        let hi = mean_response_ms(TransportKind::SocketVia, ComputeModel::None, 1, 1.0, n, 2);
+        let rel = (hi - lo).abs() / lo;
+        assert!(rel < 0.10, "flat curve expected: {lo:.1} vs {hi:.1}");
+    }
+}

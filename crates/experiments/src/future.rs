@@ -1,0 +1,162 @@
+//! Beyond the paper: the conclusion's stated future work — "the push/pull
+//! data transfer model using RDMA operations in the emerging networks" —
+//! quantified on the same harness. An InfiniBand-class RDMA transport
+//! (`TransportKind::Rdma`) replays the paper's key experiments next to
+//! SocketVIA and TCP.
+
+use crate::runner::{isolated_partial_us, run_saturation_ups};
+use crate::table::{fmt_opt, Table};
+use hpsock_net::TransportKind;
+use hpsock_sim::SimTime;
+use hpsock_vizserver::{
+    block_size_for_update_rate, rr_reaction_time, ComputeModel, LbSetup,
+};
+use socketvia::{microbench, PerfCurve, Provider};
+
+const TRANSPORTS: [TransportKind; 3] = [
+    TransportKind::KTcp,
+    TransportKind::SocketVia,
+    TransportKind::Rdma,
+];
+
+/// Micro-benchmark comparison including the RDMA transport.
+pub fn microbench_table() -> Table {
+    let mut t = Table::new(
+        "Future work: RDMA-class transport vs the paper's substrates (micro-benchmarks)",
+        &["transport", "latency_4B_us", "peak_Mbps", "bw_at_2KB_Mbps"],
+    );
+    for kind in TRANSPORTS {
+        let p = Provider::new(kind);
+        let lat = microbench::oneway_us(&p, 4, 8);
+        let peak = microbench::streaming_mbps(&p, 65_536, 96);
+        let bw2k = microbench::streaming_mbps(&p, 2_048, 256);
+        t.add_row(vec![
+            kind.label().to_string(),
+            format!("{lat:.2}"),
+            format!("{peak:.0}"),
+            format!("{bw2k:.0}"),
+        ]);
+    }
+    t
+}
+
+/// The Figure 7/8 story replayed with RDMA: what rate guarantees become
+/// feasible, and at what partial-update latency.
+pub fn guarantee_table() -> Table {
+    let mut t = Table::new(
+        "Future work: guarantees with RDMA (16 MB image, no computation)",
+        &[
+            "transport",
+            "max_updates_per_sec",
+            "block_for_4ups",
+            "partial_us_at_4ups",
+        ],
+    );
+    for kind in TRANSPORTS {
+        let curve = PerfCurve::from_kind(kind);
+        let max_ups = curve.peak_bandwidth_mbps() * 1e6 / (16.0 * 1024.0 * 1024.0 * 8.0);
+        let block = block_size_for_update_rate(&curve, 16 * 1024 * 1024, 4.0);
+        let partial = block.map(|b| isolated_partial_us(kind, b, ComputeModel::None, 3, 3));
+        t.add_row(vec![
+            kind.label().to_string(),
+            format!("{max_ups:.1}"),
+            block
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "-".into()),
+            fmt_opt(partial, 1),
+        ]);
+    }
+    t
+}
+
+/// Figure 10's reaction time with RDMA's perfect-pipelining block (256 B):
+/// mistakes become almost free.
+pub fn reaction_table() -> Table {
+    let mut t = Table::new(
+        "Future work: load-balancer reaction time with RDMA (factor 4)",
+        &["transport", "block", "reaction_us"],
+    );
+    for kind in TRANSPORTS {
+        let setup = LbSetup::paper(kind);
+        let emit_ns = (setup.ns_per_byte * setup.block_bytes as f64) as u64;
+        let slow_at = SimTime::from_nanos(emit_ns * 100);
+        let r = rr_reaction_time(&setup, 4.0, slow_at, 300, 5).map(|d| d.as_micros_f64());
+        t.add_row(vec![
+            kind.label().to_string(),
+            setup.block_bytes.to_string(),
+            fmt_opt(r, 1),
+        ]);
+    }
+    t
+}
+
+/// Saturation throughput with compute — does RDMA move the compute-bound
+/// ceiling? (It cannot: the paper's observation that low-overhead
+/// substrates expose the application bottleneck extends to RDMA.)
+pub fn compute_ceiling_table() -> Table {
+    let mut t = Table::new(
+        "Future work: saturation updates/sec with 18 ns/B compute (ceiling is the app)",
+        &["transport", "updates_per_sec"],
+    );
+    for kind in TRANSPORTS {
+        let ups = run_saturation_ups(kind, 65_536, ComputeModel::paper_linear(), 3, 5);
+        t.add_row(vec![kind.label().to_string(), format!("{ups:.2}")]);
+    }
+    t
+}
+
+/// Run all future-work tables.
+pub fn run() -> Vec<Table> {
+    vec![
+        microbench_table(),
+        guarantee_table(),
+        reaction_table(),
+        compute_ceiling_table(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdma_dominates_socketvia_microbench() {
+        let rdma = Provider::new(TransportKind::Rdma);
+        let sv = Provider::new(TransportKind::SocketVia);
+        let rl = microbench::oneway_us(&rdma, 4, 8);
+        let sl = microbench::oneway_us(&sv, 4, 8);
+        assert!(rl < sl / 1.8, "RDMA latency {rl} vs SocketVIA {sl}");
+        let rb = microbench::streaming_mbps(&rdma, 65_536, 96);
+        let sb = microbench::streaming_mbps(&sv, 65_536, 96);
+        assert!(rb > 4.0 * sb, "RDMA bw {rb} vs SocketVIA {sb}");
+    }
+
+    #[test]
+    fn rdma_makes_4ups_trivial() {
+        let curve = PerfCurve::from_kind(TransportKind::Rdma);
+        let block = block_size_for_update_rate(&curve, 16 * 1024 * 1024, 4.0).unwrap();
+        assert!(block <= 1_024, "tiny blocks suffice: {block}");
+    }
+
+    #[test]
+    fn compute_ceiling_is_transport_independent() {
+        let sv = run_saturation_ups(
+            TransportKind::SocketVia,
+            65_536,
+            ComputeModel::paper_linear(),
+            3,
+            5,
+        );
+        let rdma = run_saturation_ups(
+            TransportKind::Rdma,
+            65_536,
+            ComputeModel::paper_linear(),
+            3,
+            5,
+        );
+        assert!(
+            (rdma - sv).abs() / sv < 0.15,
+            "both pinned at the app ceiling: {sv} vs {rdma}"
+        );
+    }
+}

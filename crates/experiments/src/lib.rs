@@ -1,0 +1,64 @@
+//! # hpsock-experiments — per-figure experiment harnesses
+//!
+//! One module per paper figure. Each module exposes the sweep as a library
+//! function returning [`table::Table`]s, and a binary (`fig4` … `fig11`,
+//! plus `all`) prints the tables and writes CSVs under `results/`.
+//!
+//! | module | regenerates |
+//! |--------|-------------|
+//! | [`fig4`]  | Figure 4(a) latency, 4(b) bandwidth, Figure 2 crossover |
+//! | [`fig7`]  | Figure 7(a)/(b): partial-update latency under an updates/sec guarantee |
+//! | [`fig8`]  | Figure 8(a)/(b): updates/sec under a latency guarantee |
+//! | [`fig9`]  | Figure 9(a)/(b): response time of mixed query streams |
+//! | [`fig10`] | Figure 10: round-robin load-balancer reaction time |
+//! | [`fig11`] | Figure 11: demand-driven execution under random slowdowns |
+//! | [`future`] | beyond the paper: the conclusion's RDMA future work, quantified |
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig4;
+pub mod fig7;
+pub mod fig8;
+pub mod extra;
+pub mod fig9;
+pub mod future;
+pub mod runner;
+pub mod sweep;
+pub mod table;
+
+use std::path::Path;
+use table::Table;
+
+/// Print each table and write it as CSV under `dir` (slug from the title).
+pub fn emit(tables: &[Table], dir: impl AsRef<Path>) {
+    for t in tables {
+        println!("{t}");
+        let slug: String = t
+            .title
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect::<String>()
+            .split('_')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("_");
+        let path = dir.as_ref().join(format!("{}.csv", &slug[..slug.len().min(60)]));
+        if let Err(e) = t.write_csv(&path) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("  -> {}\n", path.display());
+        }
+    }
+}
+
+/// True when `--quick` was passed (reduced sweep scale for smoke runs).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Results directory: `$HPSOCK_RESULTS` or `results/`.
+pub fn results_dir() -> std::path::PathBuf {
+    std::env::var_os("HPSOCK_RESULTS")
+        .map(Into::into)
+        .unwrap_or_else(|| "results".into())
+}

@@ -1,0 +1,196 @@
+//! Shared experiment runner for the guarantee experiments (Figures 7/8):
+//! a Figure 5 pipeline under an open-loop stream of complete updates with
+//! interleaved partial-update probes.
+
+use hpsock_net::{Cluster, TransportKind};
+use hpsock_sim::{Dur, Sim, SimTime};
+use hpsock_vizserver::{
+    complete_update, partial_update, BlockedImage, ComputeModel, Plan, PipelineCfg, QueryDesc,
+    QueryDriver, QueryKind, VizPipeline,
+};
+use socketvia::Provider;
+
+/// Configuration of one guarantee-experiment run.
+#[derive(Debug, Clone)]
+pub struct GuaranteeRun {
+    /// Transport carrying every pipeline stream.
+    pub kind: TransportKind,
+    /// Distribution block size (the planner's output).
+    pub block_bytes: u64,
+    /// Per-stage computation model.
+    pub compute: ComputeModel,
+    /// Open-loop complete-update rate (updates per second).
+    pub target_ups: f64,
+    /// Number of complete updates to stream.
+    pub n_complete: u32,
+    /// Number of interleaved partial-update probes.
+    pub n_partial: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Measured outcome of a guarantee run.
+#[derive(Debug, Clone, Copy)]
+pub struct GuaranteeResult {
+    /// Mean partial-update latency under load, µs.
+    pub partial_us: Option<f64>,
+    /// Mean complete-update latency, µs.
+    pub complete_us: Option<f64>,
+    /// Achieved complete-update rate, updates/s.
+    pub achieved_ups: Option<f64>,
+    /// Whether the target rate was sustained (≥95 % achieved and nothing
+    /// left outstanding).
+    pub sustained: bool,
+}
+
+/// Run the pipeline under the configured load and measure.
+pub fn run_guarantee(run: &GuaranteeRun) -> GuaranteeResult {
+    let img = BlockedImage::paper_image(run.block_bytes);
+    let period = Dur::from_secs_f64(1.0 / run.target_ups);
+    let mut items: Vec<(SimTime, QueryDesc)> = (0..run.n_complete)
+        .map(|i| (SimTime::ZERO + period.mul(i as u64), complete_update(&img)))
+        .collect();
+    // Probes land mid-period, spread across the middle of the run.
+    let first_probe = 1.max(run.n_complete / 4);
+    for p in 0..run.n_partial {
+        let idx = (first_probe + p % run.n_complete.saturating_sub(1).max(1)) as u64;
+        items.push((
+            SimTime::ZERO + period.mul(idx) + period.div(2),
+            partial_update(&img, 1),
+        ));
+    }
+    let mut sim = Sim::new(run.seed);
+    let cluster = Cluster::build(&mut sim, VizPipeline::nodes_needed(3));
+    let cfg = PipelineCfg::paper(Provider::new(run.kind), run.compute);
+    let (driver_pid, targets) = QueryDriver::install(&mut sim, Plan::OpenLoop(items));
+    let pipe = VizPipeline::build(&mut sim, &cluster, &cfg, driver_pid);
+    *targets.lock().expect("targets") = pipe.repo_pids();
+    sim.run();
+    let d: &QueryDriver = sim.process(driver_pid).expect("driver persists");
+    let achieved = d.achieved_rate(QueryKind::Complete);
+    let sustained = achieved.is_some_and(|r| r >= 0.95 * run.target_ups) && d.outstanding() == 0;
+    GuaranteeResult {
+        partial_us: d.mean_latency_us(QueryKind::Partial),
+        complete_us: d.mean_latency_us(QueryKind::Complete),
+        achieved_ups: achieved,
+        sustained,
+    }
+}
+
+/// Saturation throughput: submit `n` complete updates back-to-back and
+/// measure the completion rate (Figure 8's y-axis).
+pub fn run_saturation_ups(
+    kind: TransportKind,
+    block_bytes: u64,
+    compute: ComputeModel,
+    n: u32,
+    seed: u64,
+) -> f64 {
+    let img = BlockedImage::paper_image(block_bytes);
+    let items: Vec<(SimTime, QueryDesc)> = (0..n)
+        .map(|i| {
+            (
+                SimTime::ZERO + Dur::micros(i as u64),
+                complete_update(&img),
+            )
+        })
+        .collect();
+    let mut sim = Sim::new(seed);
+    let cluster = Cluster::build(&mut sim, VizPipeline::nodes_needed(3));
+    let cfg = PipelineCfg::paper(Provider::new(kind), compute);
+    let (driver_pid, targets) = QueryDriver::install(&mut sim, Plan::OpenLoop(items));
+    let pipe = VizPipeline::build(&mut sim, &cluster, &cfg, driver_pid);
+    *targets.lock().expect("targets") = pipe.repo_pids();
+    sim.run();
+    let d: &QueryDriver = sim.process(driver_pid).expect("driver persists");
+    assert_eq!(d.outstanding(), 0, "saturation run drained");
+    let first_submit = d
+        .results
+        .iter()
+        .map(|r| r.submitted)
+        .min()
+        .expect("results");
+    let last_completion = d
+        .results
+        .iter()
+        .map(|r| r.completed)
+        .max()
+        .expect("results");
+    let span = last_completion.since(first_submit).as_secs_f64();
+    if span <= 0.0 {
+        0.0
+    } else {
+        d.results.len() as f64 / span
+    }
+}
+
+/// Isolated partial-update latency: the paper's "latency for this message
+/// chunk" — the end-to-end pipeline latency of a one-block query on an
+/// otherwise idle system, averaged over `n` closed-loop queries.
+pub fn isolated_partial_us(
+    kind: TransportKind,
+    block_bytes: u64,
+    compute: ComputeModel,
+    n: u32,
+    seed: u64,
+) -> f64 {
+    let img = BlockedImage::paper_image(block_bytes);
+    let queries: Vec<QueryDesc> = (0..n).map(|_| partial_update(&img, 1)).collect();
+    let mut sim = Sim::new(seed);
+    let cluster = Cluster::build(&mut sim, VizPipeline::nodes_needed(3));
+    let cfg = PipelineCfg::paper(Provider::new(kind), compute);
+    let (driver_pid, targets) = QueryDriver::install(&mut sim, Plan::ClosedLoop(queries));
+    let pipe = VizPipeline::build(&mut sim, &cluster, &cfg, driver_pid);
+    *targets.lock().expect("targets") = pipe.repo_pids();
+    sim.run();
+    let d: &QueryDriver = sim.process(driver_pid).expect("driver persists");
+    d.mean_latency_us(QueryKind::Partial)
+        .expect("partial queries completed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasible_rate_is_sustained() {
+        let r = run_guarantee(&GuaranteeRun {
+            kind: TransportKind::SocketVia,
+            block_bytes: 65_536,
+            compute: ComputeModel::None,
+            target_ups: 2.0,
+            n_complete: 5,
+            n_partial: 3,
+            seed: 1,
+        });
+        assert!(r.sustained, "{r:?}");
+        assert!(r.partial_us.is_some());
+        assert!(r.complete_us.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn infeasible_rate_is_flagged() {
+        // 16 MB x 5/s = 640 Mbps > TCP's 510 Mbps peak: cannot sustain.
+        let r = run_guarantee(&GuaranteeRun {
+            kind: TransportKind::KTcp,
+            block_bytes: 65_536,
+            compute: ComputeModel::None,
+            target_ups: 5.0,
+            n_complete: 5,
+            n_partial: 2,
+            seed: 1,
+        });
+        assert!(!r.sustained, "{r:?}");
+    }
+
+    #[test]
+    fn saturation_rate_orders_transports() {
+        let sv = run_saturation_ups(TransportKind::SocketVia, 65_536, ComputeModel::None, 4, 2);
+        let tcp = run_saturation_ups(TransportKind::KTcp, 65_536, ComputeModel::None, 4, 2);
+        assert!(
+            sv > tcp,
+            "SocketVIA saturation {sv:.2} ups vs TCP {tcp:.2} ups"
+        );
+        assert!(tcp > 2.0 && tcp < 4.2, "TCP in the paper's ballpark: {tcp}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Parallel parameter sweeps.
+//!
+//! Each sweep point runs an *independent* deterministic simulation, so
+//! points parallelize perfectly across OS threads: a crossbeam channel
+//! feeds a worker pool and results return in input order.
+
+use crossbeam::channel;
+use std::num::NonZeroUsize;
+
+/// Map `f` over `items` on a thread pool, preserving input order.
+/// Determinism is unaffected: each item's simulation is self-contained.
+pub fn parallel_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let (job_tx, job_rx) = channel::unbounded::<(usize, I)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, O)>();
+    for pair in items.into_iter().enumerate() {
+        job_tx.send(pair).expect("queue jobs");
+    }
+    drop(job_tx);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let f = &f;
+            s.spawn(move || {
+                while let Ok((idx, item)) = job_rx.recv() {
+                    let out = f(item);
+                    if res_tx.send((idx, out)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+        for (idx, out) in res_rx.iter() {
+            slots[idx] = Some(out);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every sweep point completed"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items, |x| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(parallel_map(vec![7], |x: u32| x + 1), vec![8]);
+    }
+}

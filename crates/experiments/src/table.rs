@@ -1,0 +1,154 @@
+//! Plain-text result tables and CSV output for the experiment harnesses.
+
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+/// A printable experiment result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Title line (usually the paper figure this regenerates).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (stringified cells).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Empty table with headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header arity.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as CSV (header row first).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the CSV rendering to `path` (creating parent directories).
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        f.write_all(self.to_csv().as_bytes())?;
+        f.flush()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut parts = Vec::with_capacity(cols);
+            for (i, c) in cells.iter().enumerate() {
+                parts.push(format!("{:>w$}", c, w = widths[i]));
+            }
+            writeln!(f, "  {}", parts.join("  "))
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+        writeln!(f, "  {}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with a fixed number of decimals, or a dash for `None` —
+/// the "transport drops out" marker in the guarantee tables.
+pub fn fmt_opt(v: Option<f64>, decimals: usize) -> String {
+    match v {
+        Some(x) => format!("{:.*}", decimals, x),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["x", "value"]);
+        t.add_row(vec!["1".into(), "10.5".into()]);
+        t.add_row(vec!["200".into(), "3".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("200"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.add_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.add_row(vec!["x,y".into(), "q\"z".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().nth(1).unwrap(), "\"x,y\",\"q\"\"z\"");
+    }
+
+    #[test]
+    fn write_csv_roundtrip() {
+        let mut t = Table::new("demo", &["a"]);
+        t.add_row(vec!["1".into()]);
+        let dir = std::env::temp_dir().join("hpsock_table_test");
+        let path = dir.join("t.csv");
+        t.write_csv(&path).unwrap();
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(got, "a\n1\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn fmt_opt_dash() {
+        assert_eq!(fmt_opt(None, 1), "-");
+        assert_eq!(fmt_opt(Some(1.25), 1), "1.2");
+    }
+}

@@ -1,0 +1,258 @@
+//! Cluster construction: registers per-node resources with the simulation
+//! kernel and installs the network engine.
+//!
+//! The default node mirrors the paper's testbed: Dell Precision 420,
+//! 2 × 1 GHz Pentium III, cLAN 1000 adapter on 32-bit/33-MHz PCI, all nodes
+//! on one cLAN 5300 switch (non-blocking crossbar).
+
+use crate::engine::{Endpoint, NetEngine, Network, NodeResources};
+use hpsock_sim::{ProcessId, ResourceId, Sim};
+
+/// Per-node hardware description.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeSpec {
+    /// Application CPU cores (the paper's nodes are dual-processor).
+    pub cores: usize,
+}
+
+impl Default for NodeSpec {
+    fn default() -> Self {
+        NodeSpec { cores: 2 }
+    }
+}
+
+/// A built cluster: node resources plus the network handle.
+pub struct Cluster {
+    nodes: Vec<NodeResources>,
+    net: Network,
+}
+
+impl Cluster {
+    /// Build a cluster of `n` default nodes inside `sim`.
+    pub fn build(sim: &mut Sim, n: usize) -> Cluster {
+        Cluster::build_with(sim, &vec![NodeSpec::default(); n])
+    }
+
+    /// Build a cluster with explicit per-node specs.
+    pub fn build_with(sim: &mut Sim, specs: &[NodeSpec]) -> Cluster {
+        assert!(!specs.is_empty(), "a cluster needs at least one node");
+        let nodes: Vec<NodeResources> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| NodeResources {
+                host_tx: sim.add_resource(format!("node{i}.host_tx"), 1),
+                nic_tx: sim.add_resource(format!("node{i}.nic_tx"), 1),
+                host_rx: sim.add_resource(format!("node{i}.host_rx"), 1),
+                cpu: sim.add_resource(format!("node{i}.cpu"), spec.cores),
+            })
+            .collect();
+        let net = NetEngine::install(sim, nodes.clone());
+        Cluster { nodes, net }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the cluster has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The network handle (clone freely into application processes).
+    pub fn network(&self) -> Network {
+        self.net.clone()
+    }
+
+    /// The application CPU resource of node `node`.
+    pub fn cpu(&self, node: crate::engine::NodeId) -> ResourceId {
+        self.nodes[node.0].cpu
+    }
+
+    /// All per-node resources (for custom processes).
+    pub fn node_resources(&self, node: crate::engine::NodeId) -> NodeResources {
+        self.nodes[node.0]
+    }
+
+    /// Convenience: build an endpoint handle.
+    pub fn endpoint(&self, node: crate::engine::NodeId, pid: ProcessId) -> Endpoint {
+        assert!(node.0 < self.nodes.len(), "endpoint on unknown node");
+        Endpoint { node, pid }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ConnId, Delivery, NodeId};
+    use crate::params::{PathCosts, TransportKind};
+    use hpsock_sim::{Ctx, Message, Process, SimTime};
+
+    /// Sends `count` messages of `bytes` each, one at a time (the next send
+    /// is issued when the previous delivery is echoed back by the sink via
+    /// a plain event), and records per-message one-way times.
+    struct Blaster {
+        net: Network,
+        conn: ConnId,
+        bytes: u64,
+        count: u32,
+        sent: u32,
+    }
+    impl Process for Blaster {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.net.send(ctx, self.conn, self.bytes, Box::new(()));
+            self.sent = 1;
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _msg: Message) {
+            if self.sent < self.count {
+                self.net.send(ctx, self.conn, self.bytes, Box::new(()));
+                self.sent += 1;
+            }
+        }
+    }
+
+    /// Consumes deliveries immediately and pings the sender.
+    struct Sink {
+        net: Network,
+        sender: Option<hpsock_sim::ProcessId>,
+        oneway_us: Vec<f64>,
+        last_delivery: SimTime,
+        delivered: u64,
+    }
+    impl Process for Sink {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+            let d = msg.downcast::<Delivery>().expect("delivery");
+            self.oneway_us
+                .push(ctx.now().since(d.sent_at).as_micros_f64());
+            self.last_delivery = ctx.now();
+            self.delivered += d.bytes;
+            self.net.consumed(ctx, d.conn, d.msg_id);
+            if let Some(s) = self.sender {
+                ctx.send(s, Box::new(()));
+            }
+        }
+    }
+
+    fn one_way(kind: TransportKind, bytes: u64) -> f64 {
+        let mut sim = hpsock_sim::Sim::new(7);
+        let cluster = Cluster::build(&mut sim, 2);
+        let net = cluster.network();
+        let sink = sim.add_process(Box::new(Sink {
+            net: net.clone(),
+            sender: None,
+            oneway_us: vec![],
+            last_delivery: SimTime::ZERO,
+            delivered: 0,
+        }));
+        let blaster = sim.add_process(Box::new(Blaster {
+            net: net.clone(),
+            conn: ConnId(0),
+            bytes,
+            count: 1,
+            sent: 0,
+        }));
+        net.connect(
+            cluster.endpoint(NodeId(0), blaster),
+            cluster.endpoint(NodeId(1), sink),
+            kind,
+        );
+        sim.run();
+        let s: &Sink = sim.process(sink).unwrap();
+        s.oneway_us[0]
+    }
+
+    #[test]
+    fn unloaded_latency_matches_closed_form() {
+        for kind in TransportKind::PAPER_SET {
+            for bytes in [4u64, 256, 1024, 4096, 16_384] {
+                let sim_us = one_way(kind, bytes);
+                let model_us = PathCosts::for_kind(kind).oneway_latency(bytes).as_micros_f64();
+                let err = (sim_us - model_us).abs() / model_us;
+                assert!(
+                    err < 0.01,
+                    "{} {}B: sim {:.2}us vs model {:.2}us",
+                    kind.label(),
+                    bytes,
+                    sim_us,
+                    model_us
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn socketvia_small_latency_is_9_5us() {
+        let us = one_way(TransportKind::SocketVia, 4);
+        assert!((us - 9.5).abs() < 0.5, "got {us}");
+    }
+
+    #[test]
+    fn tcp_is_about_5x_socketvia() {
+        let tcp = one_way(TransportKind::KTcp, 4);
+        let sv = one_way(TransportKind::SocketVia, 4);
+        let r = tcp / sv;
+        assert!((4.5..5.5).contains(&r), "ratio {r}");
+    }
+
+    fn streamed_bandwidth_mbps(kind: TransportKind, bytes: u64, count: u32) -> f64 {
+        let mut sim = hpsock_sim::Sim::new(7);
+        let cluster = Cluster::build(&mut sim, 2);
+        let net = cluster.network();
+        let sink = sim.add_process(Box::new(Sink {
+            net: net.clone(),
+            sender: None,
+            oneway_us: vec![],
+            last_delivery: SimTime::ZERO,
+            delivered: 0,
+        }));
+        let blaster = sim.add_process(Box::new(BurstBlaster {
+            net: net.clone(),
+            conn: ConnId(0),
+            bytes,
+            count,
+        }));
+        net.connect(
+            cluster.endpoint(NodeId(0), blaster),
+            cluster.endpoint(NodeId(1), sink),
+            kind,
+        );
+        sim.run();
+        let s: &Sink = sim.process(sink).unwrap();
+        assert_eq!(s.delivered, bytes * count as u64, "all bytes delivered");
+        8.0 * s.delivered as f64 / s.last_delivery.as_nanos() as f64 * 1_000.0
+    }
+
+    /// Submits everything up front; flow control paces the stream.
+    struct BurstBlaster {
+        net: Network,
+        conn: ConnId,
+        bytes: u64,
+        count: u32,
+    }
+    impl Process for BurstBlaster {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for _ in 0..self.count {
+                self.net.send(ctx, self.conn, self.bytes, Box::new(()));
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Message) {}
+    }
+
+    #[test]
+    fn streamed_bandwidth_approaches_paper_peaks() {
+        let via = streamed_bandwidth_mbps(TransportKind::Via, 65_536, 200);
+        let sv = streamed_bandwidth_mbps(TransportKind::SocketVia, 65_536, 200);
+        let tcp = streamed_bandwidth_mbps(TransportKind::KTcp, 65_536, 200);
+        assert!((via - 795.0).abs() < 40.0, "VIA {via}");
+        assert!((sv - 763.0).abs() < 40.0, "SocketVIA {sv}");
+        assert!((tcp - 510.0).abs() < 40.0, "TCP {tcp}");
+    }
+
+    #[test]
+    fn byte_conservation_under_flow_control() {
+        // Many small messages through a credit-limited path all arrive.
+        let bw = streamed_bandwidth_mbps(TransportKind::SocketVia, 512, 500);
+        assert!(bw > 0.0);
+    }
+}

@@ -1,0 +1,458 @@
+//! The network engine: a single simulation process that owns every
+//! connection's state and walks message frames through the stage pipeline
+//!
+//! ```text
+//! host_tx (sender CPU protocol engine)
+//!   -> nic_tx (sender NIC DMA + wire serialization)
+//!   -> switch + propagation (pure delay)
+//!   -> host_rx (receiver protocol engine)
+//!   -> delivery to the destination process
+//! ```
+//!
+//! Each stage is a FCFS resource per node, so concurrent connections through
+//! the same node contend for the host protocol engines and the NIC exactly
+//! once per frame. Flow control ([`crate::flow::Flow`]) gates frame
+//! emission; acknowledgments and credit returns travel back as delayed
+//! events with the transport's `ack_latency`.
+//!
+//! Application processes talk to the engine through [`Network`] (commands
+//! are zero-delay events) and receive [`Delivery`] messages when a whole
+//! application message has been reassembled at the receiver.
+
+use crate::flow::Flow;
+use crate::frame::{frame_count, frame_len};
+use crate::params::{PathCosts, TransportKind};
+use hpsock_sim::stats::{Tally, TimeWeighted};
+use hpsock_sim::{Ctx, Dur, Message, Process, ProcessId, ResourceId, Sim, SimTime};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// A node in the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// A connection between two endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub usize);
+
+/// One side of a connection: a process pinned to a node.
+#[derive(Debug, Clone, Copy)]
+pub struct Endpoint {
+    /// Node the endpoint lives on (determines which resources it uses).
+    pub node: NodeId,
+    /// Process that receives [`Delivery`] events for this endpoint.
+    pub pid: ProcessId,
+}
+
+/// Per-node resources the engine drives.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeResources {
+    /// Host protocol engine, transmit side (1 server).
+    pub host_tx: ResourceId,
+    /// NIC DMA + wire serialization (1 server).
+    pub nic_tx: ResourceId,
+    /// Host protocol engine, receive side (1 server).
+    pub host_rx: ResourceId,
+    /// Application CPU (typically 2 servers: dual-processor nodes).
+    pub cpu: ResourceId,
+}
+
+/// A fully reassembled application message handed to the destination
+/// process as its event payload.
+pub struct Delivery {
+    /// Connection it arrived on.
+    pub conn: ConnId,
+    /// Engine-assigned message id; pass back via [`Network::consumed`].
+    pub msg_id: u64,
+    /// Application payload size in simulated bytes.
+    pub bytes: u64,
+    /// Virtual time the sender issued the message.
+    pub sent_at: SimTime,
+    /// Opaque application payload.
+    pub payload: Message,
+}
+
+/// Commands applications send to the engine.
+pub enum NetCmd {
+    /// Transmit `payload` (`bytes` simulated bytes) on `conn`.
+    Send {
+        /// Connection to send on.
+        conn: ConnId,
+        /// Simulated payload size.
+        bytes: u64,
+        /// Opaque payload delivered to the peer.
+        payload: Message,
+    },
+    /// The application consumed a delivered message: frees receive-side
+    /// buffer space / returns descriptor credits.
+    Consumed {
+        /// Connection the message arrived on.
+        conn: ConnId,
+        /// The id from the corresponding [`Delivery`].
+        msg_id: u64,
+    },
+}
+
+/// Engine-internal frame/stage events.
+enum Ev {
+    HostTxDone { conn: ConnId, msg: u64, frame: u32 },
+    WireDone { conn: ConnId, msg: u64, frame: u32 },
+    RxArrive { conn: ConnId, msg: u64, frame: u32 },
+    HostRxFrameDone { conn: ConnId, msg: u64, frame: u32 },
+    MsgReady { conn: ConnId, msg: u64 },
+    /// Window ack (window model): frees in-flight bytes at the sender.
+    AckArrive { conn: ConnId, frame_bytes: u64 },
+    /// Descriptor credits re-posted at frame arrival reached the sender
+    /// (credits model).
+    CreditArrive { conn: ConnId, n: u32 },
+    /// Consumption notification reached the sender: frees receive-buffer
+    /// accounting (window model).
+    FlowReturn { conn: ConnId, bytes: u64 },
+}
+
+/// Counters and distributions per connection.
+#[derive(Debug, Clone, Default)]
+pub struct ConnStats {
+    /// Application messages submitted.
+    pub msgs_sent: u64,
+    /// Application bytes submitted.
+    pub bytes_sent: u64,
+    /// Application messages delivered.
+    pub msgs_delivered: u64,
+    /// Application bytes delivered.
+    pub bytes_delivered: u64,
+    /// Send→delivery latency in microseconds.
+    pub latency_us: Tally,
+    /// Sender queue depth (messages waiting for flow-control headroom).
+    pub queue_depth: TimeWeighted,
+}
+
+struct PendingMsg {
+    msg: u64,
+    bytes: u64,
+    next_frame: u32,
+    frames: u32,
+}
+
+struct MsgState {
+    bytes: u64,
+    frames: u32,
+    frames_arrived: u32,
+    sent_at: SimTime,
+    payload: Option<Message>,
+}
+
+struct ConnState {
+    src: Endpoint,
+    dst: Endpoint,
+    costs: Arc<PathCosts>,
+    flow: Flow,
+    sendq: VecDeque<PendingMsg>,
+    msgs: HashMap<u64, MsgState>,
+    /// Delivered, not yet consumed: msg_id -> (bytes, frames).
+    unconsumed: HashMap<u64, (u64, u32)>,
+    stats: ConnStats,
+}
+
+/// Connection specification recorded before the run starts.
+struct ConnSpec {
+    src: Endpoint,
+    dst: Endpoint,
+    costs: Arc<PathCosts>,
+}
+
+#[derive(Default)]
+struct Registry {
+    conns: Vec<ConnSpec>,
+    sealed: bool,
+}
+
+/// Cheap-to-clone application handle to the network engine.
+#[derive(Clone)]
+pub struct Network {
+    pid: ProcessId,
+    registry: Arc<Mutex<Registry>>,
+}
+
+impl Network {
+    /// Register a unidirectional connection. Must be called before the
+    /// simulation runs (connections are established up front, as in
+    /// DataCutter). Uses calibrated costs for `kind`.
+    pub fn connect(&self, src: Endpoint, dst: Endpoint, kind: TransportKind) -> ConnId {
+        self.connect_with(src, dst, Arc::new(PathCosts::for_kind(kind)))
+    }
+
+    /// Register a connection with explicit (e.g. ablated) path costs.
+    pub fn connect_with(&self, src: Endpoint, dst: Endpoint, costs: Arc<PathCosts>) -> ConnId {
+        let mut reg = self.registry.lock().expect("registry lock");
+        assert!(
+            !reg.sealed,
+            "connections must be registered before the simulation runs"
+        );
+        let id = ConnId(reg.conns.len());
+        reg.conns.push(ConnSpec { src, dst, costs });
+        id
+    }
+
+    /// Submit a message (called from an application process handler).
+    pub fn send(&self, ctx: &mut Ctx<'_>, conn: ConnId, bytes: u64, payload: Message) {
+        ctx.send(
+            self.pid,
+            Box::new(NetCmd::Send {
+                conn,
+                bytes,
+                payload,
+            }),
+        );
+    }
+
+    /// Report consumption of a delivered message (frees flow-control
+    /// resources at the sender after the transport's ack latency).
+    pub fn consumed(&self, ctx: &mut Ctx<'_>, conn: ConnId, msg_id: u64) {
+        ctx.send(self.pid, Box::new(NetCmd::Consumed { conn, msg_id }));
+    }
+
+    /// The engine's process id.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+}
+
+/// The engine process. Construct via [`NetEngine::install`].
+pub struct NetEngine {
+    nodes: Vec<NodeResources>,
+    conns: Vec<ConnState>,
+    registry: Arc<Mutex<Registry>>,
+    next_msg_id: u64,
+}
+
+impl NetEngine {
+    /// Create the engine process inside `sim` for a cluster with the given
+    /// per-node resources; returns the application handle.
+    pub fn install(sim: &mut Sim, nodes: Vec<NodeResources>) -> Network {
+        let registry = Arc::new(Mutex::new(Registry::default()));
+        let engine = NetEngine {
+            nodes,
+            conns: Vec::new(),
+            registry: Arc::clone(&registry),
+            next_msg_id: 0,
+        };
+        let pid = sim.add_process(Box::new(engine));
+        Network { pid, registry }
+    }
+
+    /// Statistics for a connection (valid after/during a run; read back via
+    /// [`Sim::process`]).
+    pub fn conn_stats(&self, conn: ConnId) -> &ConnStats {
+        &self.conns[conn.0].stats
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        loop {
+            let c = &mut self.conns[conn.0];
+            let Some(head) = c.sendq.front_mut() else {
+                c.stats.queue_depth.set(ctx.now(), 0.0);
+                return;
+            };
+            let flen = frame_len(head.bytes, c.costs.frame_payload, head.next_frame) as u64;
+            if !c.flow.can_send(flen) {
+                let depth = c.sendq.len() as f64;
+                c.stats.queue_depth.set(ctx.now(), depth);
+                return;
+            }
+            c.flow.on_frame_sent(flen);
+            let first = head.next_frame == 0;
+            let msg = head.msg;
+            let frame = head.next_frame;
+            head.next_frame += 1;
+            let finished = head.next_frame == head.frames;
+            let mut service = c.costs.per_frame_send
+                + Dur::nanos((flen as f64 * c.costs.per_byte_send_ns).round() as u64);
+            if first {
+                service += c.costs.per_msg_send;
+            }
+            let host_tx = self.nodes[c.src.node.0].host_tx;
+            if finished {
+                c.sendq.pop_front();
+            }
+            ctx.use_resource(host_tx, service, Box::new(Ev::HostTxDone { conn, msg, frame }));
+        }
+    }
+
+    fn on_cmd(&mut self, ctx: &mut Ctx<'_>, cmd: NetCmd) {
+        match cmd {
+            NetCmd::Send {
+                conn,
+                bytes,
+                payload,
+            } => {
+                let msg_id = self.next_msg_id;
+                self.next_msg_id += 1;
+                let c = &mut self.conns[conn.0];
+                let frames = frame_count(bytes, c.costs.frame_payload);
+                c.msgs.insert(
+                    msg_id,
+                    MsgState {
+                        bytes,
+                        frames,
+                        frames_arrived: 0,
+                        sent_at: ctx.now(),
+                        payload: Some(payload),
+                    },
+                );
+                c.sendq.push_back(PendingMsg {
+                    msg: msg_id,
+                    bytes,
+                    next_frame: 0,
+                    frames,
+                });
+                c.stats.msgs_sent += 1;
+                c.stats.bytes_sent += bytes;
+                c.stats.queue_depth.set(ctx.now(), c.sendq.len() as f64);
+                self.pump(ctx, conn);
+            }
+            NetCmd::Consumed { conn, msg_id } => {
+                let c = &mut self.conns[conn.0];
+                let (bytes, _frames) = c
+                    .unconsumed
+                    .remove(&msg_id)
+                    .expect("consumed an unknown or already-consumed message");
+                // Credits were re-posted at frame arrival; only the window
+                // model needs a receive-buffer update.
+                if !c.flow.is_credits() {
+                    let ack = c.costs.ack_latency;
+                    ctx.send_self_in(ack, Box::new(Ev::FlowReturn { conn, bytes }));
+                }
+            }
+        }
+    }
+
+    fn on_ev(&mut self, ctx: &mut Ctx<'_>, ev: Ev) {
+        match ev {
+            Ev::HostTxDone { conn, msg, frame } => {
+                let c = &self.conns[conn.0];
+                let st = &c.msgs[&msg];
+                let flen = frame_len(st.bytes, c.costs.frame_payload, frame) as u64;
+                let wire_bytes = flen + c.costs.frame_overhead as u64;
+                let service = c.costs.nic_per_frame
+                    + Dur::nanos((wire_bytes as f64 * c.costs.wire_ns_per_byte).round() as u64);
+                let nic = self.nodes[c.src.node.0].nic_tx;
+                ctx.use_resource(nic, service, Box::new(Ev::WireDone { conn, msg, frame }));
+            }
+            Ev::WireDone { conn, msg, frame } => {
+                let c = &self.conns[conn.0];
+                let delay = c.costs.switch_latency + c.costs.prop_delay;
+                ctx.send_self_in(delay, Box::new(Ev::RxArrive { conn, msg, frame }));
+            }
+            Ev::RxArrive { conn, msg, frame } => {
+                let c = &self.conns[conn.0];
+                let st = &c.msgs[&msg];
+                let flen = frame_len(st.bytes, c.costs.frame_payload, frame) as u64;
+                let service = c.costs.per_frame_recv
+                    + Dur::nanos((flen as f64 * c.costs.per_byte_recv_ns).round() as u64);
+                let host_rx = self.nodes[c.dst.node.0].host_rx;
+                ctx.use_resource(
+                    host_rx,
+                    service,
+                    Box::new(Ev::HostRxFrameDone { conn, msg, frame }),
+                );
+            }
+            Ev::HostRxFrameDone { conn, msg, frame } => {
+                let c = &mut self.conns[conn.0];
+                let st = c.msgs.get_mut(&msg).expect("frame for unknown message");
+                let flen = frame_len(st.bytes, c.costs.frame_payload, frame) as u64;
+                st.frames_arrived += 1;
+                let last = st.frames_arrived == st.frames;
+                let ack = c.costs.ack_latency;
+                if c.flow.is_credits() {
+                    // The sockets layer drains the eager buffer and
+                    // re-posts the descriptor; the credit update reaches
+                    // the sender after the return-path latency.
+                    let n = c.flow.on_frame_arrived(flen);
+                    if n > 0 {
+                        ctx.send_self_in(ack, Box::new(Ev::CreditArrive { conn, n }));
+                    }
+                } else {
+                    ctx.send_self_in(
+                        ack,
+                        Box::new(Ev::AckArrive {
+                            conn,
+                            frame_bytes: flen,
+                        }),
+                    );
+                }
+                if last {
+                    let service = c.costs.per_msg_recv;
+                    let host_rx = self.nodes[c.dst.node.0].host_rx;
+                    ctx.use_resource(host_rx, service, Box::new(Ev::MsgReady { conn, msg }));
+                }
+            }
+            Ev::MsgReady { conn, msg } => {
+                let c = &mut self.conns[conn.0];
+                let mut st = c.msgs.remove(&msg).expect("ready for unknown message");
+                let payload = st.payload.take().expect("payload present until delivery");
+                c.unconsumed.insert(msg, (st.bytes, st.frames));
+                c.stats.msgs_delivered += 1;
+                c.stats.bytes_delivered += st.bytes;
+                c.stats
+                    .latency_us
+                    .add(ctx.now().since(st.sent_at).as_micros_f64());
+                let delivery = Delivery {
+                    conn,
+                    msg_id: msg,
+                    bytes: st.bytes,
+                    sent_at: st.sent_at,
+                    payload,
+                };
+                ctx.send(c.dst.pid, Box::new(delivery));
+            }
+            Ev::AckArrive { conn, frame_bytes } => {
+                self.conns[conn.0].flow.on_frame_arrived(frame_bytes);
+                self.pump(ctx, conn);
+            }
+            Ev::CreditArrive { conn, n } => {
+                self.conns[conn.0].flow.on_credits_returned(n);
+                self.pump(ctx, conn);
+            }
+            Ev::FlowReturn { conn, bytes } => {
+                self.conns[conn.0].flow.on_consumed(bytes);
+                self.pump(ctx, conn);
+            }
+        }
+    }
+}
+
+impl Process for NetEngine {
+    fn name(&self) -> String {
+        "net-engine".to_string()
+    }
+
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {
+        let mut reg = self.registry.lock().expect("registry lock");
+        reg.sealed = true;
+        self.conns = reg
+            .conns
+            .iter()
+            .map(|spec| ConnState {
+                src: spec.src,
+                dst: spec.dst,
+                costs: Arc::clone(&spec.costs),
+                flow: Flow::new(spec.costs.flow, spec.costs.frame_payload),
+                sendq: VecDeque::new(),
+                msgs: HashMap::new(),
+                unconsumed: HashMap::new(),
+                stats: ConnStats::default(),
+            })
+            .collect();
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        match msg.downcast::<NetCmd>() {
+            Ok(cmd) => self.on_cmd(ctx, *cmd),
+            Err(other) => match other.downcast::<Ev>() {
+                Ok(ev) => self.on_ev(ctx, *ev),
+                Err(_) => panic!("net engine received an unknown message type"),
+            },
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Flow-control state machines.
+//!
+//! Two regimes, matching the two stacks in the paper:
+//!
+//! * [`Flow::Credits`] — VIA-style receiver-posted descriptors. One credit
+//!   per wire frame. Because the receiving application (a DataCutter
+//!   filter) always has a receive posted, the sockets layer copies each
+//!   segment out of its eager buffer on arrival and *re-posts the
+//!   descriptor immediately*: credits return per frame, after the
+//!   credit-update message's latency. Application-level backpressure comes
+//!   from the demand-driven scheduling window above, as in the paper.
+//! * [`Flow::Window`] — kernel TCP. In-flight bytes are capped by the send
+//!   buffer; a frame's arrival acknowledgment (reaching the sender after
+//!   the ack latency) frees its bytes. The kernel receive buffer is
+//!   drained continuously because the receiving filter always has a read
+//!   posted, so receive-side occupancy is not modeled; application-level
+//!   backpressure is the demand-driven window above, as in DataCutter.
+//!
+//! The state machines are pure (no simulator coupling) and are driven by
+//! the network engine.
+
+use crate::params::FlowModel;
+use crate::via::CreditRing;
+
+/// Per-connection flow-control state.
+#[derive(Debug, Clone)]
+pub enum Flow {
+    /// Receiver-posted descriptor credits, backed by the VIA descriptor
+    /// ring model ([`crate::via::CreditRing`]).
+    Credits {
+        /// The sender's view of the peer's posted descriptors (lags the
+        /// ring by the credit-update latency).
+        sender_credits: u32,
+        /// The receive-side descriptor ring.
+        ring: CreditRing,
+    },
+    /// Sliding byte window.
+    Window {
+        /// Bytes sent but not yet acknowledged by the receiver kernel.
+        inflight: u64,
+        /// Send-buffer size (caps `inflight`).
+        send_buf: u64,
+    },
+}
+
+impl Flow {
+    /// Fresh state for a connection using `model`; `frame_capacity` sizes
+    /// the registered eager buffers behind each receive descriptor.
+    pub fn new(model: FlowModel, frame_capacity: u32) -> Flow {
+        match model {
+            FlowModel::Credits { count } => Flow::Credits {
+                sender_credits: count,
+                ring: CreditRing::new(count, frame_capacity),
+            },
+            FlowModel::Window { send_buf, .. } => Flow::Window {
+                inflight: 0,
+                send_buf,
+            },
+        }
+    }
+
+    /// May the sender emit the next frame of `frame_bytes` payload?
+    pub fn can_send(&self, frame_bytes: u64) -> bool {
+        match self {
+            Flow::Credits { sender_credits, .. } => *sender_credits > 0,
+            Flow::Window {
+                inflight, send_buf, ..
+            } => inflight + frame_bytes <= *send_buf,
+        }
+    }
+
+    /// Account for a frame entering the network.
+    pub fn on_frame_sent(&mut self, frame_bytes: u64) {
+        match self {
+            Flow::Credits { sender_credits, .. } => {
+                assert!(*sender_credits > 0, "sent a frame without a credit");
+                *sender_credits -= 1;
+            }
+            Flow::Window { inflight, .. } => {
+                *inflight += frame_bytes;
+            }
+        }
+    }
+
+    /// The receiver accepted a frame. Credits model: the sockets layer
+    /// copies the segment out and re-posts the descriptor — returns the
+    /// number of credits to ship back to the sender. Window model: the
+    /// kernel's ack frees the frame's in-flight bytes (call at
+    /// sender-learns-of-ack time).
+    pub fn on_frame_arrived(&mut self, frame_bytes: u64) -> u32 {
+        match self {
+            Flow::Credits { ring, .. } => {
+                // The frame lands in the oldest posted eager buffer; the
+                // sockets layer (whose receive is always posted) reaps the
+                // completion, copies the segment out, and re-posts.
+                ring.on_frame(frame_bytes as u32);
+                let c = ring
+                    .reap_and_repost()
+                    .expect("completion just enqueued");
+                debug_assert_eq!(c.len as u64, frame_bytes);
+                1
+            }
+            Flow::Window { inflight, .. } => {
+                assert!(*inflight >= frame_bytes, "acked more than in flight");
+                *inflight -= frame_bytes;
+                0
+            }
+        }
+    }
+
+    /// Credits shipped by the receiver reached the sender.
+    pub fn on_credits_returned(&mut self, n: u32) {
+        match self {
+            Flow::Credits { sender_credits, ring } => {
+                *sender_credits += n;
+                assert!(
+                    *sender_credits <= ring.pool(),
+                    "credits over-returned: {sender_credits} > {}",
+                    ring.pool()
+                );
+            }
+            Flow::Window { .. } => panic!("credit return on a window connection"),
+        }
+    }
+
+    /// The receiving application consumed a delivered message. Bookkeeping
+    /// only: descriptors re-posted (credits) and the kernel buffer drained
+    /// (window) at arrival already.
+    pub fn on_consumed(&mut self, _bytes: u64) {}
+
+    /// True for the credits regime.
+    pub fn is_credits(&self) -> bool {
+        matches!(self, Flow::Credits { .. })
+    }
+
+    /// Credits currently available (credits model) or free in-flight bytes
+    /// (window model); for observability.
+    pub fn headroom(&self) -> u64 {
+        match self {
+            Flow::Credits { sender_credits, .. } => *sender_credits as u64,
+            Flow::Window {
+                inflight, send_buf, ..
+            } => send_buf.saturating_sub(*inflight),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn credits_lifecycle() {
+        let mut f = Flow::new(FlowModel::Credits { count: 2 }, 65_536);
+        assert!(f.is_credits());
+        assert!(f.can_send(1_000));
+        f.on_frame_sent(1_000);
+        f.on_frame_sent(64_000);
+        assert!(!f.can_send(1));
+        assert_eq!(f.on_frame_arrived(1_000), 1);
+        assert_eq!(f.on_frame_arrived(64_000), 1);
+        f.on_credits_returned(2);
+        assert!(f.can_send(1));
+        assert_eq!(f.headroom(), 2);
+        f.on_consumed(65_000); // no-op
+        assert_eq!(f.headroom(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn credits_cannot_go_negative() {
+        let mut f = Flow::new(FlowModel::Credits { count: 1 }, 65_536);
+        f.on_frame_sent(10);
+        f.on_frame_sent(10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn credits_cannot_over_return() {
+        let mut f = Flow::new(FlowModel::Credits { count: 1 }, 65_536);
+        f.on_credits_returned(1);
+    }
+
+    #[test]
+    fn window_send_cap() {
+        let mut f = Flow::new(
+            FlowModel::Window {
+                send_buf: 3_000,
+                recv_buf: 3_000,
+            },
+            1_460,
+        );
+        assert!(!f.is_credits());
+        assert!(f.can_send(1_460));
+        f.on_frame_sent(1_460);
+        f.on_frame_sent(1_460);
+        assert!(!f.can_send(1_460), "send buffer full");
+        assert_eq!(f.on_frame_arrived(1_460), 0);
+        assert!(f.can_send(1_460), "ack frees send window");
+    }
+
+    #[test]
+    fn window_large_message_streams_without_deadlock() {
+        // A message far larger than the window streams fine because acks
+        // free in-flight bytes frame by frame.
+        let mut f = Flow::new(
+            FlowModel::Window {
+                send_buf: 65_536,
+                recv_buf: 65_536,
+            },
+            1_460,
+        );
+        let (mut sent, mut arrived) = (0u32, 0u32);
+        while sent < 1_000 {
+            if f.can_send(1_460) {
+                f.on_frame_sent(1_460);
+                sent += 1;
+            } else {
+                assert!(arrived < sent, "progress possible");
+                f.on_frame_arrived(1_460);
+                arrived += 1;
+            }
+        }
+        assert_eq!(sent, 1_000);
+    }
+
+    #[test]
+    fn large_message_does_not_deadlock_credits() {
+        // A message of many more frames than credits streams fine because
+        // descriptors re-post per frame: simulate 256 frames with 32
+        // credits and an in-order credit return.
+        let mut f = Flow::new(FlowModel::Credits { count: 32 }, 65_536);
+        let mut sent = 0u32;
+        let mut arrived = 0u32;
+        while sent < 256 {
+            if f.can_send(65_536) {
+                f.on_frame_sent(65_536);
+                sent += 1;
+            } else {
+                assert!(arrived < sent, "progress possible");
+                let n = f.on_frame_arrived(65_536);
+                f.on_credits_returned(n);
+                arrived += 1;
+            }
+        }
+        assert_eq!(sent, 256);
+    }
+
+    proptest! {
+        /// Credits never exceed the pool and never go negative under any
+        /// valid interleaving of sends and arrivals.
+        #[test]
+        fn credits_invariant(ops in proptest::collection::vec(0u8..2, 1..200)) {
+            let total = 8u32;
+            let mut f = Flow::new(FlowModel::Credits { count: total }, 4_096);
+            let mut outstanding = 0u32;
+            for op in ops {
+                match op {
+                    0 => {
+                        if f.can_send(100) {
+                            f.on_frame_sent(100);
+                            outstanding += 1;
+                        }
+                    }
+                    _ => {
+                        if outstanding > 0 {
+                            let n = f.on_frame_arrived(100);
+                            f.on_credits_returned(n);
+                            outstanding -= 1;
+                        }
+                    }
+                }
+                prop_assert!(f.headroom() <= total as u64);
+                prop_assert_eq!(f.headroom() + outstanding as u64, total as u64);
+            }
+        }
+
+        /// In-flight bytes never exceed the send buffer, and headroom plus
+        /// in-flight always equals the configured window.
+        #[test]
+        fn window_invariant(ops in proptest::collection::vec(0u8..2, 1..300)) {
+            let sb = 4_000u64;
+            let mut f = Flow::new(FlowModel::Window { send_buf: sb, recv_buf: sb }, 1_000);
+            let mut inflight: Vec<u64> = vec![];
+            for op in ops {
+                match op {
+                    0 => {
+                        if f.can_send(1_000) {
+                            f.on_frame_sent(1_000);
+                            inflight.push(1_000);
+                        }
+                    }
+                    _ => {
+                        if let Some(b) = inflight.pop() {
+                            f.on_frame_arrived(b);
+                        }
+                    }
+                }
+                let infl: u64 = inflight.iter().sum();
+                prop_assert!(infl <= sb);
+                prop_assert_eq!(f.headroom() + infl, sb);
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Segmentation math: splitting application messages into wire frames
+//! (VIA transfers or TCP segments) and reassembling them.
+
+/// Number of frames needed for an `n`-byte message with `mtu`-byte payloads.
+/// A zero-byte message still occupies one (header-only) frame.
+#[inline]
+pub fn frame_count(n: u64, mtu: u32) -> u32 {
+    assert!(mtu > 0, "frame payload must be positive");
+    if n == 0 {
+        1
+    } else {
+        n.div_ceil(mtu as u64).min(u32::MAX as u64) as u32
+    }
+}
+
+/// Payload length of frame `idx` (0-based) of an `n`-byte message.
+#[inline]
+pub fn frame_len(n: u64, mtu: u32, idx: u32) -> u32 {
+    let frames = frame_count(n, mtu);
+    debug_assert!(idx < frames);
+    if idx + 1 < frames {
+        mtu
+    } else {
+        (n - (frames as u64 - 1) * mtu as u64) as u32
+    }
+}
+
+/// Iterator over the payload lengths of all frames of an `n`-byte message.
+pub fn frame_lens(n: u64, mtu: u32) -> impl Iterator<Item = u32> {
+    let frames = frame_count(n, mtu);
+    (0..frames).map(move |i| frame_len(n, mtu, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counts() {
+        assert_eq!(frame_count(0, 1460), 1);
+        assert_eq!(frame_count(1, 1460), 1);
+        assert_eq!(frame_count(1460, 1460), 1);
+        assert_eq!(frame_count(1461, 1460), 2);
+        assert_eq!(frame_count(2920, 1460), 2);
+        assert_eq!(frame_count(65_536, 65_536), 1);
+    }
+
+    #[test]
+    fn lens() {
+        assert_eq!(frame_len(0, 1460, 0), 0);
+        assert_eq!(frame_len(3000, 1460, 0), 1460);
+        assert_eq!(frame_len(3000, 1460, 1), 1460);
+        assert_eq!(frame_len(3000, 1460, 2), 80);
+        let all: Vec<u32> = frame_lens(3000, 1460).collect();
+        assert_eq!(all, vec![1460, 1460, 80]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_mtu_rejected() {
+        frame_count(10, 0);
+    }
+
+    proptest! {
+        /// Reassembly identity: the frame payloads sum to the message size.
+        #[test]
+        fn frames_cover_message(n in 0u64..10_000_000, mtu in 1u32..100_000) {
+            let total: u64 = frame_lens(n, mtu).map(u64::from).sum();
+            prop_assert_eq!(total, n);
+        }
+
+        /// All frames except the last are full; the last is non-empty for
+        /// non-empty messages.
+        #[test]
+        fn frame_shapes(n in 1u64..10_000_000, mtu in 1u32..100_000) {
+            let lens: Vec<u32> = frame_lens(n, mtu).collect();
+            for &l in &lens[..lens.len() - 1] {
+                prop_assert_eq!(l, mtu);
+            }
+            let last = *lens.last().unwrap();
+            prop_assert!(last >= 1 && last <= mtu);
+        }
+    }
+}

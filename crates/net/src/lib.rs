@@ -1,0 +1,34 @@
+//! # hpsock-net — simulated cluster substrate
+//!
+//! Models the paper's testbed: a 16-node PC cluster on a GigaNet cLAN
+//! switch, with three protocol stacks (raw VIA, SocketVIA, kernel TCP over
+//! LANE) whose cost parameters are calibrated to the paper's Figure 4
+//! micro-benchmarks. See `DESIGN.md` §2 for the substitution argument and
+//! [`params`] for the calibration derivation.
+//!
+//! Layering:
+//!
+//! * [`params`] — per-transport cost models ([`params::PathCosts`]) and
+//!   closed-form latency/bandwidth curves used by planners and tests.
+//! * [`frame`] — segmentation of application messages into wire frames.
+//! * [`flow`] — flow-control state machines (VIA descriptor credits,
+//!   TCP byte windows).
+//! * [`engine`] — the discrete-event network engine walking frames through
+//!   `host_tx → nic/wire → switch → host_rx` FCFS stages.
+//! * [`cluster`] — node resource construction and engine installation.
+
+pub mod cluster;
+pub mod engine;
+pub mod flow;
+pub mod frame;
+pub mod params;
+pub mod via;
+
+pub use cluster::{Cluster, NodeSpec};
+pub use engine::{ConnId, Delivery, Endpoint, NetCmd, NetEngine, Network, NodeId, NodeResources};
+pub use flow::Flow;
+pub use params::{FlowModel, PathCosts, TransportKind};
+pub use via::{Completion, CreditRing, RecvDescriptor};
+
+#[cfg(test)]
+mod proptests;

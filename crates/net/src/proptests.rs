@@ -1,0 +1,167 @@
+//! Property tests over the network engine: conservation, per-connection
+//! FIFO delivery, and latency sanity for arbitrary message batches.
+
+#![cfg(test)]
+
+use crate::cluster::Cluster;
+use crate::engine::{ConnId, Delivery, NodeId};
+use crate::params::TransportKind;
+use hpsock_sim::{Ctx, Message, Process, Sim};
+use proptest::prelude::*;
+
+/// Sends a fixed batch of (size, tag) messages on one connection.
+struct BatchSender {
+    net: crate::engine::Network,
+    conn: ConnId,
+    batch: Vec<(u64, u64)>,
+}
+impl Process for BatchSender {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for &(bytes, tag) in &self.batch {
+            self.net.send(ctx, self.conn, bytes, Box::new(tag));
+        }
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Message) {}
+}
+
+/// Records (tag, bytes, latency) per delivery, consuming immediately.
+struct BatchSink {
+    net: crate::engine::Network,
+    got: Vec<(u64, u64)>,
+    latencies_ns: Vec<u64>,
+}
+impl Process for BatchSink {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let d = msg.downcast::<Delivery>().expect("delivery");
+        self.net.consumed(ctx, d.conn, d.msg_id);
+        let tag = *d.payload.downcast::<u64>().expect("tag");
+        self.got.push((tag, d.bytes));
+        self.latencies_ns
+            .push(ctx.now().since(d.sent_at).as_nanos());
+    }
+}
+
+fn run_batch(kind: TransportKind, batch: Vec<(u64, u64)>) -> (Vec<(u64, u64)>, Vec<u64>) {
+    let mut sim = Sim::new(99);
+    let cluster = Cluster::build(&mut sim, 2);
+    let net = cluster.network();
+    let sender = sim.add_process(Box::new(BatchSender {
+        net: net.clone(),
+        conn: ConnId(0),
+        batch: batch.clone(),
+    }));
+    let sink = sim.add_process(Box::new(BatchSink {
+        net: net.clone(),
+        got: vec![],
+        latencies_ns: vec![],
+    }));
+    net.connect(
+        cluster.endpoint(NodeId(0), sender),
+        cluster.endpoint(NodeId(1), sink),
+        kind,
+    );
+    sim.run();
+    let s: &BatchSink = sim.process(sink).unwrap();
+    (s.got.clone(), s.latencies_ns.clone())
+}
+
+fn batch_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((1u64..300_000, any::<u64>()), 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every message arrives exactly once, in order, with its exact byte
+    /// count, on both flow-control regimes.
+    #[test]
+    fn delivery_is_exactly_once_and_fifo(batch in batch_strategy()) {
+        for kind in [TransportKind::SocketVia, TransportKind::KTcp] {
+            let (got, _) = run_batch(kind, batch.clone());
+            let expect: Vec<(u64, u64)> =
+                batch.iter().map(|&(b, t)| (t, b)).collect();
+            prop_assert_eq!(&got, &expect, "{:?}", kind);
+        }
+    }
+
+    /// One-way latency of every message is at least the unloaded
+    /// closed-form latency for its size (queueing can only add).
+    #[test]
+    fn latency_lower_bound(batch in batch_strategy()) {
+        let kind = TransportKind::SocketVia;
+        let costs = crate::params::PathCosts::for_kind(kind);
+        let (got, lats) = run_batch(kind, batch);
+        for ((_tag, bytes), lat_ns) in got.iter().zip(&lats) {
+            let floor = costs.oneway_latency(*bytes).as_nanos();
+            prop_assert!(
+                *lat_ns + 2 >= floor,
+                "{} B took {} < floor {}", bytes, lat_ns, floor
+            );
+        }
+    }
+
+    /// The engine is deterministic for any batch: same batch, same trace.
+    #[test]
+    fn engine_deterministic(batch in batch_strategy()) {
+        let (a, la) = run_batch(TransportKind::KTcp, batch.clone());
+        let (b, lb) = run_batch(TransportKind::KTcp, batch);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(la, lb);
+    }
+}
+
+#[test]
+fn zero_byte_message_is_delivered() {
+    let (got, lats) = run_batch(TransportKind::SocketVia, vec![(0, 7)]);
+    assert_eq!(got, vec![(7, 0)]);
+    assert!(lats[0] > 0);
+}
+
+#[test]
+fn interleaved_connections_do_not_cross_deliver() {
+    // Two senders on two connections to one sink: tags must partition.
+    let mut sim = Sim::new(5);
+    let cluster = Cluster::build(&mut sim, 3);
+    let net = cluster.network();
+    let s1 = sim.add_process(Box::new(BatchSender {
+        net: net.clone(),
+        conn: ConnId(0),
+        batch: (0..20).map(|i| (1_000, i)).collect(),
+    }));
+    let s2 = sim.add_process(Box::new(BatchSender {
+        net: net.clone(),
+        conn: ConnId(1),
+        batch: (100..120).map(|i| (2_000, i)).collect(),
+    }));
+    let sink = sim.add_process(Box::new(BatchSink {
+        net: net.clone(),
+        got: vec![],
+        latencies_ns: vec![],
+    }));
+    net.connect(
+        cluster.endpoint(NodeId(0), s1),
+        cluster.endpoint(NodeId(2), sink),
+        TransportKind::SocketVia,
+    );
+    net.connect(
+        cluster.endpoint(NodeId(1), s2),
+        cluster.endpoint(NodeId(2), sink),
+        TransportKind::KTcp,
+    );
+    sim.run();
+    let s: &BatchSink = sim.process(sink).unwrap();
+    let low: Vec<u64> = s
+        .got
+        .iter()
+        .filter(|(t, _)| *t < 100)
+        .map(|(t, _)| *t)
+        .collect();
+    let high: Vec<u64> = s
+        .got
+        .iter()
+        .filter(|(t, _)| *t >= 100)
+        .map(|(t, _)| *t)
+        .collect();
+    assert_eq!(low, (0..20).collect::<Vec<_>>(), "conn 0 FIFO");
+    assert_eq!(high, (100..120).collect::<Vec<_>>(), "conn 1 FIFO");
+}

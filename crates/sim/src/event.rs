@@ -1,0 +1,164 @@
+//! The pending-event set: a total-ordered priority queue.
+//!
+//! Events are ordered by `(time, seq)` where `seq` is a monotonically
+//! increasing sequence number assigned at insertion. Ties in virtual time are
+//! therefore broken by insertion order, which makes the whole simulation a
+//! deterministic function of the initial seed and process construction order.
+
+use crate::kernel::{Message, ProcessId};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled delivery of a [`Message`] to a process at a virtual instant.
+pub struct Event {
+    /// Delivery time.
+    pub time: SimTime,
+    /// Insertion sequence number; the deterministic tie-breaker.
+    pub seq: u64,
+    /// Destination process.
+    pub target: ProcessId,
+    /// Opaque payload, downcast by the receiving process.
+    pub msg: Message,
+}
+
+impl Event {
+    /// The `(time, seq)` ordering key.
+    #[inline]
+    pub fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
+// BinaryHeap is a max-heap; invert the comparison so `pop` yields the
+// earliest event.
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key().cmp(&self.key())
+    }
+}
+
+/// Priority queue of pending events, earliest first, FIFO among equal times.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a delivery of `msg` to `target` at `time`.
+    pub fn push(&mut self, time: SimTime, target: ProcessId, msg: Message) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event {
+            time,
+            seq,
+            target,
+            msg,
+        });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever inserted (the next sequence number).
+    pub fn inserted(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), ProcessId(0), Box::new(3u32));
+        q.push(t(10), ProcessId(0), Box::new(1u32));
+        q.push(t(20), ProcessId(0), Box::new(2u32));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| *e.msg.downcast::<u32>().unwrap())
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(t(5), ProcessId(0), Box::new(i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| *e.msg.downcast::<u32>().unwrap())
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(t(42), ProcessId(1), Box::new(()));
+        assert_eq!(q.peek_time(), Some(t(42)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.inserted(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.inserted(), 1);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(t(10), ProcessId(0), Box::new(1u32));
+        q.push(t(30), ProcessId(0), Box::new(4u32));
+        let e = q.pop().unwrap();
+        assert_eq!(*e.msg.downcast::<u32>().unwrap(), 1);
+        q.push(t(20), ProcessId(0), Box::new(2u32));
+        q.push(t(20), ProcessId(0), Box::new(3u32));
+        let got: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| *e.msg.downcast::<u32>().unwrap())
+            .collect();
+        assert_eq!(got, vec![2, 3, 4]);
+    }
+}

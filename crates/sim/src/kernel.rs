@@ -1,0 +1,539 @@
+//! The simulation kernel: process table, event dispatch loop, resources and
+//! deterministic RNG streams.
+//!
+//! A [`Sim`] owns a set of [`Process`] actors. Each event delivers an opaque
+//! [`Message`] to one process, which handles it via [`Process::on_message`]
+//! with a [`Ctx`] granting access to the clock, the event queue, resources,
+//! its private RNG stream, and process spawning. Dispatch is strictly
+//! sequential in `(time, seq)` order, so runs are reproducible.
+
+use crate::event::EventQueue;
+use crate::resource::{Resource, ResourceId};
+use crate::time::{Dur, SimTime};
+use crate::trace::TraceDigest;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::any::Any;
+
+/// Opaque message payload; receiving processes downcast to concrete types.
+pub type Message = Box<dyn Any + Send>;
+
+/// Handle to a process registered with a [`Sim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(pub usize);
+
+/// An actor in the simulation.
+///
+/// Implementations react to messages; they never block. Time passes only via
+/// scheduled future messages ([`Ctx::send_in`]) or resource usage
+/// ([`Ctx::use_resource`]).
+pub trait Process: Any + Send {
+    /// Human-readable name used in panics and traces.
+    fn name(&self) -> String {
+        "process".to_string()
+    }
+
+    /// Called once, before any message is delivered: when [`Sim::run`] first
+    /// starts for initially-added processes, or at spawn time for processes
+    /// created during the run.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// Handle one message delivered at the current virtual time.
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message);
+}
+
+/// Shared kernel state reachable from handlers (everything except the
+/// process table, whose current entry is checked out during dispatch).
+struct Core {
+    now: SimTime,
+    queue: EventQueue,
+    resources: Vec<Resource>,
+    rngs: Vec<SmallRng>,
+    trace: TraceDigest,
+    master_seed: u64,
+    /// Processes created from handlers; folded into the table after dispatch.
+    pending_spawns: Vec<Box<dyn Process>>,
+    /// Next pid, counting both live and pending processes.
+    next_pid: usize,
+    stop_requested: bool,
+    events_dispatched: u64,
+}
+
+impl Core {
+    fn rng_for(master_seed: u64, pid: usize) -> SmallRng {
+        // SplitMix64-style mixing so neighbouring pids get unrelated streams.
+        let mut z = master_seed ^ (pid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SmallRng::seed_from_u64(z ^ (z >> 31))
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Sim {
+    core: Core,
+    procs: Vec<Option<Box<dyn Process>>>,
+    /// Number of processes whose `on_start` has already run.
+    started: usize,
+    /// Safety valve against runaway simulations.
+    max_events: u64,
+}
+
+impl Sim {
+    /// Create a simulator whose RNG streams derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            core: Core {
+                now: SimTime::ZERO,
+                queue: EventQueue::new(),
+                resources: Vec::new(),
+                rngs: Vec::new(),
+                trace: TraceDigest::new(),
+                master_seed: seed,
+                pending_spawns: Vec::new(),
+                next_pid: 0,
+                stop_requested: false,
+                events_dispatched: 0,
+            },
+            procs: Vec::new(),
+            started: 0,
+            max_events: u64::MAX,
+        }
+    }
+
+    /// Cap the number of dispatched events; the run stops (without panicking)
+    /// when the cap is hit. Useful in tests against runaway loops.
+    pub fn set_max_events(&mut self, cap: u64) {
+        self.max_events = cap;
+    }
+
+    /// Register a process; returns its id. `on_start` runs when the
+    /// simulation first runs.
+    pub fn add_process(&mut self, p: Box<dyn Process>) -> ProcessId {
+        let pid = ProcessId(self.core.next_pid);
+        self.core.next_pid += 1;
+        self.core
+            .rngs
+            .push(Core::rng_for(self.core.master_seed, pid.0));
+        self.procs.push(Some(p));
+        pid
+    }
+
+    /// Register a FCFS station with `servers` identical servers.
+    pub fn add_resource(&mut self, name: impl Into<String>, servers: usize) -> ResourceId {
+        let rid = ResourceId(self.core.resources.len());
+        self.core.resources.push(Resource::new(name, servers));
+        rid
+    }
+
+    /// Inject a message from outside the simulation at absolute time `at`.
+    pub fn schedule_at(&mut self, at: SimTime, target: ProcessId, msg: Message) {
+        self.core.queue.push(at, target, msg);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Read-only access to a resource's statistics.
+    pub fn resource(&self, rid: ResourceId) -> &Resource {
+        &self.core.resources[rid.0]
+    }
+
+    /// Number of events dispatched so far.
+    pub fn events_dispatched(&self) -> u64 {
+        self.core.events_dispatched
+    }
+
+    /// Digest of the event trace so far (see [`TraceDigest`]).
+    pub fn trace_digest(&self) -> u64 {
+        self.core.trace.value()
+    }
+
+    /// Run until the event queue drains (or `stop`/event cap). Returns the
+    /// final virtual time.
+    pub fn run(&mut self) -> SimTime {
+        self.run_inner(None)
+    }
+
+    /// Run until the event queue drains or virtual time would exceed
+    /// `limit`; events after `limit` stay queued. Returns the final time
+    /// (≤ `limit`).
+    pub fn run_until(&mut self, limit: SimTime) -> SimTime {
+        self.run_inner(Some(limit))
+    }
+
+    fn run_inner(&mut self, limit: Option<SimTime>) -> SimTime {
+        self.start_new_processes();
+        while let Some(t) = self.core.queue.peek_time() {
+            if self.core.stop_requested {
+                break;
+            }
+            if let Some(l) = limit {
+                if t > l {
+                    self.core.now = l;
+                    return self.core.now;
+                }
+            }
+            if self.core.events_dispatched >= self.max_events {
+                break;
+            }
+            let ev = self.core.queue.pop().expect("peeked event exists");
+            debug_assert!(ev.time >= self.core.now, "time must not run backwards");
+            self.core.now = ev.time;
+            self.core.events_dispatched += 1;
+            self.core.trace.record(ev.time, ev.target);
+            self.dispatch(ev.target, ev.msg);
+            self.start_new_processes();
+        }
+        self.core.now
+    }
+
+    fn dispatch(&mut self, target: ProcessId, msg: Message) {
+        let slot = self
+            .procs
+            .get_mut(target.0)
+            .unwrap_or_else(|| panic!("message to unknown process {:?}", target));
+        let mut proc = slot.take().expect("process checked out during dispatch");
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            pid: target,
+        };
+        proc.on_message(&mut ctx, msg);
+        self.procs[target.0] = Some(proc);
+    }
+
+    /// Fold pending spawns into the table and run `on_start` for every
+    /// process that has not started yet (in pid order).
+    fn start_new_processes(&mut self) {
+        loop {
+            let spawns: Vec<Box<dyn Process>> = std::mem::take(&mut self.core.pending_spawns);
+            for p in spawns {
+                self.core
+                    .rngs
+                    .push(Core::rng_for(self.core.master_seed, self.procs.len()));
+                self.procs.push(Some(p));
+            }
+            if self.started == self.procs.len() {
+                break;
+            }
+            let pid = ProcessId(self.started);
+            self.started += 1;
+            let mut proc = self.procs[pid.0].take().expect("unstarted process exists");
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                pid,
+            };
+            proc.on_start(&mut ctx);
+            self.procs[pid.0] = Some(proc);
+            // Loop again: on_start may itself have spawned processes.
+        }
+    }
+
+    /// Borrow a process back out of the simulator, e.g. to read collected
+    /// statistics after the run. Returns `None` if the process has a
+    /// different concrete type. Panics if `pid` is unknown.
+    pub fn process<T: Process>(&self, pid: ProcessId) -> Option<&T> {
+        self.procs[pid.0]
+            .as_deref()
+            .and_then(|p| (p as &dyn Any).downcast_ref::<T>())
+    }
+}
+
+/// Handler-side view of the kernel: clock, event queue, resources, RNG.
+pub struct Ctx<'a> {
+    core: &'a mut Core,
+    pid: ProcessId,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The id of the process handling the current event.
+    #[inline]
+    pub fn self_id(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Deliver `msg` to `target` at the current instant (after all events
+    /// already queued for this instant).
+    pub fn send(&mut self, target: ProcessId, msg: Message) {
+        self.core.queue.push(self.core.now, target, msg);
+    }
+
+    /// Deliver `msg` to `target` after `delay`.
+    pub fn send_in(&mut self, delay: Dur, target: ProcessId, msg: Message) {
+        self.core.queue.push(self.core.now + delay, target, msg);
+    }
+
+    /// Deliver `msg` back to this process after `delay`.
+    pub fn send_self_in(&mut self, delay: Dur, msg: Message) {
+        let pid = self.pid;
+        self.send_in(delay, pid, msg);
+    }
+
+    /// Submit a job of `service` demand to resource `rid`, arriving now;
+    /// `msg` is delivered to `target` when the job completes under FCFS.
+    /// Returns the completion instant.
+    pub fn use_resource_for(
+        &mut self,
+        rid: ResourceId,
+        service: Dur,
+        target: ProcessId,
+        msg: Message,
+    ) -> SimTime {
+        let done = self.core.resources[rid.0].schedule(self.core.now, service);
+        self.core.queue.push(done, target, msg);
+        done
+    }
+
+    /// Like [`Ctx::use_resource_for`] with this process as the target.
+    pub fn use_resource(&mut self, rid: ResourceId, service: Dur, msg: Message) -> SimTime {
+        let pid = self.pid;
+        self.use_resource_for(rid, service, pid, msg)
+    }
+
+    /// Occupy resource time without any completion notification (e.g.
+    /// protocol processing whose completion is accounted for elsewhere).
+    /// Returns the completion instant.
+    pub fn occupy_resource(&mut self, rid: ResourceId, service: Dur) -> SimTime {
+        self.core.resources[rid.0].schedule(self.core.now, service)
+    }
+
+    /// Read-only view of a resource's statistics.
+    pub fn resource(&self, rid: ResourceId) -> &Resource {
+        &self.core.resources[rid.0]
+    }
+
+    /// This process's private deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.core.rngs[self.pid.0]
+    }
+
+    /// Create a new process mid-run. Its `on_start` runs as soon as the
+    /// current handler returns. Returns the new process id (valid
+    /// immediately as a message target).
+    pub fn spawn(&mut self, p: Box<dyn Process>) -> ProcessId {
+        let pid = ProcessId(self.core.next_pid);
+        self.core.next_pid += 1;
+        self.core.pending_spawns.push(p);
+        pid
+    }
+
+    /// Halt the simulation after the current handler returns.
+    pub fn stop(&mut self) {
+        self.core.stop_requested = true;
+    }
+
+    /// Fold an application-level tag into the determinism trace digest.
+    pub fn trace_tag(&mut self, tag: u64) {
+        self.core.trace.record_tag(tag);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    struct Echo {
+        heard: Vec<u64>,
+        peer: Option<ProcessId>,
+        bounces: u32,
+    }
+
+    impl Process for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+            let v = *msg.downcast::<u64>().unwrap();
+            self.heard.push(v);
+            if let Some(peer) = self.peer {
+                if self.bounces > 0 {
+                    self.bounces -= 1;
+                    ctx.send_in(Dur::micros(10), peer, Box::new(v + 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_advances_time() {
+        let mut sim = Sim::new(1);
+        let a = sim.add_process(Box::new(Echo {
+            heard: vec![],
+            peer: None,
+            bounces: 0,
+        }));
+        let b = sim.add_process(Box::new(Echo {
+            heard: vec![],
+            peer: Some(a),
+            bounces: 3,
+        }));
+        sim.schedule_at(SimTime::ZERO, b, Box::new(0u64));
+        let end = sim.run();
+        // b hears 0 at t=0, sends to a at 10us; a is a sink.
+        assert_eq!(end.as_nanos(), 10_000);
+        let a_ref: &Echo = sim.process(a).unwrap();
+        assert_eq!(a_ref.heard, vec![1]);
+    }
+
+    struct Starter;
+    impl Process for Starter {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.send_self_in(Dur::nanos(7), Box::new(1u64));
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _msg: Message) {
+            ctx.stop();
+        }
+    }
+
+    #[test]
+    fn on_start_runs_and_stop_halts() {
+        let mut sim = Sim::new(0);
+        let p = sim.add_process(Box::new(Starter));
+        sim.schedule_at(SimTime::from_nanos(100), p, Box::new(2u64));
+        let end = sim.run();
+        assert_eq!(end.as_nanos(), 7); // stopped before the t=100 event
+        assert_eq!(sim.events_dispatched(), 1);
+    }
+
+    struct Spawner {
+        child_heard: Option<ProcessId>,
+    }
+    struct Child {
+        heard: u32,
+    }
+    impl Process for Child {
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Message) {
+            self.heard += 1;
+        }
+    }
+    impl Process for Spawner {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _msg: Message) {
+            let child = ctx.spawn(Box::new(Child { heard: 0 }));
+            self.child_heard = Some(child);
+            ctx.send_in(Dur::nanos(1), child, Box::new(()));
+        }
+    }
+
+    #[test]
+    fn spawn_mid_run_is_addressable() {
+        let mut sim = Sim::new(0);
+        let p = sim.add_process(Box::new(Spawner { child_heard: None }));
+        sim.schedule_at(SimTime::ZERO, p, Box::new(()));
+        sim.run();
+        let spawner: &Spawner = sim.process(p).unwrap();
+        let child_pid = spawner.child_heard.unwrap();
+        let child: &Child = sim.process(child_pid).unwrap();
+        assert_eq!(child.heard, 1);
+    }
+
+    #[test]
+    fn run_until_leaves_future_events_queued() {
+        let mut sim = Sim::new(0);
+        let p = sim.add_process(Box::new(Echo {
+            heard: vec![],
+            peer: None,
+            bounces: 0,
+        }));
+        sim.schedule_at(SimTime::from_nanos(50), p, Box::new(1u64));
+        sim.schedule_at(SimTime::from_nanos(150), p, Box::new(2u64));
+        let t = sim.run_until(SimTime::from_nanos(100));
+        assert_eq!(t.as_nanos(), 100);
+        assert_eq!(sim.events_dispatched(), 1);
+        sim.run();
+        assert_eq!(sim.events_dispatched(), 2);
+    }
+
+    #[test]
+    fn resource_completion_delivers_message() {
+        struct Worker {
+            done_at: Vec<u64>,
+            cpu: ResourceId,
+        }
+        impl Process for Worker {
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+                match msg.downcast::<&'static str>() {
+                    Ok(s) if *s == "job" => {
+                        ctx.use_resource(self.cpu, Dur::nanos(100), Box::new("done"));
+                        ctx.use_resource(self.cpu, Dur::nanos(100), Box::new("done"));
+                    }
+                    Ok(_) => self.done_at.push(ctx.now().as_nanos()),
+                    Err(_) => panic!("unexpected message"),
+                }
+            }
+        }
+        let mut sim = Sim::new(0);
+        let cpu = sim.add_resource("cpu", 1);
+        let w = sim.add_process(Box::new(Worker {
+            done_at: vec![],
+            cpu,
+        }));
+        sim.schedule_at(SimTime::ZERO, w, Box::new("job"));
+        sim.run();
+        let w_ref: &Worker = sim.process(w).unwrap();
+        assert_eq!(w_ref.done_at, vec![100, 200]); // serialized on one server
+    }
+
+    #[test]
+    fn determinism_same_seed_same_digest() {
+        fn run(seed: u64) -> (u64, u64) {
+            let mut sim = Sim::new(seed);
+            let a = sim.add_process(Box::new(Echo {
+                heard: vec![],
+                peer: None,
+                bounces: 0,
+            }));
+            let b = sim.add_process(Box::new(Echo {
+                heard: vec![],
+                peer: Some(a),
+                bounces: 10,
+            }));
+            sim.schedule_at(SimTime::ZERO, b, Box::new(0u64));
+            sim.run();
+            (sim.trace_digest(), sim.events_dispatched())
+        }
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn rng_streams_differ_per_process() {
+        let mut sim = Sim::new(9);
+        struct R {
+            v: u64,
+        }
+        impl Process for R {
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, _m: Message) {
+                self.v = ctx.rng().next_u64();
+            }
+        }
+        let a = sim.add_process(Box::new(R { v: 0 }));
+        let b = sim.add_process(Box::new(R { v: 0 }));
+        sim.schedule_at(SimTime::ZERO, a, Box::new(()));
+        sim.schedule_at(SimTime::ZERO, b, Box::new(()));
+        sim.run();
+        let ra: &R = sim.process(a).unwrap();
+        let rb: &R = sim.process(b).unwrap();
+        assert_ne!(ra.v, rb.v);
+    }
+
+    #[test]
+    fn max_events_caps_runaway() {
+        struct Loopy;
+        impl Process for Loopy {
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, _m: Message) {
+                ctx.send_self_in(Dur::nanos(1), Box::new(()));
+            }
+        }
+        let mut sim = Sim::new(0);
+        let p = sim.add_process(Box::new(Loopy));
+        sim.schedule_at(SimTime::ZERO, p, Box::new(()));
+        sim.set_max_events(1000);
+        sim.run();
+        assert_eq!(sim.events_dispatched(), 1000);
+    }
+}

@@ -1,0 +1,58 @@
+//! # hpsock-sim — deterministic discrete-event simulation kernel
+//!
+//! This crate is the substrate on which the whole reproduction of
+//! *"Impact of High Performance Sockets on Data Intensive Applications"*
+//! (HPDC 2003) is built. It provides:
+//!
+//! * a virtual clock with nanosecond resolution ([`SimTime`], [`Dur`]),
+//! * an actor-style process model ([`Process`]) driven by a total-ordered
+//!   event queue,
+//! * analytic FCFS multi-server resources ([`Resource`]) used to model CPUs,
+//!   NICs and links,
+//! * deterministic per-process random-number streams,
+//! * statistics collectors ([`stats::Tally`], [`stats::Histogram`],
+//!   [`stats::TimeWeighted`]),
+//! * an event-trace digest used by determinism tests.
+//!
+//! The kernel is strictly sequential and deterministic: two runs with the
+//! same seed and the same process construction order produce bit-identical
+//! event traces. Parallelism in the workload (parameter sweeps) is achieved
+//! by running many independent `Sim` instances on different OS threads — see
+//! the `hpsock-experiments` crate.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hpsock_sim::{Sim, Process, Ctx, Message, Dur};
+//!
+//! struct Ping { pongs: u32 }
+//! impl Process for Ping {
+//!     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+//!         ctx.send_self_in(Dur::micros(5), Box::new("tick"));
+//!     }
+//!     fn on_message(&mut self, ctx: &mut Ctx<'_>, _msg: Message) {
+//!         self.pongs += 1;
+//!         if self.pongs < 3 {
+//!             ctx.send_self_in(Dur::micros(5), Box::new("tick"));
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Sim::new(42);
+//! sim.add_process(Box::new(Ping { pongs: 0 }));
+//! let end = sim.run();
+//! assert_eq!(end.as_nanos(), 15_000);
+//! ```
+
+pub mod event;
+pub mod kernel;
+pub mod resource;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use event::{Event, EventQueue};
+pub use kernel::{Ctx, Message, Process, ProcessId, Sim};
+pub use resource::{Resource, ResourceId};
+pub use time::{Dur, SimTime};
+pub use trace::TraceDigest;

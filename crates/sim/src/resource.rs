@@ -1,0 +1,189 @@
+//! Analytic FCFS multi-server resources.
+//!
+//! CPUs, NIC engines and links are modeled as non-preemptive first-come
+//! first-served stations with `c` identical servers. Because the kernel
+//! dispatches events in non-decreasing time order, jobs arrive at a resource
+//! in time order, and the classic "assign to the earliest-free server"
+//! rule computes the exact FCFS completion time in O(c) without simulating
+//! the queue explicitly: each `schedule` call immediately returns the
+//! completion instant, which the caller turns into a future event.
+
+use crate::time::{Dur, SimTime};
+
+/// Handle to a [`Resource`] registered with the simulation kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResourceId(pub usize);
+
+/// A non-preemptive FCFS station with a fixed number of identical servers.
+#[derive(Debug, Clone)]
+pub struct Resource {
+    name: String,
+    /// Instant at which each server next becomes idle.
+    free_at: Vec<SimTime>,
+    /// Sum of all service demands ever scheduled (for utilization).
+    busy: Dur,
+    /// Sum of all queueing delays (time between arrival and service start).
+    waited: Dur,
+    /// Number of jobs scheduled.
+    jobs: u64,
+    /// Latest completion instant ever handed out.
+    last_completion: SimTime,
+}
+
+impl Resource {
+    /// Create a station with `servers >= 1` identical servers.
+    pub fn new(name: impl Into<String>, servers: usize) -> Self {
+        assert!(servers >= 1, "a resource needs at least one server");
+        Resource {
+            name: name.into(),
+            free_at: vec![SimTime::ZERO; servers],
+            busy: Dur::ZERO,
+            waited: Dur::ZERO,
+            jobs: 0,
+            last_completion: SimTime::ZERO,
+        }
+    }
+
+    /// Schedule a job arriving `now` with the given `service` demand; returns
+    /// the instant the job completes under FCFS.
+    ///
+    /// Callers must present arrivals in non-decreasing `now` order (the
+    /// kernel guarantees this when called from event handlers).
+    pub fn schedule(&mut self, now: SimTime, service: Dur) -> SimTime {
+        // Earliest-free server.
+        let (idx, _) = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .expect("resource has at least one server");
+        let start = self.free_at[idx].max(now);
+        let completion = start + service;
+        self.free_at[idx] = completion;
+        self.busy += service;
+        self.waited += start.since(now);
+        self.jobs += 1;
+        self.last_completion = self.last_completion.max(completion);
+        completion
+    }
+
+    /// The instant at which the earliest server becomes free (i.e. when a job
+    /// arriving now could start).
+    pub fn earliest_start(&self, now: SimTime) -> SimTime {
+        self.free_at
+            .iter()
+            .min()
+            .copied()
+            .unwrap_or(SimTime::ZERO)
+            .max(now)
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Jobs scheduled so far.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Total service demand scheduled so far.
+    pub fn busy_time(&self) -> Dur {
+        self.busy
+    }
+
+    /// Mean queueing delay experienced by jobs so far.
+    pub fn mean_wait(&self) -> Dur {
+        match self.waited.as_nanos().checked_div(self.jobs) {
+            None => Dur::ZERO,
+            Some(ns) => Dur::nanos(ns),
+        }
+    }
+
+    /// Utilization over `[0, horizon]`: busy time divided by total server
+    /// capacity. Clamped to 1.0.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        let cap = horizon.as_nanos().saturating_mul(self.servers() as u64);
+        if cap == 0 {
+            0.0
+        } else {
+            (self.busy.as_nanos() as f64 / cap as f64).min(1.0)
+        }
+    }
+
+    /// Latest completion instant handed out so far.
+    pub fn last_completion(&self) -> SimTime {
+        self.last_completion
+    }
+
+    /// Station name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn single_server_serializes() {
+        let mut r = Resource::new("cpu", 1);
+        assert_eq!(r.schedule(t(0), Dur::nanos(100)), t(100));
+        assert_eq!(r.schedule(t(0), Dur::nanos(50)), t(150));
+        assert_eq!(r.schedule(t(200), Dur::nanos(10)), t(210));
+        assert_eq!(r.jobs(), 3);
+        assert_eq!(r.busy_time(), Dur::nanos(160));
+    }
+
+    #[test]
+    fn two_servers_run_in_parallel() {
+        let mut r = Resource::new("cpu2", 2);
+        assert_eq!(r.schedule(t(0), Dur::nanos(100)), t(100));
+        assert_eq!(r.schedule(t(0), Dur::nanos(100)), t(100));
+        // Third job queues behind the earlier finisher.
+        assert_eq!(r.schedule(t(0), Dur::nanos(10)), t(110));
+    }
+
+    #[test]
+    fn idle_gap_resets_start() {
+        let mut r = Resource::new("link", 1);
+        r.schedule(t(0), Dur::nanos(10));
+        assert_eq!(r.schedule(t(1_000), Dur::nanos(10)), t(1_010));
+    }
+
+    #[test]
+    fn wait_accounting() {
+        let mut r = Resource::new("cpu", 1);
+        r.schedule(t(0), Dur::nanos(100)); // no wait
+        r.schedule(t(0), Dur::nanos(100)); // waits 100
+        assert_eq!(r.mean_wait(), Dur::nanos(50));
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut r = Resource::new("cpu", 2);
+        r.schedule(t(0), Dur::nanos(100));
+        assert!((r.utilization(t(100)) - 0.5).abs() < 1e-12);
+        assert_eq!(Resource::new("idle", 1).utilization(t(0)), 0.0);
+    }
+
+    #[test]
+    fn earliest_start_reflects_backlog() {
+        let mut r = Resource::new("cpu", 1);
+        r.schedule(t(0), Dur::nanos(500));
+        assert_eq!(r.earliest_start(t(100)), t(500));
+        assert_eq!(r.earliest_start(t(700)), t(700));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_servers_rejected() {
+        let _ = Resource::new("bad", 0);
+    }
+}

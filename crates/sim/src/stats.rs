@@ -1,0 +1,313 @@
+//! Statistics collectors used by the experiments: streaming moments
+//! ([`Tally`]), log-spaced histograms ([`Histogram`]), time-weighted
+//! averages ([`TimeWeighted`]) and simple counters.
+
+use crate::time::{Dur, SimTime};
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct Tally {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Tally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Tally {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Record a duration observation in microseconds.
+    pub fn add_dur_us(&mut self, d: Dur) {
+        self.add(d.as_micros_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 if fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another tally into this one (parallel-sweep reduction).
+    pub fn merge(&mut self, other: &Tally) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Histogram with logarithmically spaced bins over `[lo, hi)` plus
+/// underflow/overflow bins. Used for latency distributions.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    ratio: f64,
+    counts: Vec<u64>,
+    under: u64,
+    over: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// `bins` log-spaced buckets spanning `[lo, hi)`; both bounds positive.
+    pub fn log_spaced(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo && bins > 0);
+        Histogram {
+            lo,
+            ratio: (hi / lo).powf(1.0 / bins as f64),
+            counts: vec![0; bins],
+            under: 0,
+            over: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.under += 1;
+        } else {
+            let idx = ((x / self.lo).ln() / self.ratio.ln()).floor() as usize;
+            if idx >= self.counts.len() {
+                self.over += 1;
+            } else {
+                self.counts[idx] += 1;
+            }
+        }
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`) using bin upper edges.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut seen = self.under;
+        if seen >= target {
+            return self.lo;
+        }
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.lo * self.ratio.powi(i as i32 + 1);
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Iterate `(bin_lower_edge, count)` for the regular bins.
+    pub fn bins(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo * self.ratio.powi(i as i32), c))
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal (queue lengths,
+/// outstanding-credit counts).
+#[derive(Debug, Clone, Default)]
+pub struct TimeWeighted {
+    last_t: SimTime,
+    last_v: f64,
+    integral: f64,
+    started: bool,
+}
+
+impl TimeWeighted {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that the signal changed to `v` at time `t`.
+    pub fn set(&mut self, t: SimTime, v: f64) {
+        if self.started {
+            self.integral += self.last_v * t.saturating_since(self.last_t).as_nanos() as f64;
+        }
+        self.last_t = t;
+        self.last_v = v;
+        self.started = true;
+    }
+
+    /// Time-weighted mean over `[0, end]` (assumes signal was 0 before the
+    /// first `set`).
+    pub fn mean(&self, end: SimTime) -> f64 {
+        if end == SimTime::ZERO {
+            return 0.0;
+        }
+        let tail = self.last_v * end.saturating_since(self.last_t).as_nanos() as f64;
+        (self.integral + tail) / end.as_nanos() as f64
+    }
+
+    /// Current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.last_v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_moments() {
+        let mut t = Tally::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            t.add(x);
+        }
+        assert_eq!(t.count(), 8);
+        assert!((t.mean() - 5.0).abs() < 1e-12);
+        assert!((t.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(t.min(), 2.0);
+        assert_eq!(t.max(), 9.0);
+    }
+
+    #[test]
+    fn tally_empty_is_zeroes() {
+        let t = Tally::new();
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.variance(), 0.0);
+        assert_eq!(t.min(), 0.0);
+        assert_eq!(t.max(), 0.0);
+    }
+
+    #[test]
+    fn tally_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37).collect();
+        let mut whole = Tally::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut a = Tally::new();
+        let mut b = Tally::new();
+        for &x in &xs[..37] {
+            a.add(x);
+        }
+        for &x in &xs[37..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::log_spaced(1.0, 1000.0, 30);
+        for i in 1..=1000 {
+            h.add(i as f64);
+        }
+        assert_eq!(h.total(), 1000);
+        let med = h.quantile(0.5);
+        assert!(med > 400.0 && med < 700.0, "median approx: {med}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 > 900.0, "p99 approx: {p99}");
+    }
+
+    #[test]
+    fn histogram_under_over() {
+        let mut h = Histogram::log_spaced(10.0, 100.0, 4);
+        h.add(1.0);
+        h.add(1e6);
+        assert_eq!(h.total(), 2);
+        assert!(h.quantile(0.25) <= 10.0);
+        assert_eq!(h.quantile(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut tw = TimeWeighted::new();
+        tw.set(SimTime::from_nanos(0), 2.0);
+        tw.set(SimTime::from_nanos(100), 4.0);
+        // 2.0 for 100ns, then 4.0 for 100ns.
+        assert!((tw.mean(SimTime::from_nanos(200)) - 3.0).abs() < 1e-12);
+        assert_eq!(tw.current(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_empty() {
+        let tw = TimeWeighted::new();
+        assert_eq!(tw.mean(SimTime::from_nanos(100)), 0.0);
+    }
+}

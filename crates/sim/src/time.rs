@@ -1,0 +1,296 @@
+//! Virtual time: absolute instants ([`SimTime`]) and durations ([`Dur`]),
+//! both with nanosecond resolution stored in `u64`.
+//!
+//! Nanoseconds in `u64` cover ~584 years of simulated time, far beyond any
+//! experiment in this repository. All arithmetic is checked in debug builds
+//! (plain `+`/`-` on the underlying integers), so a wrap would panic rather
+//! than silently corrupt the event order.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute instant on the simulation clock, in nanoseconds since the
+/// start of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(u64);
+
+impl SimTime {
+    /// The instant at which every simulation starts.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Raw nanoseconds since the start of the run.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in (fractional) microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This instant expressed in (fractional) milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This instant expressed in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Time elapsed since `earlier`. Panics (in debug) if `earlier` is later.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> Dur {
+        Dur(self.0 - earlier.0)
+    }
+
+    /// Saturating difference: zero if `earlier` is later than `self`.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Dur {
+    /// A zero-length duration.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn nanos(ns: u64) -> Self {
+        Dur(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn micros(us: u64) -> Self {
+        Dur(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn millis(ms: u64) -> Self {
+        Dur(ms * 1_000_000)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub const fn secs(s: u64) -> Self {
+        Dur(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest nanosecond.
+    /// Negative inputs clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        Dur((s.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Construct from fractional microseconds, rounding to the nearest
+    /// nanosecond. Negative inputs clamp to zero.
+    #[inline]
+    pub fn from_micros_f64(us: f64) -> Self {
+        Dur((us.max(0.0) * 1e3).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This duration in (fractional) microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This duration in (fractional) milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This duration in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Scale by an integer factor.
+    #[inline]
+    pub const fn mul(self, k: u64) -> Dur {
+        Dur(self.0 * k)
+    }
+
+    /// Scale by a float factor, rounding to the nearest nanosecond.
+    #[inline]
+    pub fn mul_f64(self, k: f64) -> Dur {
+        Dur((self.0 as f64 * k).round() as u64)
+    }
+
+    /// Integer division by a positive factor.
+    #[inline]
+    pub const fn div(self, k: u64) -> Dur {
+        Dur(self.0 / k)
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub const fn saturating_sub(self, other: Dur) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+
+    /// The larger of two durations.
+    #[inline]
+    pub fn max(self, other: Dur) -> Dur {
+        Dur(self.0.max(other.0))
+    }
+
+    /// The smaller of two durations.
+    #[inline]
+    pub fn min(self, other: Dur) -> Dur {
+        Dur(self.0.min(other.0))
+    }
+}
+
+impl Add<Dur> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: Dur) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<Dur> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: Dur) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<Dur> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, d: Dur) -> SimTime {
+        SimTime(self.0 - d.0)
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    #[inline]
+    fn add(self, other: Dur) -> Dur {
+        Dur(self.0 + other.0)
+    }
+}
+
+impl AddAssign for Dur {
+    #[inline]
+    fn add_assign(&mut self, other: Dur) {
+        self.0 += other.0;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, other: Dur) -> Dur {
+        Dur(self.0 - other.0)
+    }
+}
+
+impl std::iter::Sum for Dur {
+    fn sum<I: Iterator<Item = Dur>>(iter: I) -> Dur {
+        iter.fold(Dur::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}us", self.as_micros_f64())
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(Dur::micros(3).as_nanos(), 3_000);
+        assert_eq!(Dur::millis(2).as_nanos(), 2_000_000);
+        assert_eq!(Dur::secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(Dur::from_secs_f64(0.5).as_nanos(), 500_000_000);
+        assert_eq!(Dur::from_micros_f64(9.5).as_nanos(), 9_500);
+        assert_eq!(Dur::from_secs_f64(-1.0), Dur::ZERO);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::ZERO + Dur::micros(10);
+        assert_eq!(t.as_nanos(), 10_000);
+        let t2 = t + Dur::nanos(5);
+        assert_eq!(t2.since(t).as_nanos(), 5);
+        assert_eq!(t.saturating_since(t2), Dur::ZERO);
+        assert_eq!((t2 - Dur::nanos(5)), t);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = Dur::micros(10);
+        let b = Dur::micros(4);
+        assert_eq!((a + b).as_nanos(), 14_000);
+        assert_eq!((a - b).as_nanos(), 6_000);
+        assert_eq!(a.mul(3).as_nanos(), 30_000);
+        assert_eq!(a.mul_f64(0.5).as_nanos(), 5_000);
+        assert_eq!(a.div(2).as_nanos(), 5_000);
+        assert_eq!(b.saturating_sub(a), Dur::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        let total: Dur = [a, b, b].into_iter().sum();
+        assert_eq!(total.as_nanos(), 18_000);
+    }
+
+    #[test]
+    fn display_picks_sensible_unit() {
+        assert_eq!(format!("{}", Dur::nanos(7)), "7ns");
+        assert_eq!(format!("{}", Dur::micros(7)), "7.000us");
+        assert_eq!(format!("{}", Dur::millis(7)), "7.000ms");
+        assert_eq!(format!("{}", Dur::secs(7)), "7.000s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
+        assert!(Dur::nanos(1) < Dur::micros(1));
+    }
+}

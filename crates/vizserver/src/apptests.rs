@@ -1,0 +1,157 @@
+//! End-to-end application tests: the full Figure 5 pipeline driven by
+//! open- and closed-loop query streams.
+
+#![cfg(test)]
+
+use crate::dataset::BlockedImage;
+use crate::driver::{Plan, QueryDriver};
+use crate::pipeline::{ComputeModel, PipelineCfg, QueryKind, VizPipeline};
+use crate::queries::{complete_update, partial_update, zoom_query};
+use hpsock_net::{Cluster, TransportKind};
+use hpsock_sim::{Dur, Sim, SimTime};
+use socketvia::Provider;
+
+fn run_closed_loop(
+    kind: TransportKind,
+    compute: ComputeModel,
+    block_bytes: u64,
+    queries: Vec<crate::pipeline::QueryDesc>,
+) -> (Sim, hpsock_sim::ProcessId, VizPipeline) {
+    let mut sim = Sim::new(99);
+    let cluster = Cluster::build(&mut sim, VizPipeline::nodes_needed(3));
+    let cfg = PipelineCfg::paper(Provider::new(kind), compute);
+    let (driver_pid, targets) = QueryDriver::install(&mut sim, Plan::ClosedLoop(queries));
+    let pipe = VizPipeline::build(&mut sim, &cluster, &cfg, driver_pid);
+    *targets.lock().unwrap() = pipe.repo_pids();
+    let _ = block_bytes;
+    sim.run();
+    (sim, driver_pid, pipe)
+}
+
+#[test]
+fn closed_loop_zoom_and_complete_round_trip() {
+    let img = BlockedImage::paper_image(262_144); // 64 partitions
+    let queries = vec![
+        zoom_query(&img),
+        complete_update(&img),
+        partial_update(&img, 1),
+    ];
+    let (sim, driver, pipe) =
+        run_closed_loop(TransportKind::SocketVia, ComputeModel::None, 262_144, queries);
+    let d: &QueryDriver = sim.process(driver).unwrap();
+    assert_eq!(d.results.len(), 3, "all queries completed");
+    assert_eq!(d.outstanding(), 0);
+    // The complete update moved the full image through the pipeline.
+    let viz = pipe.inst.copy(&sim, pipe.viz, 0);
+    assert_eq!(viz.stats.bytes_in, img.stored_bytes() + 4 * 262_144 + 262_144);
+    // Complete >> zoom >> partial in response time.
+    let t = |k| d.mean_latency_us(k).unwrap();
+    assert!(t(QueryKind::Complete) > t(QueryKind::Zoom));
+    assert!(t(QueryKind::Zoom) > t(QueryKind::Partial));
+}
+
+#[test]
+fn socketvia_complete_update_beats_tcp_at_small_blocks() {
+    let img = BlockedImage::paper_image(16_384);
+    let run = |kind| {
+        let (sim, driver, _) =
+            run_closed_loop(kind, ComputeModel::None, 16_384, vec![complete_update(&img)]);
+        let d: &QueryDriver = sim.process(driver).unwrap();
+        d.mean_latency_us(QueryKind::Complete).unwrap()
+    };
+    let sv = run(TransportKind::SocketVia);
+    let tcp = run(TransportKind::KTcp);
+    assert!(
+        sv * 1.5 < tcp,
+        "16KB blocks, 16MB image: SocketVIA {sv:.0}us vs TCP {tcp:.0}us"
+    );
+}
+
+#[test]
+fn open_loop_sustains_feasible_rate() {
+    // 8 complete updates at 2 ups over SocketVIA with 64KB blocks: easily
+    // sustainable; every update completes and the achieved rate is ~2.
+    let img = BlockedImage::paper_image(65_536);
+    let mut sim = Sim::new(5);
+    let cluster = Cluster::build(&mut sim, VizPipeline::nodes_needed(3));
+    let cfg = PipelineCfg::paper(
+        Provider::new(TransportKind::SocketVia),
+        ComputeModel::None,
+    );
+    let n = 8u64;
+    let items: Vec<(SimTime, crate::pipeline::QueryDesc)> = (0..n)
+        .map(|i| {
+            (
+                SimTime::ZERO + Dur::millis(500).mul(i),
+                complete_update(&img),
+            )
+        })
+        .collect();
+    let (driver_pid, targets) = QueryDriver::install(&mut sim, Plan::OpenLoop(items));
+    let pipe = VizPipeline::build(&mut sim, &cluster, &cfg, driver_pid);
+    *targets.lock().unwrap() = pipe.repo_pids();
+    sim.run();
+    let d: &QueryDriver = sim.process(driver_pid).unwrap();
+    assert_eq!(d.results.len(), n as usize);
+    let rate = d.achieved_rate(QueryKind::Complete).unwrap();
+    assert!((1.7..2.4).contains(&rate), "achieved {rate} ups");
+    // Each update's latency is far below the period: the system keeps up.
+    let mean = d.mean_latency_us(QueryKind::Complete).unwrap();
+    assert!(mean < 500_000.0, "mean complete latency {mean}us");
+}
+
+#[test]
+fn partial_probe_latency_under_load_favors_dr() {
+    // The Figure 7 mechanism in miniature: complete updates stream at 2 ups
+    // while partial probes measure latency. TCP plans a large block; the
+    // SocketVIA-with-DR plan uses its own small block and wins big.
+    let tcp_curve = socketvia::PerfCurve::from_kind(TransportKind::KTcp);
+    let sv_curve = socketvia::PerfCurve::from_kind(TransportKind::SocketVia);
+    let img_bytes = 16u64 * 1024 * 1024;
+    let tcp_block =
+        crate::guarantee::block_size_for_update_rate(&tcp_curve, img_bytes, 2.0).unwrap();
+    let sv_block =
+        crate::guarantee::block_size_for_update_rate(&sv_curve, img_bytes, 2.0).unwrap();
+
+    let probe = |kind: TransportKind, block: u64| {
+        let img = BlockedImage::paper_image(block);
+        let mut sim = Sim::new(17);
+        let cluster = Cluster::build(&mut sim, VizPipeline::nodes_needed(3));
+        let cfg = PipelineCfg::paper(Provider::new(kind), ComputeModel::None);
+        let mut items = vec![];
+        for i in 0..6u64 {
+            items.push((
+                SimTime::ZERO + Dur::millis(500).mul(i),
+                complete_update(&img),
+            ));
+        }
+        for i in 1..5u64 {
+            items.push((
+                SimTime::ZERO + Dur::millis(500).mul(i) + Dur::millis(250),
+                partial_update(&img, 1),
+            ));
+        }
+        let (driver_pid, targets) = QueryDriver::install(&mut sim, Plan::OpenLoop(items));
+        let pipe = VizPipeline::build(&mut sim, &cluster, &cfg, driver_pid);
+        *targets.lock().unwrap() = pipe.repo_pids();
+        sim.run();
+        let d: &QueryDriver = sim.process(driver_pid).unwrap();
+        d.mean_latency_us(QueryKind::Partial).unwrap()
+    };
+
+    let tcp_lat = probe(TransportKind::KTcp, tcp_block);
+    let sv_same_block = probe(TransportKind::SocketVia, tcp_block);
+    let sv_dr = probe(TransportKind::SocketVia, sv_block);
+    assert!(
+        sv_same_block < tcp_lat,
+        "direct improvement: {sv_same_block} < {tcp_lat}"
+    );
+    assert!(
+        sv_dr < sv_same_block,
+        "repartitioning improves further: {sv_dr} < {sv_same_block}"
+    );
+    assert!(
+        sv_dr * 3.0 < tcp_lat,
+        "combined improvement is large: {sv_dr} vs {tcp_lat}"
+    );
+}

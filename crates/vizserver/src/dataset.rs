@@ -1,0 +1,250 @@
+//! Block-partitioned image datasets and query footprints.
+//!
+//! Images are stored as a grid of fixed-size blocks (data chunks) for
+//! indexing reasons; a query must fetch every block it touches *in full*
+//! (paper §2, Figure 1). The experiments care about which blocks a query
+//! touches and how many bytes that implies — not pixel values.
+
+/// A 2-D image partitioned into a grid of equal blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockedImage {
+    /// Image width in pixels.
+    pub width_px: u32,
+    /// Image height in pixels.
+    pub height_px: u32,
+    /// Bytes per pixel.
+    pub bytes_per_pixel: u32,
+    /// Block width in pixels.
+    pub block_w: u32,
+    /// Block height in pixels.
+    pub block_h: u32,
+}
+
+/// An axis-aligned pixel rectangle (half-open: `[x0, x1) × [y0, y1)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rect {
+    /// Left edge.
+    pub x0: u32,
+    /// Top edge.
+    pub y0: u32,
+    /// Right edge (exclusive).
+    pub x1: u32,
+    /// Bottom edge (exclusive).
+    pub y1: u32,
+}
+
+impl Rect {
+    /// Construct, asserting non-emptiness.
+    pub fn new(x0: u32, y0: u32, x1: u32, y1: u32) -> Rect {
+        assert!(x1 > x0 && y1 > y0, "rect must be non-empty");
+        Rect { x0, y0, x1, y1 }
+    }
+
+    /// Area in pixels.
+    pub fn area(&self) -> u64 {
+        (self.x1 - self.x0) as u64 * (self.y1 - self.y0) as u64
+    }
+}
+
+impl BlockedImage {
+    /// The paper's working set: a 16 MB image (2048×2048 px at 4 B/px)
+    /// partitioned into square-ish blocks of approximately `block_bytes`.
+    pub fn paper_image(block_bytes: u64) -> BlockedImage {
+        BlockedImage::with_block_bytes(2048, 2048, 4, block_bytes)
+    }
+
+    /// An image whose blocks are as close to `block_bytes` as a grid
+    /// allows: block width is the power of two making a full-width strip
+    /// subdivision match the byte budget.
+    pub fn with_block_bytes(
+        width_px: u32,
+        height_px: u32,
+        bytes_per_pixel: u32,
+        block_bytes: u64,
+    ) -> BlockedImage {
+        assert!(block_bytes >= bytes_per_pixel as u64, "block below one pixel");
+        let px_per_block = (block_bytes / bytes_per_pixel as u64).max(1);
+        // Square-ish, preferring an exact split: pick the power-of-two width
+        // nearest sqrt(px); when px is a power of two this tiles exactly.
+        let side = (px_per_block as f64).sqrt();
+        let block_w = (side.ceil() as u64)
+            .next_power_of_two()
+            .clamp(1, width_px as u64) as u32;
+        let block_h = (px_per_block / block_w as u64).clamp(1, height_px as u64) as u32;
+        BlockedImage {
+            width_px,
+            height_px,
+            bytes_per_pixel,
+            block_w,
+            block_h,
+        }
+    }
+
+    /// Blocks per row.
+    pub fn cols(&self) -> u32 {
+        self.width_px.div_ceil(self.block_w)
+    }
+
+    /// Blocks per column.
+    pub fn rows(&self) -> u32 {
+        self.height_px.div_ceil(self.block_h)
+    }
+
+    /// Total number of blocks.
+    pub fn block_count(&self) -> u64 {
+        self.cols() as u64 * self.rows() as u64
+    }
+
+    /// Bytes in one (full) block.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_w as u64 * self.block_h as u64 * self.bytes_per_pixel as u64
+    }
+
+    /// Total stored bytes (blocks may overhang the image edge; the whole
+    /// block is stored, as in the paper's indexing scheme).
+    pub fn stored_bytes(&self) -> u64 {
+        self.block_count() * self.block_bytes()
+    }
+
+    /// Image payload bytes (without block-padding overhang).
+    pub fn image_bytes(&self) -> u64 {
+        self.width_px as u64 * self.height_px as u64 * self.bytes_per_pixel as u64
+    }
+
+    /// Block ids (row-major) intersecting `rect`. Every touched block must
+    /// be fetched in full.
+    pub fn blocks_in_rect(&self, rect: Rect) -> Vec<u64> {
+        let c0 = rect.x0 / self.block_w;
+        let c1 = (rect.x1 - 1).min(self.width_px - 1) / self.block_w;
+        let r0 = rect.y0 / self.block_h;
+        let r1 = (rect.y1 - 1).min(self.height_px - 1) / self.block_h;
+        let cols = self.cols() as u64;
+        let mut out = Vec::with_capacity(((c1 - c0 + 1) * (r1 - r0 + 1)) as usize);
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                out.push(r as u64 * cols + c as u64);
+            }
+        }
+        out
+    }
+
+    /// All block ids (a complete-update query).
+    pub fn all_blocks(&self) -> Vec<u64> {
+        (0..self.block_count()).collect()
+    }
+
+    /// Bytes fetched for a query touching `rect` (full blocks) versus the
+    /// bytes actually needed — the wasted-data ratio of Figure 1.
+    pub fn fetch_amplification(&self, rect: Rect) -> f64 {
+        let fetched = self.blocks_in_rect(rect).len() as u64 * self.block_bytes();
+        fetched as f64 / (rect.area() * self.bytes_per_pixel as u64) as f64
+    }
+}
+
+/// Round-robin declustering of blocks across `repos` storage nodes
+/// (paper §3.1: "with good declustering, a query will hit as many disks as
+/// possible").
+pub fn declustered_share(blocks: &[u64], repos: usize, repo: usize) -> Vec<u64> {
+    assert!(repo < repos);
+    blocks
+        .iter()
+        .copied()
+        .filter(|b| (*b as usize) % repos == repo)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_image_is_16mb() {
+        let img = BlockedImage::paper_image(65_536);
+        assert_eq!(img.image_bytes(), 16 * 1024 * 1024);
+        // 64 KB blocks -> 128x128 px -> 16x16 grid.
+        assert_eq!(img.block_bytes(), 65_536);
+        assert_eq!(img.block_count(), 256);
+        assert_eq!(img.stored_bytes(), img.image_bytes());
+    }
+
+    #[test]
+    fn power_of_two_blocks_tile_exactly() {
+        for bb in [2_048u64, 16_384, 65_536, 262_144] {
+            let img = BlockedImage::paper_image(bb);
+            assert_eq!(img.block_bytes(), bb, "block bytes for {bb}");
+            assert_eq!(img.stored_bytes(), img.image_bytes());
+        }
+    }
+
+    #[test]
+    fn rect_queries_pick_correct_blocks() {
+        let img = BlockedImage::paper_image(65_536); // 16x16 grid of 128px blocks
+        // A rect inside block (0,0).
+        assert_eq!(img.blocks_in_rect(Rect::new(0, 0, 10, 10)), vec![0]);
+        // A rect spanning the first two columns.
+        assert_eq!(img.blocks_in_rect(Rect::new(120, 0, 136, 10)), vec![0, 1]);
+        // A 2x2 zoom region crossing a block corner.
+        let z = img.blocks_in_rect(Rect::new(120, 120, 136, 136));
+        assert_eq!(z, vec![0, 1, 16, 17], "four blocks, as the paper's zoom");
+        // Whole image.
+        assert_eq!(img.blocks_in_rect(Rect::new(0, 0, 2048, 2048)).len(), 256);
+    }
+
+    #[test]
+    fn amplification_grows_with_block_size() {
+        let small = BlockedImage::paper_image(2_048);
+        let large = BlockedImage::paper_image(262_144);
+        let probe = Rect::new(5, 5, 25, 25);
+        assert!(large.fetch_amplification(probe) > small.fetch_amplification(probe));
+        assert!(small.fetch_amplification(probe) >= 1.0);
+    }
+
+    #[test]
+    fn declustering_partitions_blocks() {
+        let blocks: Vec<u64> = (0..10).collect();
+        let mut all = vec![];
+        for r in 0..3 {
+            all.extend(declustered_share(&blocks, 3, r));
+        }
+        all.sort_unstable();
+        assert_eq!(all, blocks, "shares partition the block set");
+        assert_eq!(declustered_share(&blocks, 3, 0), vec![0, 3, 6, 9]);
+    }
+
+    proptest! {
+        /// Any rect's blocks are within range, sorted, and unique; and the
+        /// rect is fully covered (every corner pixel's block is included).
+        #[test]
+        fn rect_blocks_are_valid(
+            x0 in 0u32..2047, y0 in 0u32..2047,
+            w in 1u32..512, h in 1u32..512,
+            bb in prop::sample::select(vec![2_048u64, 16_384, 65_536]),
+        ) {
+            let img = BlockedImage::paper_image(bb);
+            let rect = Rect::new(x0, y0, (x0 + w).min(2048), (y0 + h).min(2048));
+            let blocks = img.blocks_in_rect(rect);
+            prop_assert!(!blocks.is_empty());
+            prop_assert!(blocks.windows(2).all(|p| p[0] < p[1]));
+            prop_assert!(blocks.iter().all(|&b| b < img.block_count()));
+            let corner_block = |x: u32, y: u32| {
+                (y / img.block_h) as u64 * img.cols() as u64 + (x / img.block_w) as u64
+            };
+            prop_assert!(blocks.contains(&corner_block(rect.x0, rect.y0)));
+            prop_assert!(blocks.contains(&corner_block(rect.x1 - 1, rect.y1 - 1)));
+        }
+
+        /// Declustered shares are disjoint and complete for any repo count.
+        #[test]
+        fn declustering_is_a_partition(n in 1u64..500, repos in 1usize..8) {
+            let blocks: Vec<u64> = (0..n).collect();
+            let mut seen = vec![0u8; n as usize];
+            for r in 0..repos {
+                for b in declustered_share(&blocks, repos, r) {
+                    seen[b as usize] += 1;
+                }
+            }
+            prop_assert!(seen.iter().all(|&c| c == 1));
+        }
+    }
+}

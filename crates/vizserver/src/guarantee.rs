@@ -1,0 +1,168 @@
+//! Guarantee-driven data (re)partitioning — the paper's DR planner.
+//!
+//! An application promises the user either a full-update rate (frames per
+//! second) or a partial-update latency. The dataset's distribution block
+//! size is then chosen against the sockets layer's measured `t(s) = a + b·s`
+//! curve:
+//!
+//! * a **rate guarantee** needs aggregate bandwidth `image_bytes × rate`, so
+//!   the block must be *at least* the size where the curve's bandwidth
+//!   reaches that target (larger blocks keep the guarantee but hurt partial
+//!   latency — pick the minimum);
+//! * a **latency guarantee** bounds the transfer time of one block, so the
+//!   block must be *at most* the size where `t(s)` hits the bound (smaller
+//!   blocks keep the guarantee but cost bandwidth — pick the maximum).
+//!
+//! "SocketVIA (with DR)" plans against SocketVIA's own curve;
+//! "SocketVIA" without DR reuses the block size planned for TCP — the
+//! paper's central comparison.
+//!
+//! Blocks are rounded to powers of two so they tile the paper's 2048×2048
+//! image exactly (see [`crate::dataset::BlockedImage`]).
+
+use socketvia::PerfCurve;
+
+/// Smallest block size the planner will emit (one 8×8-pixel tile).
+pub const MIN_BLOCK: u64 = 256;
+
+/// Round up to a power of two, clamped to `[MIN_BLOCK, limit]`.
+fn round_up_pow2(s: u64, limit: u64) -> u64 {
+    s.next_power_of_two().clamp(MIN_BLOCK, limit)
+}
+
+/// Round down to a power of two, clamped to `[MIN_BLOCK, limit]`.
+fn round_down_pow2(s: u64, limit: u64) -> u64 {
+    let p = if s.is_power_of_two() {
+        s
+    } else {
+        s.next_power_of_two() / 2
+    };
+    p.clamp(MIN_BLOCK, limit)
+}
+
+/// Minimum distribution block size sustaining `ups` full updates per
+/// second of an `image_bytes` image on `curve`, rounded up to a power of
+/// two. `None` when the rate exceeds the substrate's peak bandwidth at any
+/// block size — the transport "drops out" (Figure 7's TCP above 3.25).
+pub fn block_size_for_update_rate(curve: &PerfCurve, image_bytes: u64, ups: f64) -> Option<u64> {
+    let required_mbps = image_bytes as f64 * 8.0 * ups / 1e6;
+    let s = curve.min_size_for_bandwidth_mbps(required_mbps)?;
+    let rounded = round_up_pow2(s, image_bytes);
+    // Rounding up can only increase bandwidth (monotone), so the guarantee
+    // still holds — unless the clamp at image_bytes cut it short.
+    if curve.bandwidth_mbps(rounded) + 1e-9 < required_mbps {
+        return None;
+    }
+    Some(rounded)
+}
+
+/// Maximum distribution block size whose one-block transfer stays within
+/// `limit_us` on `curve`, rounded down to a power of two. `None` when even
+/// the minimum block misses the bound (Figure 8's TCP at 100 µs).
+pub fn block_size_for_partial_latency(
+    curve: &PerfCurve,
+    image_bytes: u64,
+    limit_us: f64,
+) -> Option<u64> {
+    let s = curve.max_size_for_latency_us(limit_us)?;
+    let rounded = round_down_pow2(s, image_bytes);
+    if curve.transfer_us(rounded) > limit_us {
+        return None;
+    }
+    Some(rounded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpsock_net::TransportKind;
+
+    const IMG: u64 = 16 * 1024 * 1024;
+
+    #[test]
+    fn tcp_drops_out_at_four_updates() {
+        let tcp = PerfCurve::from_kind(TransportKind::KTcp);
+        // 4 ups x 16MB = 512 Mbps > TCP's 510 Mbps peak.
+        assert_eq!(block_size_for_update_rate(&tcp, IMG, 4.0), None);
+        // 3.25 ups is feasible with a block in the 8-32 KB range.
+        let s = block_size_for_update_rate(&tcp, IMG, 3.25).unwrap();
+        assert!(
+            (8_192..=32_768).contains(&s),
+            "TCP block for 3.25 ups: {s}"
+        );
+    }
+
+    #[test]
+    fn socketvia_sustains_four_updates_with_tiny_blocks() {
+        let sv = PerfCurve::from_kind(TransportKind::SocketVia);
+        let s = block_size_for_update_rate(&sv, IMG, 4.0).unwrap();
+        assert!(s <= 4_096, "SocketVIA block for 4 ups: {s}");
+    }
+
+    #[test]
+    fn rate_blocks_grow_with_rate() {
+        let tcp = PerfCurve::from_kind(TransportKind::KTcp);
+        let mut last = 0;
+        for ups in [2.0, 2.5, 3.0, 3.25] {
+            let s = block_size_for_update_rate(&tcp, IMG, ups).unwrap();
+            assert!(s >= last, "monotone in rate");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn latency_blocks_shrink_with_bound() {
+        let tcp = PerfCurve::from_kind(TransportKind::KTcp);
+        let mut last = u64::MAX;
+        for limit in [1000.0, 500.0, 200.0] {
+            let s = block_size_for_partial_latency(&tcp, IMG, limit).unwrap();
+            assert!(s <= last, "monotone in bound");
+            assert!(tcp.transfer_us(s) <= limit);
+            last = s;
+        }
+    }
+
+    #[test]
+    fn tcp_drops_out_at_100us_latency() {
+        let tcp = PerfCurve::from_kind(TransportKind::KTcp);
+        let sv = PerfCurve::from_kind(TransportKind::SocketVia);
+        // TCP's intercept is ~47.5us; a 100us bound leaves room for only a
+        // ~3KB block — but at 40us TCP is out entirely while SocketVIA
+        // still fits a block.
+        assert!(block_size_for_partial_latency(&tcp, IMG, 40.0).is_none());
+        assert!(block_size_for_partial_latency(&sv, IMG, 40.0).is_some());
+    }
+
+    #[test]
+    fn planned_blocks_are_powers_of_two() {
+        let sv = PerfCurve::from_kind(TransportKind::SocketVia);
+        for ups in [2.0, 3.0, 4.0] {
+            assert!(block_size_for_update_rate(&sv, IMG, ups)
+                .unwrap()
+                .is_power_of_two());
+        }
+        for lim in [100.0, 400.0, 1000.0] {
+            assert!(block_size_for_partial_latency(&sv, IMG, lim)
+                .unwrap()
+                .is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn dr_blocks_are_much_smaller_than_tcp_blocks() {
+        // The heart of the paper: for the same rate guarantee, SocketVIA's
+        // plan uses far smaller blocks, so partial updates are far faster.
+        let tcp = PerfCurve::from_kind(TransportKind::KTcp);
+        let sv = PerfCurve::from_kind(TransportKind::SocketVia);
+        let tcp_block = block_size_for_update_rate(&tcp, IMG, 3.0).unwrap();
+        let sv_block = block_size_for_update_rate(&sv, IMG, 3.0).unwrap();
+        assert!(
+            sv_block * 4 <= tcp_block,
+            "SocketVIA {sv_block} vs TCP {tcp_block}"
+        );
+        assert!(
+            sv.transfer_us(sv_block) * 3.0 < tcp.transfer_us(tcp_block),
+            "partial-update latency gap"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Query constructors: turn a [`BlockedImage`] and a client intent into a
+//! [`QueryDesc`] the pipeline understands.
+
+use crate::dataset::{BlockedImage, Rect};
+use crate::pipeline::{QueryDesc, QueryKind};
+
+/// A complete update: fetch every block of the image.
+pub fn complete_update(img: &BlockedImage) -> QueryDesc {
+    QueryDesc {
+        kind: QueryKind::Complete,
+        blocks: img.all_blocks(),
+        block_bytes: img.block_bytes(),
+    }
+}
+
+/// A partial update: the viewing window moved slightly, requiring
+/// `excess_blocks` new blocks (the paper's latency-sensitive probe;
+/// typically 1).
+pub fn partial_update(img: &BlockedImage, excess_blocks: usize) -> QueryDesc {
+    let n = excess_blocks.clamp(1, img.block_count() as usize);
+    QueryDesc {
+        kind: QueryKind::Partial,
+        blocks: (0..n as u64).collect(),
+        block_bytes: img.block_bytes(),
+    }
+}
+
+/// A zoom/magnification query around the image center: the four blocks
+/// meeting at the center point (paper §5.2.2, third experiment). When the
+/// partitioning is too coarse for four distinct blocks, the touched set is
+/// smaller — exactly the "no partitions" behaviour the paper plots.
+pub fn zoom_query(img: &BlockedImage) -> QueryDesc {
+    let (cx, cy) = (img.width_px / 2, img.height_px / 2);
+    let half_w = img.block_w.min(cx).max(1) / 2;
+    let half_h = img.block_h.min(cy).max(1) / 2;
+    let rect = Rect::new(
+        cx - half_w.max(1),
+        cy - half_h.max(1),
+        (cx + half_w.max(1)).min(img.width_px),
+        (cy + half_h.max(1)).min(img.height_px),
+    );
+    let mut blocks = img.blocks_in_rect(rect);
+    blocks.truncate(4);
+    QueryDesc {
+        kind: QueryKind::Zoom,
+        blocks,
+        block_bytes: img.block_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_touches_everything() {
+        let img = BlockedImage::paper_image(65_536);
+        let q = complete_update(&img);
+        assert_eq!(q.blocks.len() as u64, img.block_count());
+        assert_eq!(q.bytes(), img.stored_bytes());
+        assert_eq!(q.kind, QueryKind::Complete);
+    }
+
+    #[test]
+    fn partial_is_small() {
+        let img = BlockedImage::paper_image(16_384);
+        let q = partial_update(&img, 1);
+        assert_eq!(q.blocks.len(), 1);
+        assert_eq!(q.bytes(), 16_384);
+    }
+
+    #[test]
+    fn zoom_touches_four_blocks_when_partitioned() {
+        // 64 partitions of the 16MB image -> 256KB blocks, 8x8 grid.
+        let img = BlockedImage::paper_image(262_144);
+        let q = zoom_query(&img);
+        assert_eq!(q.blocks.len(), 4, "blocks: {:?}", q.blocks);
+        assert_eq!(q.kind, QueryKind::Zoom);
+    }
+
+    #[test]
+    fn zoom_on_unpartitioned_image_fetches_everything_it_touches() {
+        // "No partitions": one block covering the whole image.
+        let img = BlockedImage::paper_image(16 * 1024 * 1024);
+        assert_eq!(img.block_count(), 1);
+        let q = zoom_query(&img);
+        assert_eq!(q.blocks.len(), 1);
+        assert_eq!(q.bytes(), img.stored_bytes(), "whole image fetched");
+    }
+}

@@ -1,0 +1,63 @@
+//! Block-size tuning: the bandwidth/latency trade-off behind every result
+//! in the paper, and what the DR planner picks for concrete guarantees.
+//!
+//! Run with: `cargo run --release --example block_size_tuning`
+
+use hpsock_net::TransportKind;
+use hpsock_vizserver::{block_size_for_partial_latency, block_size_for_update_rate};
+use socketvia::PerfCurve;
+
+const IMAGE: u64 = 16 * 1024 * 1024;
+
+fn main() {
+    let tcp = PerfCurve::from_kind(TransportKind::KTcp);
+    let sv = PerfCurve::from_kind(TransportKind::SocketVia);
+
+    // 1. The raw trade-off: one block's transfer time vs the bandwidth a
+    //    stream of such blocks sustains.
+    println!("== the chunk-size trade-off ==\n");
+    println!(
+        "{:>10} {:>22} {:>22}",
+        "block", "TCP  t(s) / BW", "SocketVIA  t(s) / BW"
+    );
+    for p in 9..=17 {
+        let s = 1u64 << p;
+        println!(
+            "{:>8} B {:>10.0}us {:>6.0}Mb {:>10.0}us {:>6.0}Mb",
+            s,
+            tcp.transfer_us(s),
+            tcp.bandwidth_mbps(s),
+            sv.transfer_us(s),
+            sv.bandwidth_mbps(s),
+        );
+    }
+
+    // 2. What the planner picks for an update-rate guarantee.
+    println!("\n== blocks for a full-update rate guarantee (16 MB image) ==\n");
+    println!("{:>8} {:>12} {:>12}", "rate", "TCP", "SocketVIA");
+    for ups in [2.0, 2.5, 3.0, 3.25, 3.5, 4.0] {
+        let t = block_size_for_update_rate(&tcp, IMAGE, ups)
+            .map(|b| format!("{b} B"))
+            .unwrap_or_else(|| "infeasible".into());
+        let s = block_size_for_update_rate(&sv, IMAGE, ups)
+            .map(|b| format!("{b} B"))
+            .unwrap_or_else(|| "infeasible".into());
+        println!("{ups:>7.2} {t:>12} {s:>12}");
+    }
+
+    // 3. What the planner picks for a partial-update latency guarantee.
+    println!("\n== blocks for a partial-update latency guarantee ==\n");
+    println!("{:>8} {:>12} {:>12}", "bound", "TCP", "SocketVIA");
+    for us in [1000.0, 500.0, 200.0, 100.0, 50.0] {
+        let t = block_size_for_partial_latency(&tcp, IMAGE, us)
+            .map(|b| format!("{b} B"))
+            .unwrap_or_else(|| "infeasible".into());
+        let s = block_size_for_partial_latency(&sv, IMAGE, us)
+            .map(|b| format!("{b} B"))
+            .unwrap_or_else(|| "infeasible".into());
+        println!("{us:>6.0}us {t:>12} {s:>12}");
+    }
+    println!("\nAt 50us kernel TCP cannot fit any block under the bound (its");
+    println!("small-message latency alone is ~47.5us) — the 'TCP drops out'");
+    println!("behaviour of the paper's Figure 8.");
+}

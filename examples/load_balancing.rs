@@ -1,0 +1,65 @@
+//! Load balancing on a heterogeneous cluster: round-robin vs
+//! demand-driven buffer scheduling when compute nodes randomly slow down,
+//! and how fast the balancer notices a node going bad.
+//!
+//! Run with: `cargo run --release --example load_balancing`
+
+use hpsock_datacutter::{Policy, SpeedModel};
+use hpsock_net::TransportKind;
+use hpsock_sim::{Dur, SimTime};
+use hpsock_vizserver::hetero::lb_execution_time;
+use hpsock_vizserver::{rr_reaction_time, LbSetup};
+
+fn main() {
+    println!("== load balancing 2 MB of blocks across 3 workers, 18 ns/B compute ==\n");
+
+    // 1. Execution time with one persistently slow worker: demand-driven
+    //    scheduling routes work away from it, round-robin keeps feeding it.
+    println!("one worker persistently 8x slower:");
+    println!(
+        "{:<12} {:>16} {:>16} {:>10}",
+        "transport", "round-robin", "demand-driven", "DD win"
+    );
+    let speeds = [
+        SpeedModel::Uniform(8.0),
+        SpeedModel::Uniform(1.0),
+        SpeedModel::Uniform(1.0),
+    ];
+    for kind in [TransportKind::SocketVia, TransportKind::KTcp] {
+        let setup = LbSetup::paper(kind);
+        let blocks = ((2 * 1024 * 1024) / setup.block_bytes) as u32;
+        let rr = lb_execution_time(&setup, Policy::RoundRobinAcked, &speeds, blocks, 7);
+        let dd = lb_execution_time(&setup, Policy::demand_driven(), &speeds, blocks, 7);
+        println!(
+            "{:<12} {:>13.1} ms {:>13.1} ms {:>9.2}x",
+            kind.label(),
+            rr.as_millis_f64(),
+            dd.as_millis_f64(),
+            rr.as_micros_f64() / dd.as_micros_f64()
+        );
+    }
+
+    // 2. Reaction time: a node turns 4x slower mid-run; how long until the
+    //    balancer's acknowledgment stream reveals it? (paper Figure 10)
+    println!("\none node turns 4x slower mid-run (round-robin):");
+    println!("{:<12} {:>12} {:>18}", "transport", "block", "reaction time");
+    let mut reactions = Vec::new();
+    for kind in [TransportKind::SocketVia, TransportKind::KTcp] {
+        let setup = LbSetup::paper(kind);
+        let emit = Dur::nanos((setup.ns_per_byte * setup.block_bytes as f64) as u64);
+        let slow_at = SimTime::ZERO + emit.mul(100);
+        let r = rr_reaction_time(&setup, 4.0, slow_at, 300, 7).expect("reaction observed");
+        println!(
+            "{:<12} {:>9} B {:>15.1} us",
+            kind.label(),
+            setup.block_bytes,
+            r.as_micros_f64()
+        );
+        reactions.push(r.as_micros_f64());
+    }
+    println!(
+        "\nSmaller blocks mean cheaper mistakes: the balancer reacts {:.1}x faster",
+        reactions[1] / reactions[0]
+    );
+    println!("on the high-performance substrate (the paper reports a factor of 8).");
+}

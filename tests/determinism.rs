@@ -1,0 +1,69 @@
+//! Cross-crate determinism: identical seeds produce bit-identical event
+//! traces through the full stack (kernel → transports → DataCutter →
+//! application), and different seeds genuinely diverge where randomness is
+//! involved.
+
+use hpsock_net::{Cluster, TransportKind};
+use hpsock_sim::Sim;
+use hpsock_vizserver::{
+    complete_update, zoom_query, BlockedImage, ComputeModel, Plan, PipelineCfg, QueryDesc,
+    QueryDriver, VizPipeline,
+};
+use socketvia::Provider;
+
+fn run_pipeline(seed: u64, kind: TransportKind) -> (u64, u64, f64) {
+    let img = BlockedImage::paper_image(262_144);
+    let queries: Vec<QueryDesc> = vec![zoom_query(&img), complete_update(&img), zoom_query(&img)];
+    let mut sim = Sim::new(seed);
+    let cluster = Cluster::build(&mut sim, VizPipeline::nodes_needed(3));
+    let cfg = PipelineCfg::paper(Provider::new(kind), ComputeModel::paper_linear());
+    let (driver_pid, targets) = QueryDriver::install(&mut sim, Plan::ClosedLoop(queries));
+    let pipe = VizPipeline::build(&mut sim, &cluster, &cfg, driver_pid);
+    *targets.lock().unwrap() = pipe.repo_pids();
+    sim.run();
+    let d: &QueryDriver = sim.process(driver_pid).unwrap();
+    (
+        sim.trace_digest(),
+        sim.events_dispatched(),
+        d.mean_latency_all_us().unwrap(),
+    )
+}
+
+#[test]
+fn same_seed_same_trace_socketvia() {
+    assert_eq!(
+        run_pipeline(7, TransportKind::SocketVia),
+        run_pipeline(7, TransportKind::SocketVia)
+    );
+}
+
+#[test]
+fn same_seed_same_trace_tcp() {
+    assert_eq!(
+        run_pipeline(7, TransportKind::KTcp),
+        run_pipeline(7, TransportKind::KTcp)
+    );
+}
+
+#[test]
+fn heterogeneous_runs_are_seed_reproducible_and_seed_sensitive() {
+    use hpsock_vizserver::{dd_execution_time, LbSetup};
+    let setup = LbSetup::paper(TransportKind::SocketVia);
+    let a1 = dd_execution_time(&setup, 0.5, 8.0, 256, 11);
+    let a2 = dd_execution_time(&setup, 0.5, 8.0, 256, 11);
+    assert_eq!(a1, a2, "same seed, same execution time");
+    let b = dd_execution_time(&setup, 0.5, 8.0, 256, 12);
+    assert_ne!(a1, b, "different seed draws different slowdowns");
+}
+
+#[test]
+fn microbench_results_are_deterministic() {
+    use socketvia::microbench;
+    let p = Provider::new(TransportKind::SocketVia);
+    let a = microbench::oneway_us(&p, 1_024, 8);
+    let b = microbench::oneway_us(&p, 1_024, 8);
+    assert_eq!(a.to_bits(), b.to_bits());
+    let bw1 = microbench::streaming_mbps(&p, 8_192, 64);
+    let bw2 = microbench::streaming_mbps(&p, 8_192, 64);
+    assert_eq!(bw1.to_bits(), bw2.to_bits());
+}

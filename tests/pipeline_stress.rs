@@ -1,0 +1,158 @@
+//! Stress and edge cases for the full filter-stream stack: concurrent
+//! units of work, degenerate placements, empty shares, and every
+//! transport × policy combination completing.
+
+use hpsock_datacutter::{
+    Action, DataBuffer, FilterCtx, FilterLogic, GroupBuilder, Policy,
+};
+use hpsock_net::{Cluster, NodeId, TransportKind};
+use hpsock_sim::{Dur, Sim, SimTime};
+use socketvia::Provider;
+use std::any::Any;
+use std::sync::Arc;
+
+struct Burst {
+    blocks: u32,
+    bytes: u64,
+    left: u32,
+}
+impl FilterLogic for Burst {
+    fn on_uow_start(
+        &mut self,
+        _fc: &mut FilterCtx<'_>,
+        uow: u32,
+        _d: Arc<dyn Any + Send + Sync>,
+    ) -> Action {
+        self.left = self.blocks;
+        Action::compute(Dur::ZERO).and_continue(uow)
+    }
+    fn on_continue(&mut self, _fc: &mut FilterCtx<'_>, uow: u32) -> Action {
+        if self.left == 0 {
+            return Action::none().and_end_uow(uow);
+        }
+        self.left -= 1;
+        Action::emit(Dur::nanos(100), 0, DataBuffer::new(uow, self.bytes, self.left as u64))
+            .and_continue(uow)
+    }
+}
+
+#[derive(Default)]
+struct Count {
+    buffers: u64,
+    bytes: u64,
+    uows: Vec<u32>,
+}
+impl FilterLogic for Count {
+    fn on_buffer(&mut self, _fc: &mut FilterCtx<'_>, _p: usize, b: DataBuffer) -> Action {
+        self.buffers += 1;
+        self.bytes += b.bytes;
+        Action::compute(Dur::nanos(18 * b.bytes))
+    }
+    fn on_uow_end(&mut self, _fc: &mut FilterCtx<'_>, uow: u32) -> Action {
+        self.uows.push(uow);
+        Action::none()
+    }
+}
+
+fn fan(kind: TransportKind, policy: Policy, producers: usize, consumers: usize, blocks: u32) {
+    let mut sim = Sim::new(17);
+    let cluster = Cluster::build(&mut sim, producers + consumers);
+    let provider = Provider::new(kind);
+    let mut g = GroupBuilder::new();
+    let src = g.filter(
+        "src",
+        (0..producers).map(NodeId).collect(),
+        Box::new(move |_| {
+            Box::new(Burst {
+                blocks,
+                bytes: 2_048,
+                left: 0,
+            })
+        }),
+    );
+    let dst = g.filter(
+        "dst",
+        (producers..producers + consumers).map(NodeId).collect(),
+        Box::new(|_| Box::<Count>::default()),
+    );
+    g.stream(src, dst, policy, &provider);
+    let inst = g.instantiate(&mut sim, &cluster);
+    for uow in 0..3 {
+        inst.start_uow_at(&mut sim, SimTime::ZERO, src, uow, Arc::new(()));
+    }
+    sim.run();
+    let total: u64 = (0..consumers)
+        .map(|c| inst.copy(&sim, dst, c).stats.buffers_in)
+        .sum();
+    assert_eq!(
+        total,
+        3 * blocks as u64 * producers as u64,
+        "{kind:?} {policy:?} {producers}x{consumers}"
+    );
+    for c in 0..consumers {
+        let uows = &inst.copy(&sim, dst, c).stats.uow_ends;
+        assert_eq!(uows.len(), 3, "every consumer sees every uow end");
+    }
+}
+
+#[test]
+fn all_transport_policy_fanouts_complete() {
+    for kind in [TransportKind::SocketVia, TransportKind::KTcp] {
+        for policy in [
+            Policy::RoundRobin,
+            Policy::RoundRobinAcked,
+            Policy::demand_driven(),
+        ] {
+            fan(kind, policy, 1, 3, 60);
+        }
+    }
+}
+
+#[test]
+fn many_to_many_fanout() {
+    fan(TransportKind::SocketVia, Policy::demand_driven(), 3, 3, 40);
+    fan(TransportKind::KTcp, Policy::RoundRobin, 2, 4, 30);
+}
+
+#[test]
+fn single_copy_chain() {
+    fan(TransportKind::SocketVia, Policy::demand_driven(), 1, 1, 100);
+}
+
+#[test]
+fn zero_block_uow_still_ends() {
+    // A unit of work with no buffers must still propagate its end marker.
+    fan(TransportKind::SocketVia, Policy::demand_driven(), 1, 2, 0);
+}
+
+#[test]
+fn tight_dd_window_makes_progress() {
+    let mut sim = Sim::new(23);
+    let cluster = Cluster::build(&mut sim, 4);
+    let provider = Provider::new(TransportKind::SocketVia);
+    let mut g = GroupBuilder::new();
+    let src = g.filter(
+        "src",
+        vec![NodeId(0)],
+        Box::new(|_| {
+            Box::new(Burst {
+                blocks: 200,
+                bytes: 4_096,
+                left: 0,
+            })
+        }),
+    );
+    let dst = g.filter(
+        "dst",
+        vec![NodeId(1), NodeId(2), NodeId(3)],
+        Box::new(|_| Box::<Count>::default()),
+    );
+    g.stream(src, dst, Policy::DemandDriven { window: 1 }, &provider);
+    let inst = g.instantiate(&mut sim, &cluster);
+    inst.start_uow_at(&mut sim, SimTime::ZERO, src, 0, Arc::new(()));
+    sim.run();
+    let total: u64 = (0..3)
+        .map(|c| inst.copy(&sim, dst, c).stats.buffers_in)
+        .sum();
+    assert_eq!(total, 200, "window=1 is slow but complete");
+}
