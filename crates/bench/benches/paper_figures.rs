@@ -7,9 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpsock_experiments::runner::{isolated_partial_us, run_saturation_ups};
 use hpsock_net::TransportKind;
 use hpsock_sim::SimTime;
-use hpsock_vizserver::{
-    dd_execution_time, rr_reaction_time, ComputeModel, LbSetup,
-};
+use hpsock_vizserver::{dd_execution_time, rr_reaction_time, ComputeModel, LbSetup};
 use socketvia::{microbench, Provider};
 use std::hint::black_box;
 use std::time::Duration;
@@ -26,9 +24,11 @@ fn bench_fig4_latency(c: &mut Criterion) {
     configure(&mut g);
     for kind in TransportKind::PAPER_SET {
         let provider = Provider::new(kind);
-        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &provider, |b, p| {
-            b.iter(|| black_box(microbench::oneway_us(p, black_box(4), 8)))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &provider,
+            |b, p| b.iter(|| black_box(microbench::oneway_us(p, black_box(4), 8))),
+        );
     }
     g.finish();
 }
@@ -39,9 +39,11 @@ fn bench_fig4_bandwidth(c: &mut Criterion) {
     configure(&mut g);
     for kind in TransportKind::PAPER_SET {
         let provider = Provider::new(kind);
-        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &provider, |b, p| {
-            b.iter(|| black_box(microbench::streaming_mbps(p, black_box(65_536), 64)))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &provider,
+            |b, p| b.iter(|| black_box(microbench::streaming_mbps(p, black_box(65_536), 64))),
+        );
     }
     g.finish();
 }
@@ -129,15 +131,7 @@ fn bench_fig10_reaction(c: &mut Criterion) {
         let emit_ns = (setup.ns_per_byte * setup.block_bytes as f64) as u64;
         let slow_at = SimTime::from_nanos(emit_ns * 40);
         g.bench_function(label, |b| {
-            b.iter(|| {
-                black_box(rr_reaction_time(
-                    &setup,
-                    black_box(4.0),
-                    slow_at,
-                    120,
-                    7,
-                ))
-            })
+            b.iter(|| black_box(rr_reaction_time(&setup, black_box(4.0), slow_at, 120, 7)))
         });
     }
     g.finish();

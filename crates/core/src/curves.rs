@@ -37,7 +37,10 @@ impl PerfCurve {
         let a_us = costs.oneway_latency(1).as_micros_f64();
         let big = 1u64 << 20;
         let b_ns_per_byte = costs.bottleneck_occupancy(big).as_nanos() as f64 / big as f64;
-        PerfCurve { a_us, b_ns_per_byte }
+        PerfCurve {
+            a_us,
+            b_ns_per_byte,
+        }
     }
 
     /// Curve *measured* with the micro-benchmarks through the
@@ -48,7 +51,10 @@ impl PerfCurve {
         let mbps = microbench::streaming_mbps(provider, big, 128);
         // mbps = 8 bits/byte / (b ns/byte) * 1000.
         let b_ns_per_byte = 8_000.0 / mbps;
-        PerfCurve { a_us, b_ns_per_byte }
+        PerfCurve {
+            a_us,
+            b_ns_per_byte,
+        }
     }
 
     /// Transfer time in microseconds for an `s`-byte message.
@@ -122,7 +128,11 @@ pub struct Crossover {
 /// Compute the Figure 2 crossover between a `baseline` and a `substrate`
 /// curve for a required bandwidth. Returns `None` if either curve cannot
 /// attain the bandwidth.
-pub fn crossover(baseline: &PerfCurve, substrate: &PerfCurve, required_mbps: f64) -> Option<Crossover> {
+pub fn crossover(
+    baseline: &PerfCurve,
+    substrate: &PerfCurve,
+    required_mbps: f64,
+) -> Option<Crossover> {
     let u1 = baseline.min_size_for_bandwidth_mbps(required_mbps)?;
     let u2 = substrate.min_size_for_bandwidth_mbps(required_mbps)?;
     Some(Crossover {
@@ -170,7 +180,10 @@ mod tests {
                 assert!(sv.bandwidth_mbps(s - 1) < target * 1.001);
             }
         }
-        assert!(sv.min_size_for_bandwidth_mbps(800.0).is_none(), "beyond peak");
+        assert!(
+            sv.min_size_for_bandwidth_mbps(800.0).is_none(),
+            "beyond peak"
+        );
     }
 
     #[test]
@@ -191,7 +204,10 @@ mod tests {
         let x = crossover(&tcp, &sv, 400.0).unwrap();
         assert!(x.u2 < x.u1 / 4, "U2={} far below U1={}", x.u2, x.u1);
         assert!(x.l2_us < x.l1_us, "direct improvement");
-        assert!(x.l3_us < x.l2_us, "indirect improvement from repartitioning");
+        assert!(
+            x.l3_us < x.l2_us,
+            "indirect improvement from repartitioning"
+        );
     }
 
     #[test]

@@ -51,7 +51,9 @@ impl Process for Pinger {
         self.net.send(ctx, self.conn_out, self.bytes, Box::new(()));
     }
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        let d = msg.downcast::<Delivery>().expect("pinger expects deliveries");
+        let d = msg
+            .downcast::<Delivery>()
+            .expect("pinger expects deliveries");
         self.net.consumed(ctx, d.conn, d.msg_id);
         let rtt = ctx.now().since(self.sent_at).as_micros_f64();
         if self.warmup > 0 {
@@ -79,7 +81,9 @@ impl Process for Ponger {
         "ponger".into()
     }
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        let d = msg.downcast::<Delivery>().expect("ponger expects deliveries");
+        let d = msg
+            .downcast::<Delivery>()
+            .expect("ponger expects deliveries");
         self.net.consumed(ctx, d.conn, d.msg_id);
         self.net.send(ctx, self.conn_back, d.bytes, Box::new(()));
     }
@@ -199,7 +203,11 @@ pub fn streaming_mbps(provider: &Provider, bytes: u64, count: u32) -> f64 {
 
 /// Bandwidth series over `sizes` (Figure 4b). `total_bytes` controls how
 /// much data streams per point (message count adapts to size).
-pub fn bandwidth_series(provider: &Provider, sizes: &[u64], total_bytes: u64) -> Vec<BandwidthPoint> {
+pub fn bandwidth_series(
+    provider: &Provider,
+    sizes: &[u64],
+    total_bytes: u64,
+) -> Vec<BandwidthPoint> {
     sizes
         .iter()
         .map(|&s| {

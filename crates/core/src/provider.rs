@@ -86,7 +86,10 @@ mod tests {
 
     #[test]
     fn provider_reports_kind() {
-        assert_eq!(Provider::new(TransportKind::KTcp).kind(), TransportKind::KTcp);
+        assert_eq!(
+            Provider::new(TransportKind::KTcp).kind(),
+            TransportKind::KTcp
+        );
         let custom = Provider::from_costs(PathCosts::for_kind(TransportKind::Via));
         assert_eq!(custom.kind(), TransportKind::Via);
         assert_eq!(custom.costs().frame_payload, 65_536);

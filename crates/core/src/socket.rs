@@ -149,10 +149,7 @@ mod tests {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             self.sock = Some(self.sockets.lock().unwrap()[0].clone());
             self.sent_at = ctx.now();
-            self.sock
-                .as_ref()
-                .unwrap()
-                .send(ctx, 512, Box::new("ping"));
+            self.sock.as_ref().unwrap().send(ctx, 512, Box::new("ping"));
         }
         fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: SimMessage) {
             let d = msg.downcast::<Delivery>().unwrap();

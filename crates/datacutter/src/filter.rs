@@ -13,7 +13,7 @@ use crate::logic::{Action, FilterCtx, FilterLogic, SpeedModel};
 use crate::sched::{Policy, Scheduler};
 use hpsock_net::{ConnId, Delivery, Network, NodeId};
 use hpsock_sim::stats::Tally;
-use hpsock_sim::{Ctx, Dur, Message, Process, ProcessId, ResourceId, SimTime};
+use hpsock_sim::{Ctx, Dur, Message, ProbeEvent, Process, ProcessId, ResourceId, SimTime};
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
@@ -159,6 +159,10 @@ pub struct FilterProcess {
     name: String,
     copy: usize,
     copies: usize,
+    /// Probe track / metric prefix: `dc.{name}[{copy}]`.
+    track: String,
+    /// Monotonic span id for probe compute spans.
+    next_span: u64,
     logic: Box<dyn FilterLogic>,
     net: Network,
     wiring_slot: Arc<Mutex<Option<CopyWiring>>>,
@@ -194,10 +198,13 @@ impl FilterProcess {
         net: Network,
         wiring_slot: Arc<Mutex<Option<CopyWiring>>>,
     ) -> FilterProcess {
+        let track = format!("dc.{name}[{copy}]");
         FilterProcess {
             name,
             copy,
             copies,
+            track,
+            next_span: 0,
             logic,
             net,
             wiring_slot,
@@ -218,6 +225,17 @@ impl FilterProcess {
 
     fn wiring(&self) -> &CopyWiring {
         self.wiring.as_ref().expect("wiring installed at start")
+    }
+
+    /// Report the current inbox depth as a probe gauge.
+    fn gauge_inbox(&self, ctx: &mut Ctx<'_>) {
+        let depth = self.inbox.len() as f64;
+        let track = &self.track;
+        ctx.probe_emit(|t| ProbeEvent::Gauge {
+            name: format!("{track}.inbox"),
+            time: t,
+            value: depth,
+        });
     }
 
     fn filter_ctx<'a>(
@@ -270,7 +288,33 @@ impl FilterProcess {
             done_notify,
         };
         let cpu = self.wiring().cpu;
-        ctx.use_resource(cpu, scaled, Box::new(done));
+        let completion = ctx.use_resource(cpu, scaled, Box::new(done));
+        if ctx.probe_enabled() {
+            let id = self.next_span;
+            self.next_span += 1;
+            let track = self.track.clone();
+            // The span covers actual CPU occupancy: it starts when the
+            // contended CPU grants service, not at the request instant.
+            ctx.probe_emit(|_| ProbeEvent::SpanBegin {
+                track: track.clone(),
+                label: "compute".to_string(),
+                time: completion - scaled,
+                id,
+            });
+            let track = self.track.clone();
+            ctx.probe_emit(|_| ProbeEvent::SpanEnd {
+                track,
+                time: completion,
+                id,
+            });
+            let name = format!("{}.busy_us", self.track);
+            let delta = scaled.as_micros_f64();
+            ctx.probe_emit(|t| ProbeEvent::Counter {
+                name,
+                time: t,
+                delta,
+            });
+        }
     }
 
     /// Emit buffers/EOW into output queues and dispatch what flow allows.
@@ -290,6 +334,19 @@ impl FilterProcess {
     }
 
     fn dispatch(&mut self, ctx: &mut Ctx<'_>, port: usize) {
+        self.dispatch_inner(ctx, port);
+        // Post-dispatch backlog: what the scheduler could not place, i.e.
+        // the demand-driven window pressure on this output port.
+        let depth = self.out_queues[port].len() as f64;
+        let track = &self.track;
+        ctx.probe_emit(|t| ProbeEvent::Gauge {
+            name: format!("{track}.out{port}"),
+            time: t,
+            value: depth,
+        });
+    }
+
+    fn dispatch_inner(&mut self, ctx: &mut Ctx<'_>, port: usize) {
         loop {
             match self.out_queues[port].front() {
                 None => return,
@@ -337,6 +394,7 @@ impl FilterProcess {
             let Some(item) = self.inbox.pop_front() else {
                 return;
             };
+            self.gauge_inbox(ctx);
             match item {
                 WorkItem::Buffer {
                     port,
@@ -471,12 +529,18 @@ impl Process for FilterProcess {
                                 panic!("control message arrived on a data route")
                             }
                         }
+                        self.gauge_inbox(ctx);
                     }
                     Route::AckIn { port, consumer } => {
                         self.net.consumed(ctx, d.conn, d.msg_id);
                         match *d.payload.downcast::<StreamMsg>().expect("stream message") {
                             StreamMsg::Ack => {
                                 self.scheds[port].on_ack(consumer);
+                                ctx.probe_emit(|t| ProbeEvent::Counter {
+                                    name: "dc.acks".to_string(),
+                                    time: t,
+                                    delta: 1.0,
+                                });
                                 let sent_at = self.sent_times[port][consumer]
                                     .pop_front()
                                     .expect("ack matches a sent buffer");
@@ -518,6 +582,7 @@ impl Process for FilterProcess {
                     uow: s.uow,
                     desc: s.desc,
                 });
+                self.gauge_inbox(ctx);
                 self.maybe_start(ctx);
                 return;
             }

@@ -10,13 +10,25 @@ fn main() {
     x::emit(&x::fig4::run(iters, total), &dir);
     eprintln!("[2/8] Figure 7 ...");
     let scale = if quick {
-        x::fig7::Scale { n_complete: 3, n_partial: 2 }
+        x::fig7::Scale {
+            n_complete: 3,
+            n_partial: 2,
+        }
     } else {
         x::fig7::Scale::default()
     };
     x::emit(&x::fig7::run(scale), &dir);
+    if let Some(tdir) = x::trace_dir() {
+        eprintln!("      probe-bus export (HPSOCK_TRACE) ...");
+        x::fig7::export_traces(&tdir, scale);
+    }
     eprintln!("[3/8] Figure 8 ...");
-    x::emit(&x::fig8::run(if quick { 3 } else { 5 }), &dir);
+    let n8 = if quick { 3 } else { 5 };
+    x::emit(&x::fig8::run(n8), &dir);
+    if let Some(tdir) = x::trace_dir() {
+        eprintln!("      probe-bus export (HPSOCK_TRACE) ...");
+        x::fig8::export_traces(&tdir, n8);
+    }
     eprintln!("[4/8] Figure 9 ...");
     x::emit(&x::fig9::run(if quick { 5 } else { 10 }), &dir);
     eprintln!("[5/8] Figure 10 ...");

@@ -1,13 +1,20 @@
 //! Regenerate Figure 7: partial-update latency under updates/sec guarantees.
 
-use hpsock_experiments::fig7::{run, Scale};
+use hpsock_experiments::fig7::{export_traces, run, Scale};
 
 fn main() {
     let scale = if hpsock_experiments::quick_mode() {
-        Scale { n_complete: 3, n_partial: 2 }
+        Scale {
+            n_complete: 3,
+            n_partial: 2,
+        }
     } else {
         Scale::default()
     };
     let tables = run(scale);
     hpsock_experiments::emit(&tables, hpsock_experiments::results_dir());
+    if let Some(dir) = hpsock_experiments::trace_dir() {
+        eprintln!("probe-bus export (HPSOCK_TRACE) ...");
+        export_traces(&dir, scale);
+    }
 }

@@ -1,7 +1,15 @@
 //! Regenerate Figure 8: updates/sec under partial-update latency guarantees.
 
 fn main() {
-    let n = if hpsock_experiments::quick_mode() { 3 } else { 5 };
+    let n = if hpsock_experiments::quick_mode() {
+        3
+    } else {
+        5
+    };
     let tables = hpsock_experiments::fig8::run(n);
     hpsock_experiments::emit(&tables, hpsock_experiments::results_dir());
+    if let Some(dir) = hpsock_experiments::trace_dir() {
+        eprintln!("probe-bus export (HPSOCK_TRACE) ...");
+        hpsock_experiments::fig8::export_traces(&dir, n);
+    }
 }

@@ -1,7 +1,11 @@
 //! Regenerate Figure 9: response time of mixed query streams.
 
 fn main() {
-    let n = if hpsock_experiments::quick_mode() { 5 } else { 10 };
+    let n = if hpsock_experiments::quick_mode() {
+        5
+    } else {
+        10
+    };
     let tables = hpsock_experiments::fig9::run(n);
     hpsock_experiments::emit(&tables, hpsock_experiments::results_dir());
 }

@@ -20,7 +20,12 @@ pub const IMAGE_BYTES: u64 = 16 * 1024 * 1024;
 pub fn amplification_table() -> Table {
     let mut t = Table::new(
         "Figure 1: fetch amplification of a 64x64-px partial query vs block size",
-        &["block_bytes", "blocks_touched", "bytes_fetched", "amplification"],
+        &[
+            "block_bytes",
+            "blocks_touched",
+            "bytes_fetched",
+            "amplification",
+        ],
     );
     // A 64x64 px window straddling a block corner (the dotted rectangle).
     let probe = Rect::new(96, 96, 160, 160);
@@ -76,16 +81,17 @@ mod tests {
     #[test]
     fn amplification_grows_with_block_size() {
         let t = amplification_table();
-        let amp = |row: &Vec<String>| {
-            row[3].trim_end_matches('x').parse::<f64>().unwrap()
-        };
+        let amp = |row: &Vec<String>| row[3].trim_end_matches('x').parse::<f64>().unwrap();
         // Rows are ordered from coarse (1 partition) to fine (1024): the
         // amplification must fall monotonically.
         for w in t.rows.windows(2) {
             assert!(amp(&w[0]) >= amp(&w[1]), "{:?}", t.rows);
         }
         assert!(amp(&t.rows[0]) > 100.0, "whole-image fetch is pathological");
-        assert!(amp(t.rows.last().unwrap()) < 10.0, "fine blocks waste little");
+        assert!(
+            amp(t.rows.last().unwrap()) < 10.0,
+            "fine blocks waste little"
+        );
     }
 
     #[test]
@@ -99,7 +105,10 @@ mod tests {
         let get = |r: usize, c: usize| t.rows[r][c].parse::<f64>().unwrap();
         let last = t.rows.len() - 1;
         assert!(get(last, 1) < get(0, 1) / 30.0, "zoom gets much cheaper");
-        assert!(get(2, 2) < get(0, 2) / 2.0, "pipelining speeds complete updates");
+        assert!(
+            get(2, 2) < get(0, 2) / 2.0,
+            "pipelining speeds complete updates"
+        );
         let gain_coarse = get(0, 2) / get(2, 2); // 1 -> 8 partitions
         let gain_fine = get(last - 1, 2) / get(last, 2); // 64 -> 256
         assert!(

@@ -79,7 +79,14 @@ pub fn crossover_table() -> Table {
     let sv = PerfCurve::measure(&Provider::new(TransportKind::SocketVia));
     let mut t = Table::new(
         "Figure 2: message size for required bandwidth (U1=TCP, U2=SocketVIA) and latencies",
-        &["reqd_Mbps", "U1_bytes", "U2_bytes", "L1_us", "L2_us", "L3_us"],
+        &[
+            "reqd_Mbps",
+            "U1_bytes",
+            "U2_bytes",
+            "L1_us",
+            "L2_us",
+            "L3_us",
+        ],
     );
     for mbps in [100.0, 200.0, 300.0, 400.0, 500.0] {
         match crossover(&tcp, &sv, mbps) {

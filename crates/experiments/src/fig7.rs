@@ -175,6 +175,45 @@ pub fn run(scale: Scale) -> Vec<Table> {
     ]
 }
 
+/// Probe-bus export (behind `HPSOCK_TRACE`): re-run the 3 updates/sec
+/// no-computation point once per series with a recorder attached and write
+/// `fig7_<series>.trace.json` Chrome traces plus `fig7_breakdown.csv`
+/// under `dir`.
+pub fn export_traces(dir: &std::path::Path, scale: Scale) {
+    const UPS: f64 = 3.0;
+    let tcp_block =
+        block_size_for_update_rate(&PerfCurve::from_kind(TransportKind::KTcp), IMAGE_BYTES, UPS)
+            .expect("TCP sustains 3 ups");
+    let sv_block = block_size_for_update_rate(
+        &PerfCurve::from_kind(TransportKind::SocketVia),
+        IMAGE_BYTES,
+        UPS,
+    )
+    .expect("SocketVIA sustains all paper rates");
+    let mk = |kind, block_bytes| GuaranteeRun {
+        kind,
+        block_bytes,
+        compute: ComputeModel::None,
+        target_ups: UPS,
+        n_complete: scale.n_complete,
+        n_partial: scale.n_partial,
+        seed: 0xF167,
+    };
+    crate::breakdown::export_guarantee_traces(
+        dir,
+        "fig7",
+        "Figure 7 time breakdown at 3 updates/sec, no computation (us of server-time)",
+        &[
+            ("TCP", mk(TransportKind::KTcp, tcp_block)),
+            ("SocketVIA", mk(TransportKind::SocketVia, tcp_block)),
+            (
+                "SocketVIA (with DR)",
+                mk(TransportKind::SocketVia, sv_block),
+            ),
+        ],
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

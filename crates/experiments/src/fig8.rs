@@ -8,7 +8,7 @@
 //! (~47.5 µs + block transfer): at the paper's 100 µs point TCP barely
 //! fits a block and its rate collapses.
 
-use crate::runner::run_saturation_ups;
+use crate::runner::{run_saturation_ups, GuaranteeRun};
 use crate::sweep::parallel_map;
 use crate::table::{fmt_opt, Table};
 use hpsock_net::TransportKind;
@@ -114,6 +114,48 @@ pub fn run(n: u32) -> Vec<Table> {
             &b,
         ),
     ]
+}
+
+/// Probe-bus export (behind `HPSOCK_TRACE`): trace a loaded 2 updates/sec
+/// run per series at the 500 µs bound's planned blocks and write
+/// `fig8_<series>.trace.json` Chrome traces plus `fig8_breakdown.csv`
+/// under `dir`. `n_complete` scales the run length (quick mode uses 3).
+pub fn export_traces(dir: &std::path::Path, n_complete: u32) {
+    const LIMIT_US: f64 = 500.0;
+    let tcp_block = block_size_for_partial_latency(
+        &PerfCurve::from_kind(TransportKind::KTcp),
+        IMAGE_BYTES,
+        LIMIT_US,
+    )
+    .expect("TCP fits a block at 500us");
+    let sv_block = block_size_for_partial_latency(
+        &PerfCurve::from_kind(TransportKind::SocketVia),
+        IMAGE_BYTES,
+        LIMIT_US,
+    )
+    .expect("SocketVIA fits a block at every paper bound");
+    let mk = |kind, block_bytes| GuaranteeRun {
+        kind,
+        block_bytes,
+        compute: ComputeModel::None,
+        target_ups: 2.0,
+        n_complete: n_complete.max(3),
+        n_partial: 2,
+        seed: 0xF168,
+    };
+    crate::breakdown::export_guarantee_traces(
+        dir,
+        "fig8",
+        "Figure 8 time breakdown at the 500 us bound, 2 updates/sec load (us of server-time)",
+        &[
+            ("TCP", mk(TransportKind::KTcp, tcp_block)),
+            ("SocketVIA", mk(TransportKind::SocketVia, tcp_block)),
+            (
+                "SocketVIA (with DR)",
+                mk(TransportKind::SocketVia, sv_block),
+            ),
+        ],
+    );
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@ use crate::table::Table;
 use hpsock_net::{Cluster, TransportKind};
 use hpsock_sim::Sim;
 use hpsock_vizserver::{
-    complete_update, zoom_query, BlockedImage, ComputeModel, Plan, PipelineCfg, QueryDesc,
+    complete_update, zoom_query, BlockedImage, ComputeModel, PipelineCfg, Plan, QueryDesc,
     QueryDriver, VizPipeline,
 };
 use socketvia::Provider;

@@ -8,9 +8,7 @@ use crate::runner::{isolated_partial_us, run_saturation_ups};
 use crate::table::{fmt_opt, Table};
 use hpsock_net::TransportKind;
 use hpsock_sim::SimTime;
-use hpsock_vizserver::{
-    block_size_for_update_rate, rr_reaction_time, ComputeModel, LbSetup,
-};
+use hpsock_vizserver::{block_size_for_update_rate, rr_reaction_time, ComputeModel, LbSetup};
 use socketvia::{microbench, PerfCurve, Provider};
 
 const TRANSPORTS: [TransportKind; 3] = [
@@ -60,9 +58,7 @@ pub fn guarantee_table() -> Table {
         t.add_row(vec![
             kind.label().to_string(),
             format!("{max_ups:.1}"),
-            block
-                .map(|b| b.to_string())
-                .unwrap_or_else(|| "-".into()),
+            block.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
             fmt_opt(partial, 1),
         ]);
     }

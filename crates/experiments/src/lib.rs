@@ -14,12 +14,13 @@
 //! | [`fig11`] | Figure 11: demand-driven execution under random slowdowns |
 //! | [`future`] | beyond the paper: the conclusion's RDMA future work, quantified |
 
+pub mod breakdown;
+pub mod extra;
 pub mod fig10;
 pub mod fig11;
 pub mod fig4;
 pub mod fig7;
 pub mod fig8;
-pub mod extra;
 pub mod fig9;
 pub mod future;
 pub mod runner;
@@ -36,13 +37,21 @@ pub fn emit(tables: &[Table], dir: impl AsRef<Path>) {
         let slug: String = t
             .title
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect::<String>()
             .split('_')
             .filter(|s| !s.is_empty())
             .collect::<Vec<_>>()
             .join("_");
-        let path = dir.as_ref().join(format!("{}.csv", &slug[..slug.len().min(60)]));
+        let path = dir
+            .as_ref()
+            .join(format!("{}.csv", &slug[..slug.len().min(60)]));
         if let Err(e) = t.write_csv(&path) {
             eprintln!("warning: could not write {}: {e}", path.display());
         } else {
@@ -51,9 +60,11 @@ pub fn emit(tables: &[Table], dir: impl AsRef<Path>) {
     }
 }
 
-/// True when `--quick` was passed (reduced sweep scale for smoke runs).
+/// True when `--quick` was passed or `HPSOCK_QUICK=1` is set (reduced
+/// sweep scale for smoke runs; see README "Environment variables").
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
+        || std::env::var_os("HPSOCK_QUICK").is_some_and(|v| v == "1")
 }
 
 /// Results directory: `$HPSOCK_RESULTS` or `results/`.
@@ -61,4 +72,11 @@ pub fn results_dir() -> std::path::PathBuf {
     std::env::var_os("HPSOCK_RESULTS")
         .map(Into::into)
         .unwrap_or_else(|| "results".into())
+}
+
+/// Trace directory: `Some($HPSOCK_TRACE)` when set, enabling probe-bus
+/// instrumentation — Chrome trace JSON plus `*_breakdown.csv` time
+/// attribution written under the given directory.
+pub fn trace_dir() -> Option<std::path::PathBuf> {
+    std::env::var_os("HPSOCK_TRACE").map(Into::into)
 }

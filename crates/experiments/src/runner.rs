@@ -3,9 +3,9 @@
 //! interleaved partial-update probes.
 
 use hpsock_net::{Cluster, TransportKind};
-use hpsock_sim::{Dur, Sim, SimTime};
+use hpsock_sim::{Dur, Probe, ResourceId, Sim, SimTime};
 use hpsock_vizserver::{
-    complete_update, partial_update, BlockedImage, ComputeModel, Plan, PipelineCfg, QueryDesc,
+    complete_update, partial_update, BlockedImage, ComputeModel, PipelineCfg, Plan, QueryDesc,
     QueryDriver, QueryKind, VizPipeline,
 };
 use socketvia::Provider;
@@ -43,38 +43,85 @@ pub struct GuaranteeResult {
     pub sustained: bool,
 }
 
+/// Complete-update period indices into which the partial-update probes
+/// fall. Probes start a quarter of the way through the run (never period
+/// 0, so the pipeline is warm) and cycle over the remaining periods, so
+/// every probe lands mid-period *inside* the run regardless of
+/// `n_partial`. Requires `n_complete >= 2`.
+pub fn probe_indices(n_complete: u32, n_partial: u32) -> Vec<u32> {
+    debug_assert!(n_complete >= 2, "a guarantee run streams >= 2 updates");
+    let first_probe = 1.max(n_complete / 4);
+    let span = n_complete.saturating_sub(first_probe).max(1);
+    (0..n_partial).map(|p| first_probe + p % span).collect()
+}
+
+/// What a probed ([`run_guarantee_traced`]) run exposes about the
+/// simulation it ran, for trace export and time-breakdown reports.
+#[derive(Debug, Clone)]
+pub struct RunCapture {
+    /// Final virtual time.
+    pub end: SimTime,
+    /// Resource names indexed by `ResourceId` (the Chrome-trace track
+    /// table).
+    pub resource_names: Vec<String>,
+    /// Server count per resource, same indexing.
+    pub servers: Vec<usize>,
+}
+
 /// Run the pipeline under the configured load and measure.
 pub fn run_guarantee(run: &GuaranteeRun) -> GuaranteeResult {
+    run_guarantee_traced(run, None).0
+}
+
+/// [`run_guarantee`] with an optional probe attached before the run.
+/// Probes are observational only, so the measured result is identical to
+/// the unprobed run (pinned by the determinism tests).
+pub fn run_guarantee_traced(
+    run: &GuaranteeRun,
+    probe: Option<Box<dyn Probe>>,
+) -> (GuaranteeResult, RunCapture) {
     let img = BlockedImage::paper_image(run.block_bytes);
     let period = Dur::from_secs_f64(1.0 / run.target_ups);
     let mut items: Vec<(SimTime, QueryDesc)> = (0..run.n_complete)
         .map(|i| (SimTime::ZERO + period.mul(i as u64), complete_update(&img)))
         .collect();
     // Probes land mid-period, spread across the middle of the run.
-    let first_probe = 1.max(run.n_complete / 4);
-    for p in 0..run.n_partial {
-        let idx = (first_probe + p % run.n_complete.saturating_sub(1).max(1)) as u64;
+    for idx in probe_indices(run.n_complete, run.n_partial) {
         items.push((
-            SimTime::ZERO + period.mul(idx) + period.div(2),
+            SimTime::ZERO + period.mul(u64::from(idx)) + period.div(2),
             partial_update(&img, 1),
         ));
     }
     let mut sim = Sim::new(run.seed);
+    if let Some(p) = probe {
+        sim.attach_probe(p);
+    }
     let cluster = Cluster::build(&mut sim, VizPipeline::nodes_needed(3));
     let cfg = PipelineCfg::paper(Provider::new(run.kind), run.compute);
     let (driver_pid, targets) = QueryDriver::install(&mut sim, Plan::OpenLoop(items));
     let pipe = VizPipeline::build(&mut sim, &cluster, &cfg, driver_pid);
     *targets.lock().expect("targets") = pipe.repo_pids();
-    sim.run();
+    let end = sim.run();
+    let resource_names = sim.resource_names();
+    let servers = (0..resource_names.len())
+        .map(|i| sim.resource(ResourceId(i)).servers())
+        .collect();
     let d: &QueryDriver = sim.process(driver_pid).expect("driver persists");
     let achieved = d.achieved_rate(QueryKind::Complete);
     let sustained = achieved.is_some_and(|r| r >= 0.95 * run.target_ups) && d.outstanding() == 0;
-    GuaranteeResult {
-        partial_us: d.mean_latency_us(QueryKind::Partial),
-        complete_us: d.mean_latency_us(QueryKind::Complete),
-        achieved_ups: achieved,
-        sustained,
-    }
+    (
+        GuaranteeResult {
+            partial_us: d.mean_latency_us(QueryKind::Partial),
+            complete_us: d.mean_latency_us(QueryKind::Complete),
+            achieved_ups: achieved,
+            sustained,
+        },
+        RunCapture {
+            end,
+            resource_names,
+            servers,
+        },
+    )
 }
 
 /// Saturation throughput: submit `n` complete updates back-to-back and
@@ -88,12 +135,7 @@ pub fn run_saturation_ups(
 ) -> f64 {
     let img = BlockedImage::paper_image(block_bytes);
     let items: Vec<(SimTime, QueryDesc)> = (0..n)
-        .map(|i| {
-            (
-                SimTime::ZERO + Dur::micros(i as u64),
-                complete_update(&img),
-            )
-        })
+        .map(|i| (SimTime::ZERO + Dur::micros(i as u64), complete_update(&img)))
         .collect();
     let mut sim = Sim::new(seed);
     let cluster = Cluster::build(&mut sim, VizPipeline::nodes_needed(3));
@@ -151,6 +193,39 @@ pub fn isolated_partial_us(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Regression: the old scheduling computed
+    /// `first_probe + p % (n_complete - 1)` — `%` binds tighter than `+`,
+    /// so with enough probes the index walked past the final complete
+    /// update and probes fired after the load was gone (measuring an idle
+    /// pipeline). Every probe must land inside `[first_probe,
+    /// n_complete - 1]`.
+    #[test]
+    fn probe_indices_stay_inside_the_run() {
+        for n_complete in 2..20u32 {
+            let first_probe = 1.max(n_complete / 4);
+            for n_partial in 1..40u32 {
+                for idx in probe_indices(n_complete, n_partial) {
+                    assert!(
+                        idx >= first_probe && idx < n_complete,
+                        "probe index {idx} outside [{first_probe}, {}) \
+                         for n_complete={n_complete} n_partial={n_partial}",
+                        n_complete
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probe_indices_cycle_over_the_tail() {
+        // 8 completes, first probe at 2, span 6: probes cycle 2..8.
+        assert_eq!(
+            probe_indices(8, 8),
+            vec![2, 3, 4, 5, 6, 7, 2, 3],
+            "probes spread across the middle then wrap"
+        );
+    }
 
     #[test]
     fn feasible_rate_is_sustained() {

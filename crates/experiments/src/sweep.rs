@@ -1,11 +1,11 @@
 //! Parallel parameter sweeps.
 //!
 //! Each sweep point runs an *independent* deterministic simulation, so
-//! points parallelize perfectly across OS threads: a crossbeam channel
-//! feeds a worker pool and results return in input order.
+//! points parallelize perfectly across OS threads: a shared work queue
+//! feeds a scoped worker pool and results return in input order.
 
-use crossbeam::channel;
 use std::num::NonZeroUsize;
+use std::sync::Mutex;
 
 /// Map `f` over `items` on a thread pool, preserving input order.
 /// Determinism is unaffected: each item's simulation is self-contained.
@@ -26,36 +26,32 @@ where
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let (job_tx, job_rx) = channel::unbounded::<(usize, I)>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, O)>();
-    for pair in items.into_iter().enumerate() {
-        job_tx.send(pair).expect("queue jobs");
-    }
-    drop(job_tx);
+    // Indexed work queue drained by the pool; each worker writes results
+    // into its own slot list, merged (still in input order) at the end.
+    let jobs: Mutex<Vec<(usize, I)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
+    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    let results: Mutex<Vec<(usize, O)>> = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|s| {
         for _ in 0..workers {
-            let job_rx = job_rx.clone();
-            let res_tx = res_tx.clone();
+            let jobs = &jobs;
+            let results = &results;
             let f = &f;
-            s.spawn(move || {
-                while let Ok((idx, item)) = job_rx.recv() {
-                    let out = f(item);
-                    if res_tx.send((idx, out)).is_err() {
-                        return;
-                    }
-                }
+            s.spawn(move || loop {
+                let Some((idx, item)) = jobs.lock().expect("job queue lock").pop() else {
+                    return;
+                };
+                let out = f(item);
+                results.lock().expect("result lock").push((idx, out));
             });
         }
-        drop(res_tx);
-        let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
-        for (idx, out) in res_rx.iter() {
-            slots[idx] = Some(out);
-        }
-        slots
-            .into_iter()
-            .map(|s| s.expect("every sweep point completed"))
-            .collect()
-    })
+    });
+    for (idx, out) in results.into_inner().expect("result lock") {
+        slots[idx] = Some(out);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every sweep point completed"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -167,7 +167,9 @@ mod tests {
         for kind in TransportKind::PAPER_SET {
             for bytes in [4u64, 256, 1024, 4096, 16_384] {
                 let sim_us = one_way(kind, bytes);
-                let model_us = PathCosts::for_kind(kind).oneway_latency(bytes).as_micros_f64();
+                let model_us = PathCosts::for_kind(kind)
+                    .oneway_latency(bytes)
+                    .as_micros_f64();
                 let err = (sim_us - model_us).abs() / model_us;
                 assert!(
                     err < 0.01,

@@ -23,7 +23,7 @@ use crate::flow::Flow;
 use crate::frame::{frame_count, frame_len};
 use crate::params::{PathCosts, TransportKind};
 use hpsock_sim::stats::{Tally, TimeWeighted};
-use hpsock_sim::{Ctx, Dur, Message, Process, ProcessId, ResourceId, Sim, SimTime};
+use hpsock_sim::{Ctx, Dur, Message, ProbeEvent, Process, ProcessId, ResourceId, Sim, SimTime};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
@@ -95,19 +95,47 @@ pub enum NetCmd {
 
 /// Engine-internal frame/stage events.
 enum Ev {
-    HostTxDone { conn: ConnId, msg: u64, frame: u32 },
-    WireDone { conn: ConnId, msg: u64, frame: u32 },
-    RxArrive { conn: ConnId, msg: u64, frame: u32 },
-    HostRxFrameDone { conn: ConnId, msg: u64, frame: u32 },
-    MsgReady { conn: ConnId, msg: u64 },
+    HostTxDone {
+        conn: ConnId,
+        msg: u64,
+        frame: u32,
+    },
+    WireDone {
+        conn: ConnId,
+        msg: u64,
+        frame: u32,
+    },
+    RxArrive {
+        conn: ConnId,
+        msg: u64,
+        frame: u32,
+    },
+    HostRxFrameDone {
+        conn: ConnId,
+        msg: u64,
+        frame: u32,
+    },
+    MsgReady {
+        conn: ConnId,
+        msg: u64,
+    },
     /// Window ack (window model): frees in-flight bytes at the sender.
-    AckArrive { conn: ConnId, frame_bytes: u64 },
+    AckArrive {
+        conn: ConnId,
+        frame_bytes: u64,
+    },
     /// Descriptor credits re-posted at frame arrival reached the sender
     /// (credits model).
-    CreditArrive { conn: ConnId, n: u32 },
+    CreditArrive {
+        conn: ConnId,
+        n: u32,
+    },
     /// Consumption notification reached the sender: frees receive-buffer
     /// accounting (window model).
-    FlowReturn { conn: ConnId, bytes: u64 },
+    FlowReturn {
+        conn: ConnId,
+        bytes: u64,
+    },
 }
 
 /// Counters and distributions per connection.
@@ -125,6 +153,13 @@ pub struct ConnStats {
     pub latency_us: Tally,
     /// Sender queue depth (messages waiting for flow-control headroom).
     pub queue_depth: TimeWeighted,
+    /// Total time the sender sat blocked on flow-control credits with data
+    /// queued (the paper's "waiting for descriptor credits" component).
+    pub credit_stall: Dur,
+    /// Frames (wire segments) submitted to the sender's host engine.
+    pub frames_tx: u64,
+    /// Per-frame receive completions (interrupt-path invocations).
+    pub rx_interrupts: u64,
 }
 
 struct PendingMsg {
@@ -152,6 +187,8 @@ struct ConnState {
     /// Delivered, not yet consumed: msg_id -> (bytes, frames).
     unconsumed: HashMap<u64, (u64, u32)>,
     stats: ConnStats,
+    /// When the sender last became credit-blocked with data queued.
+    stall_since: Option<SimTime>,
 }
 
 /// Connection specification recorded before the run starts.
@@ -258,7 +295,23 @@ impl NetEngine {
             if !c.flow.can_send(flen) {
                 let depth = c.sendq.len() as f64;
                 c.stats.queue_depth.set(ctx.now(), depth);
+                if c.stall_since.is_none() {
+                    c.stall_since = Some(ctx.now());
+                }
+                ctx.probe_emit(|t| ProbeEvent::Gauge {
+                    name: format!("net.conn{}.sendq", conn.0),
+                    time: t,
+                    value: depth,
+                });
                 return;
+            }
+            // Credits freed up: close any open stall interval, attributed
+            // to the host TX engine the frames were waiting to enter.
+            if let Some(from) = c.stall_since.take() {
+                let until = ctx.now();
+                c.stats.credit_stall += until.saturating_since(from);
+                let rid = self.nodes[c.src.node.0].host_tx;
+                ctx.probe_emit(|_| ProbeEvent::Stall { rid, from, until });
             }
             c.flow.on_frame_sent(flen);
             let first = head.next_frame == 0;
@@ -275,7 +328,17 @@ impl NetEngine {
             if finished {
                 c.sendq.pop_front();
             }
-            ctx.use_resource(host_tx, service, Box::new(Ev::HostTxDone { conn, msg, frame }));
+            c.stats.frames_tx += 1;
+            ctx.probe_emit(|t| ProbeEvent::Counter {
+                name: "net.frames_tx".to_string(),
+                time: t,
+                delta: 1.0,
+            });
+            ctx.use_resource(
+                host_tx,
+                service,
+                Box::new(Ev::HostTxDone { conn, msg, frame }),
+            );
         }
     }
 
@@ -362,6 +425,12 @@ impl NetEngine {
                 let st = c.msgs.get_mut(&msg).expect("frame for unknown message");
                 let flen = frame_len(st.bytes, c.costs.frame_payload, frame) as u64;
                 st.frames_arrived += 1;
+                c.stats.rx_interrupts += 1;
+                ctx.probe_emit(|t| ProbeEvent::Counter {
+                    name: "net.rx_interrupts".to_string(),
+                    time: t,
+                    delta: 1.0,
+                });
                 let last = st.frames_arrived == st.frames;
                 let ack = c.costs.ack_latency;
                 if c.flow.is_credits() {
@@ -442,6 +511,7 @@ impl Process for NetEngine {
                 msgs: HashMap::new(),
                 unconsumed: HashMap::new(),
                 stats: ConnStats::default(),
+                stall_since: None,
             })
             .collect();
     }

@@ -94,9 +94,7 @@ impl Flow {
                 // sockets layer (whose receive is always posted) reaps the
                 // completion, copies the segment out, and re-posts.
                 ring.on_frame(frame_bytes as u32);
-                let c = ring
-                    .reap_and_repost()
-                    .expect("completion just enqueued");
+                let c = ring.reap_and_repost().expect("completion just enqueued");
                 debug_assert_eq!(c.len as u64, frame_bytes);
                 1
             }
@@ -111,7 +109,10 @@ impl Flow {
     /// Credits shipped by the receiver reached the sender.
     pub fn on_credits_returned(&mut self, n: u32) {
         match self {
-            Flow::Credits { sender_credits, ring } => {
+            Flow::Credits {
+                sender_credits,
+                ring,
+            } => {
                 *sender_credits += n;
                 assert!(
                     *sender_credits <= ring.pool(),

@@ -62,8 +62,11 @@ pub enum TransportKind {
 
 impl TransportKind {
     /// All transports evaluated in the paper's Figure 4.
-    pub const PAPER_SET: [TransportKind; 3] =
-        [TransportKind::Via, TransportKind::SocketVia, TransportKind::KTcp];
+    pub const PAPER_SET: [TransportKind; 3] = [
+        TransportKind::Via,
+        TransportKind::SocketVia,
+        TransportKind::KTcp,
+    ];
 
     /// Short label used in printed tables.
     pub fn label(self) -> &'static str {
@@ -286,8 +289,8 @@ impl PathCosts {
             + frames as f64 * self.per_frame_send.as_nanos() as f64
             + n as f64 * self.per_byte_send_ns;
         let wire_bytes = (n + frames * self.frame_overhead as u64) as f64;
-        let nic_stage =
-            frames as f64 * self.nic_per_frame.as_nanos() as f64 + wire_bytes * self.wire_ns_per_byte;
+        let nic_stage = frames as f64 * self.nic_per_frame.as_nanos() as f64
+            + wire_bytes * self.wire_ns_per_byte;
         let recv_stage = self.per_msg_recv.as_nanos() as f64
             + frames as f64 * self.per_frame_recv.as_nanos() as f64
             + n as f64 * self.per_byte_recv_ns;

@@ -8,6 +8,7 @@
 //! sequential in `(time, seq)` order, so runs are reproducible.
 
 use crate::event::EventQueue;
+use crate::probe::{Probe, ProbeEvent};
 use crate::resource::{Resource, ResourceId};
 use crate::time::{Dur, SimTime};
 use crate::trace::TraceDigest;
@@ -57,6 +58,9 @@ struct Core {
     next_pid: usize,
     stop_requested: bool,
     events_dispatched: u64,
+    /// Observability sink; `None` (the default) makes every emission site
+    /// a single branch with the event never constructed.
+    probe: Option<Box<dyn Probe>>,
 }
 
 impl Core {
@@ -94,6 +98,7 @@ impl Sim {
                 next_pid: 0,
                 stop_requested: false,
                 events_dispatched: 0,
+                probe: None,
             },
             procs: Vec::new(),
             started: 0,
@@ -151,6 +156,27 @@ impl Sim {
         self.core.trace.value()
     }
 
+    /// Attach an observability sink (see [`crate::probe`]). Probes are
+    /// purely observational: attaching one never changes the trace digest.
+    pub fn attach_probe(&mut self, probe: Box<dyn Probe>) {
+        self.core.probe = Some(probe);
+    }
+
+    /// Detach and return the current probe, if any.
+    pub fn detach_probe(&mut self) -> Option<Box<dyn Probe>> {
+        self.core.probe.take()
+    }
+
+    /// Names of all registered resources, indexed by `ResourceId`; the
+    /// track table expected by [`crate::probe::Recorder::chrome_trace_json`].
+    pub fn resource_names(&self) -> Vec<String> {
+        self.core
+            .resources
+            .iter()
+            .map(|r| r.name().to_string())
+            .collect()
+    }
+
     /// Run until the event queue drains (or `stop`/event cap). Returns the
     /// final virtual time.
     pub fn run(&mut self) -> SimTime {
@@ -184,6 +210,12 @@ impl Sim {
             self.core.now = ev.time;
             self.core.events_dispatched += 1;
             self.core.trace.record(ev.time, ev.target);
+            if let Some(probe) = self.core.probe.as_mut() {
+                probe.record(ProbeEvent::Dispatch {
+                    time: ev.time,
+                    target: ev.target,
+                });
+            }
             self.dispatch(ev.target, ev.msg);
             self.start_new_processes();
         }
@@ -287,8 +319,26 @@ impl<'a> Ctx<'a> {
         target: ProcessId,
         msg: Message,
     ) -> SimTime {
-        let done = self.core.resources[rid.0].schedule(self.core.now, service);
+        let done = self.schedule_observed(rid, service);
         self.core.queue.push(done, target, msg);
+        done
+    }
+
+    /// Schedule on the resource and report the acquisition to the probe.
+    fn schedule_observed(&mut self, rid: ResourceId, service: Dur) -> SimTime {
+        let now = self.core.now;
+        let busy_servers = self.core.resources[rid.0].busy_servers(now);
+        let done = self.core.resources[rid.0].schedule(now, service);
+        if let Some(probe) = self.core.probe.as_mut() {
+            probe.record(ProbeEvent::ResourceAcquire {
+                rid,
+                arrived: now,
+                start: done - service,
+                completion: done,
+                service,
+                busy_servers,
+            });
+        }
         done
     }
 
@@ -302,7 +352,7 @@ impl<'a> Ctx<'a> {
     /// protocol processing whose completion is accounted for elsewhere).
     /// Returns the completion instant.
     pub fn occupy_resource(&mut self, rid: ResourceId, service: Dur) -> SimTime {
-        self.core.resources[rid.0].schedule(self.core.now, service)
+        self.schedule_observed(rid, service)
     }
 
     /// Read-only view of a resource's statistics.
@@ -333,6 +383,23 @@ impl<'a> Ctx<'a> {
     /// Fold an application-level tag into the determinism trace digest.
     pub fn trace_tag(&mut self, tag: u64) {
         self.core.trace.record_tag(tag);
+    }
+
+    /// Whether a probe is attached. Use to skip expensive event *inputs*
+    /// (string formatting etc.); [`Ctx::probe_emit`] already skips event
+    /// construction itself.
+    #[inline]
+    pub fn probe_enabled(&self) -> bool {
+        self.core.probe.is_some()
+    }
+
+    /// Emit a probe event. The closure runs — i.e. the event is built —
+    /// only when a probe is attached, so a disabled bus costs one branch.
+    #[inline]
+    pub fn probe_emit(&mut self, f: impl FnOnce(SimTime) -> ProbeEvent) {
+        if let Some(probe) = self.core.probe.as_mut() {
+            probe.record(f(self.core.now));
+        }
     }
 }
 

@@ -12,7 +12,10 @@
 //! * deterministic per-process random-number streams,
 //! * statistics collectors ([`stats::Tally`], [`stats::Histogram`],
 //!   [`stats::TimeWeighted`]),
-//! * an event-trace digest used by determinism tests.
+//! * an event-trace digest used by determinism tests,
+//! * a typed observability bus ([`probe`]) — zero overhead when disabled,
+//!   with a buffering [`Recorder`], a [`MetricRegistry`], and Chrome
+//!   trace-event JSON export for Perfetto.
 //!
 //! The kernel is strictly sequential and deterministic: two runs with the
 //! same seed and the same process construction order produce bit-identical
@@ -46,6 +49,7 @@
 
 pub mod event;
 pub mod kernel;
+pub mod probe;
 pub mod resource;
 pub mod stats;
 pub mod time;
@@ -53,6 +57,7 @@ pub mod trace;
 
 pub use event::{Event, EventQueue};
 pub use kernel::{Ctx, Message, Process, ProcessId, Sim};
+pub use probe::{MetricRegistry, Probe, ProbeEvent, Recorder};
 pub use resource::{Resource, ResourceId};
 pub use time::{Dur, SimTime};
 pub use trace::TraceDigest;

@@ -1,0 +1,641 @@
+//! `sim::probe` — a typed, zero-overhead-when-disabled observability bus.
+//!
+//! The kernel and the domain layers (net engine, DataCutter filters, the
+//! vizserver pipeline) emit [`ProbeEvent`]s describing *what the simulation
+//! did*: event dispatches, resource acquisitions (with queueing detail),
+//! credit stalls, labelled spans, counters and gauges. A [`Probe`] sink
+//! attached via [`crate::Sim::attach_probe`] receives them; with no probe
+//! attached the emission sites reduce to a branch on an `Option` — the
+//! event values are never even constructed (see [`crate::Ctx::probe_emit`]).
+//!
+//! Probes are **purely observational**: they never draw from the RNG
+//! streams and never insert events, so the [`crate::TraceDigest`] of a run
+//! is identical with and without a probe attached (this is pinned by the
+//! determinism test-suite).
+//!
+//! [`Recorder`] is the batteries-included sink: it buffers events, folds
+//! counters/gauges into a [`MetricRegistry`], and exports Chrome
+//! trace-event JSON openable in Perfetto / `chrome://tracing`, with one
+//! track per simulated resource plus one per named span track.
+
+use crate::kernel::ProcessId;
+use crate::resource::ResourceId;
+use crate::stats::{Histogram, Tally, TimeWeighted};
+use crate::time::{Dur, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// One observation on the probe bus.
+#[derive(Debug, Clone)]
+pub enum ProbeEvent {
+    /// The kernel dispatched an event to `target` at `time`.
+    Dispatch {
+        /// Dispatch instant.
+        time: SimTime,
+        /// Receiving process.
+        target: ProcessId,
+    },
+    /// A job was scheduled on a FCFS resource.
+    ResourceAcquire {
+        /// The station.
+        rid: ResourceId,
+        /// When the job arrived at the station.
+        arrived: SimTime,
+        /// When service actually started (`>= arrived` under backlog).
+        start: SimTime,
+        /// When service completes.
+        completion: SimTime,
+        /// Service demand.
+        service: Dur,
+        /// Servers busy at the arrival instant (before this job).
+        busy_servers: usize,
+    },
+    /// Begin a labelled span on a named track (e.g. one filter's compute).
+    SpanBegin {
+        /// Track name; all spans with the same track share a timeline row.
+        track: String,
+        /// Span label.
+        label: String,
+        /// Start instant.
+        time: SimTime,
+        /// Caller-chosen id matching the corresponding [`ProbeEvent::SpanEnd`].
+        id: u64,
+    },
+    /// End the span opened with the same `track`/`id`.
+    SpanEnd {
+        /// Track name.
+        track: String,
+        /// End instant.
+        time: SimTime,
+        /// Id from the matching [`ProbeEvent::SpanBegin`].
+        id: u64,
+    },
+    /// Increment a named monotonic counter.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Instant of the increment.
+        time: SimTime,
+        /// Increment (usually 1.0).
+        delta: f64,
+    },
+    /// Set a named piecewise-constant gauge (queue depths etc.).
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// Instant of the change.
+        time: SimTime,
+        /// New value.
+        value: f64,
+    },
+    /// A sender sat blocked on flow-control credits for `[from, until]`,
+    /// attributed to the resource it would otherwise have been feeding.
+    Stall {
+        /// The starved station (the sender's host-TX engine).
+        rid: ResourceId,
+        /// Stall start.
+        from: SimTime,
+        /// Stall end.
+        until: SimTime,
+    },
+}
+
+/// A sink for [`ProbeEvent`]s. Implementations must not interact with the
+/// simulation (no RNG draws, no event insertion) — observation only.
+pub trait Probe: Send {
+    /// Receive one event.
+    fn record(&mut self, ev: ProbeEvent);
+}
+
+/// Named counters, gauges and histograms, keyed deterministically.
+///
+/// Thin registry over the existing collectors: counters are plain running
+/// sums, gauges are [`TimeWeighted`] signals, histograms are log-spaced
+/// [`Histogram`]s (1 µs – 100 s when values are in µs). `BTreeMap` keys
+/// make snapshot iteration order deterministic.
+#[derive(Debug, Default)]
+pub struct MetricRegistry {
+    counters: BTreeMap<String, f64>,
+    gauges: BTreeMap<String, TimeWeighted>,
+    hists: BTreeMap<String, Histogram>,
+    tallies: BTreeMap<String, Tally>,
+}
+
+impl MetricRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to counter `name` (created at zero on first touch).
+    pub fn counter_add(&mut self, name: &str, delta: f64) {
+        *self.counters.entry(name.to_string()).or_insert(0.0) += delta;
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> f64 {
+        self.counters.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Record that gauge `name` changed to `value` at `t`.
+    pub fn gauge_set(&mut self, name: &str, t: SimTime, value: f64) {
+        self.gauges
+            .entry(name.to_string())
+            .or_default()
+            .set(t, value);
+    }
+
+    /// Time-weighted mean of gauge `name` over `[0, end]`.
+    pub fn gauge_mean(&self, name: &str, end: SimTime) -> f64 {
+        self.gauges.get(name).map_or(0.0, |g| g.mean(end))
+    }
+
+    /// Latest value of gauge `name` (0 if never set).
+    pub fn gauge_current(&self, name: &str) -> f64 {
+        self.gauges.get(name).map_or(0.0, |g| g.current())
+    }
+
+    /// Iterate gauge names in order.
+    pub fn gauge_names(&self) -> impl Iterator<Item = &str> {
+        self.gauges.keys().map(String::as_str)
+    }
+
+    /// Record an observation into histogram `name` (µs-scale bins,
+    /// 1 µs – 100 s, created on first touch).
+    pub fn hist_add(&mut self, name: &str, x: f64) {
+        self.hists
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::log_spaced(1.0, 1e8, 160))
+            .add(x);
+        self.tallies.entry(name.to_string()).or_default().add(x);
+    }
+
+    /// The histogram named `name`, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Streaming moments for histogram `name`, if any.
+    pub fn tally(&self, name: &str) -> Option<&Tally> {
+        self.tallies.get(name)
+    }
+}
+
+struct RecorderInner {
+    events: Vec<ProbeEvent>,
+    dispatches: u64,
+    metrics: MetricRegistry,
+}
+
+/// Shared-handle buffering sink.
+///
+/// `Recorder::probe()` hands the kernel a [`Probe`] that feeds this
+/// recorder; the caller keeps the `Recorder` and reads events / metrics
+/// after (or during) the run. [`ProbeEvent::Dispatch`] is *counted*, not
+/// buffered — large runs dispatch millions of events and the per-dispatch
+/// payload carries no information beyond its count.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<Mutex<RecorderInner>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        Recorder {
+            inner: Arc::new(Mutex::new(RecorderInner {
+                events: Vec::new(),
+                dispatches: 0,
+                metrics: MetricRegistry::new(),
+            })),
+        }
+    }
+
+    /// A probe handle feeding this recorder; attach it with
+    /// [`crate::Sim::attach_probe`].
+    pub fn probe(&self) -> Box<dyn Probe> {
+        Box::new(RecorderProbe {
+            inner: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Number of kernel dispatches observed.
+    pub fn dispatches(&self) -> u64 {
+        self.inner.lock().expect("recorder lock").dispatches
+    }
+
+    /// Number of buffered (non-dispatch) events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("recorder lock").events.len()
+    }
+
+    /// True when no non-dispatch event has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Run `f` against the buffered events without copying them out.
+    pub fn with_events<R>(&self, f: impl FnOnce(&[ProbeEvent]) -> R) -> R {
+        f(&self.inner.lock().expect("recorder lock").events)
+    }
+
+    /// Run `f` against the metric registry.
+    pub fn with_metrics<R>(&self, f: impl FnOnce(&MetricRegistry) -> R) -> R {
+        f(&self.inner.lock().expect("recorder lock").metrics)
+    }
+
+    /// Export buffered events as Chrome trace-event JSON (the format
+    /// Perfetto and `chrome://tracing` open directly).
+    ///
+    /// `resource_names[i]` labels the track for `ResourceId(i)` (use
+    /// [`crate::Sim::resource_names`]). Layout: tid 0 carries counters and
+    /// gauges, tids `1..=n` are the resource tracks (occupancy as complete
+    /// `"X"` events, stalls on a sibling `"· stall"` track), and span
+    /// tracks follow in name order. Timestamps are virtual µs.
+    pub fn chrome_trace_json(&self, resource_names: &[String]) -> String {
+        let inner = self.inner.lock().expect("recorder lock");
+        let us = |t: SimTime| t.as_nanos() as f64 / 1e3;
+
+        // Deterministic track table: resources first, then stall tracks for
+        // resources that stalled, then span tracks in name order.
+        let mut stall_rids: BTreeSet<usize> = BTreeSet::new();
+        let mut span_tracks: BTreeSet<&str> = BTreeSet::new();
+        for ev in &inner.events {
+            match ev {
+                ProbeEvent::Stall { rid, .. } => {
+                    stall_rids.insert(rid.0);
+                }
+                ProbeEvent::SpanBegin { track, .. } | ProbeEvent::SpanEnd { track, .. } => {
+                    span_tracks.insert(track);
+                }
+                _ => {}
+            }
+        }
+        let stall_tid: BTreeMap<usize, u64> = stall_rids
+            .iter()
+            .enumerate()
+            .map(|(i, &rid)| (rid, resource_names.len() as u64 + 1 + i as u64))
+            .collect();
+        let span_base = resource_names.len() as u64 + 1 + stall_tid.len() as u64;
+        let span_tid: BTreeMap<&str, u64> = span_tracks
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, span_base + i as u64))
+            .collect();
+
+        let mut out = String::with_capacity(1 << 16);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        let emit = |out: &mut String, first: &mut bool, body: &str| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push_str(body);
+        };
+
+        // Track-name metadata.
+        for (i, name) in resource_names.iter().enumerate() {
+            emit(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"ph\":\"M\",\"pid\":0,\"tid\":{},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    i + 1,
+                    json_escape(name)
+                ),
+            );
+        }
+        for (&rid, &tid) in &stall_tid {
+            let name = resource_names
+                .get(rid)
+                .map(String::as_str)
+                .unwrap_or("resource");
+            emit(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"{} · stall\"}}}}",
+                    json_escape(name)
+                ),
+            );
+        }
+        for (&track, &tid) in &span_tid {
+            emit(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    json_escape(track)
+                ),
+            );
+        }
+
+        // Counters plot cumulative running totals; async span ends reuse
+        // the label from their matching begin (Perfetto pairs on cat+id).
+        let mut running: BTreeMap<&str, f64> = BTreeMap::new();
+        let mut open_spans: BTreeMap<(u64, u64), String> = BTreeMap::new();
+        for ev in &inner.events {
+            match ev {
+                ProbeEvent::Dispatch { .. } => {}
+                ProbeEvent::ResourceAcquire {
+                    rid,
+                    arrived,
+                    start,
+                    completion,
+                    service,
+                    busy_servers,
+                } => {
+                    let dur = completion.saturating_since(*start);
+                    emit(
+                        &mut out,
+                        &mut first,
+                        &format!(
+                            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\
+                             \"name\":\"use\",\"args\":{{\"service_us\":{:.3},\"wait_us\":{:.3},\
+                             \"busy_servers\":{}}}}}",
+                            rid.0 + 1,
+                            us(*start),
+                            dur.as_nanos() as f64 / 1e3,
+                            service.as_nanos() as f64 / 1e3,
+                            start.saturating_since(*arrived).as_nanos() as f64 / 1e3,
+                            busy_servers
+                        ),
+                    );
+                }
+                ProbeEvent::Stall { rid, from, until } => {
+                    let tid = stall_tid[&rid.0];
+                    emit(
+                        &mut out,
+                        &mut first,
+                        &format!(
+                            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3},\
+                             \"name\":\"credit stall\",\"args\":{{}}}}",
+                            us(*from),
+                            until.saturating_since(*from).as_nanos() as f64 / 1e3
+                        ),
+                    );
+                }
+                ProbeEvent::SpanBegin {
+                    track,
+                    label,
+                    time,
+                    id,
+                } => {
+                    let tid = span_tid[track.as_str()];
+                    open_spans.insert((tid, *id), label.clone());
+                    emit(
+                        &mut out,
+                        &mut first,
+                        &format!(
+                            "{{\"ph\":\"b\",\"cat\":\"span\",\"id\":{id},\"pid\":0,\
+                             \"tid\":{tid},\"ts\":{:.3},\"name\":\"{}\"}}",
+                            us(*time),
+                            json_escape(label)
+                        ),
+                    );
+                }
+                ProbeEvent::SpanEnd { track, time, id } => {
+                    let tid = span_tid[track.as_str()];
+                    let label = open_spans.remove(&(tid, *id)).unwrap_or_default();
+                    emit(
+                        &mut out,
+                        &mut first,
+                        &format!(
+                            "{{\"ph\":\"e\",\"cat\":\"span\",\"id\":{id},\"pid\":0,\
+                             \"tid\":{tid},\"ts\":{:.3},\"name\":\"{}\"}}",
+                            us(*time),
+                            json_escape(&label)
+                        ),
+                    );
+                }
+                ProbeEvent::Counter { name, time, delta } => {
+                    let v = running.entry(name.as_str()).or_insert(0.0);
+                    *v += delta;
+                    emit(
+                        &mut out,
+                        &mut first,
+                        &format!(
+                            "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":{:.3},\"name\":\"{}\",\
+                             \"args\":{{\"value\":{}}}}}",
+                            us(*time),
+                            json_escape(name),
+                            v
+                        ),
+                    );
+                }
+                ProbeEvent::Gauge { name, time, value } => {
+                    emit(
+                        &mut out,
+                        &mut first,
+                        &format!(
+                            "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":{:.3},\"name\":\"{}\",\
+                             \"args\":{{\"value\":{}}}}}",
+                            us(*time),
+                            json_escape(name),
+                            value
+                        ),
+                    );
+                }
+            }
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+struct RecorderProbe {
+    inner: Arc<Mutex<RecorderInner>>,
+}
+
+impl Probe for RecorderProbe {
+    fn record(&mut self, ev: ProbeEvent) {
+        let mut inner = self.inner.lock().expect("recorder lock");
+        match &ev {
+            ProbeEvent::Dispatch { .. } => {
+                inner.dispatches += 1;
+                return;
+            }
+            ProbeEvent::Counter { name, delta, .. } => {
+                let (name, delta) = (name.clone(), *delta);
+                inner.metrics.counter_add(&name, delta);
+            }
+            ProbeEvent::Gauge { name, time, value } => {
+                let (name, time, value) = (name.clone(), *time, *value);
+                inner.metrics.gauge_set(&name, time, value);
+            }
+            _ => {}
+        }
+        inner.events.push(ev);
+    }
+}
+
+/// Escape `s` for inclusion inside a JSON string literal (quotes,
+/// backslash, and all control characters below U+0020).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn json_escape_passes_plain_text() {
+        assert_eq!(json_escape("host_tx[0]"), "host_tx[0]");
+        assert_eq!(json_escape("π · stall"), "π · stall");
+    }
+
+    #[test]
+    fn json_escape_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb\tc\r"), "a\\nb\\tc\\r");
+        assert_eq!(json_escape("\u{01}"), "\\u0001");
+        assert_eq!(json_escape("\u{1f}"), "\\u001f");
+    }
+
+    #[test]
+    fn registry_counters_accumulate() {
+        let mut m = MetricRegistry::new();
+        m.counter_add("net.frames", 1.0);
+        m.counter_add("net.frames", 2.0);
+        m.counter_add("dc.acks", 1.0);
+        assert_eq!(m.counter("net.frames"), 3.0);
+        assert_eq!(m.counter("missing"), 0.0);
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["dc.acks", "net.frames"], "BTreeMap order");
+    }
+
+    #[test]
+    fn registry_gauges_time_weight() {
+        let mut m = MetricRegistry::new();
+        m.gauge_set("q", t(0), 2.0);
+        m.gauge_set("q", t(100), 4.0);
+        assert!((m.gauge_mean("q", t(200)) - 3.0).abs() < 1e-12);
+        assert_eq!(m.gauge_current("q"), 4.0);
+        assert_eq!(m.gauge_mean("absent", t(100)), 0.0);
+    }
+
+    #[test]
+    fn registry_histograms_and_tallies() {
+        let mut m = MetricRegistry::new();
+        for x in [10.0, 20.0, 30.0] {
+            m.hist_add("lat", x);
+        }
+        assert_eq!(m.histogram("lat").unwrap().total(), 3);
+        assert!((m.tally("lat").unwrap().mean() - 20.0).abs() < 1e-12);
+        assert!(m.histogram("absent").is_none());
+    }
+
+    #[test]
+    fn recorder_counts_dispatches_without_buffering() {
+        let rec = Recorder::new();
+        let mut p = rec.probe();
+        for i in 0..5 {
+            p.record(ProbeEvent::Dispatch {
+                time: t(i),
+                target: ProcessId(0),
+            });
+        }
+        assert_eq!(rec.dispatches(), 5);
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn recorder_folds_counters_and_gauges_into_metrics() {
+        let rec = Recorder::new();
+        let mut p = rec.probe();
+        p.record(ProbeEvent::Counter {
+            name: "c".into(),
+            time: t(10),
+            delta: 2.0,
+        });
+        p.record(ProbeEvent::Gauge {
+            name: "g".into(),
+            time: t(0),
+            value: 7.0,
+        });
+        assert_eq!(rec.with_metrics(|m| m.counter("c")), 2.0);
+        assert_eq!(rec.with_metrics(|m| m.gauge_current("g")), 7.0);
+        assert_eq!(rec.len(), 2, "counter/gauge events stay in the buffer");
+    }
+
+    #[test]
+    fn chrome_trace_has_named_tracks_and_balanced_events() {
+        let rec = Recorder::new();
+        let mut p = rec.probe();
+        p.record(ProbeEvent::ResourceAcquire {
+            rid: ResourceId(0),
+            arrived: t(0),
+            start: t(500),
+            completion: t(1_500),
+            service: Dur::nanos(1_000),
+            busy_servers: 1,
+        });
+        p.record(ProbeEvent::Stall {
+            rid: ResourceId(0),
+            from: t(2_000),
+            until: t(3_000),
+        });
+        p.record(ProbeEvent::SpanBegin {
+            track: "dc.magnify[0]".into(),
+            label: "compute \"x\"".into(),
+            time: t(100),
+            id: 1,
+        });
+        p.record(ProbeEvent::SpanEnd {
+            track: "dc.magnify[0]".into(),
+            time: t(900),
+            id: 1,
+        });
+        let json = rec.chrome_trace_json(&["host_tx[0]".to_string()]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with('}'));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("host_tx[0]"));
+        assert!(json.contains("host_tx[0] · stall"));
+        assert!(json.contains("dc.magnify[0]"));
+        assert!(json.contains("compute \\\"x\\\""), "labels are escaped");
+        assert_eq!(
+            json.matches("\"ph\":\"b\"").count(),
+            json.matches("\"ph\":\"e\"").count(),
+            "span begins and ends balance"
+        );
+        // Occupancy X event carries wait accounting: started 0.5us late.
+        assert!(json.contains("\"wait_us\":0.500"));
+    }
+}

@@ -83,6 +83,12 @@ impl Resource {
         self.free_at.len()
     }
 
+    /// Servers still serving (or backed up past) `now` — instantaneous
+    /// occupancy, used by probe events to report queue pressure.
+    pub fn busy_servers(&self, now: SimTime) -> usize {
+        self.free_at.iter().filter(|&&t| t > now).count()
+    }
+
     /// Jobs scheduled so far.
     pub fn jobs(&self) -> u64 {
         self.jobs

@@ -36,14 +36,21 @@ fn closed_loop_zoom_and_complete_round_trip() {
         complete_update(&img),
         partial_update(&img, 1),
     ];
-    let (sim, driver, pipe) =
-        run_closed_loop(TransportKind::SocketVia, ComputeModel::None, 262_144, queries);
+    let (sim, driver, pipe) = run_closed_loop(
+        TransportKind::SocketVia,
+        ComputeModel::None,
+        262_144,
+        queries,
+    );
     let d: &QueryDriver = sim.process(driver).unwrap();
     assert_eq!(d.results.len(), 3, "all queries completed");
     assert_eq!(d.outstanding(), 0);
     // The complete update moved the full image through the pipeline.
     let viz = pipe.inst.copy(&sim, pipe.viz, 0);
-    assert_eq!(viz.stats.bytes_in, img.stored_bytes() + 4 * 262_144 + 262_144);
+    assert_eq!(
+        viz.stats.bytes_in,
+        img.stored_bytes() + 4 * 262_144 + 262_144
+    );
     // Complete >> zoom >> partial in response time.
     let t = |k| d.mean_latency_us(k).unwrap();
     assert!(t(QueryKind::Complete) > t(QueryKind::Zoom));
@@ -54,8 +61,12 @@ fn closed_loop_zoom_and_complete_round_trip() {
 fn socketvia_complete_update_beats_tcp_at_small_blocks() {
     let img = BlockedImage::paper_image(16_384);
     let run = |kind| {
-        let (sim, driver, _) =
-            run_closed_loop(kind, ComputeModel::None, 16_384, vec![complete_update(&img)]);
+        let (sim, driver, _) = run_closed_loop(
+            kind,
+            ComputeModel::None,
+            16_384,
+            vec![complete_update(&img)],
+        );
         let d: &QueryDriver = sim.process(driver).unwrap();
         d.mean_latency_us(QueryKind::Complete).unwrap()
     };
@@ -74,10 +85,7 @@ fn open_loop_sustains_feasible_rate() {
     let img = BlockedImage::paper_image(65_536);
     let mut sim = Sim::new(5);
     let cluster = Cluster::build(&mut sim, VizPipeline::nodes_needed(3));
-    let cfg = PipelineCfg::paper(
-        Provider::new(TransportKind::SocketVia),
-        ComputeModel::None,
-    );
+    let cfg = PipelineCfg::paper(Provider::new(TransportKind::SocketVia), ComputeModel::None);
     let n = 8u64;
     let items: Vec<(SimTime, crate::pipeline::QueryDesc)> = (0..n)
         .map(|i| {
@@ -110,8 +118,7 @@ fn partial_probe_latency_under_load_favors_dr() {
     let img_bytes = 16u64 * 1024 * 1024;
     let tcp_block =
         crate::guarantee::block_size_for_update_rate(&tcp_curve, img_bytes, 2.0).unwrap();
-    let sv_block =
-        crate::guarantee::block_size_for_update_rate(&sv_curve, img_bytes, 2.0).unwrap();
+    let sv_block = crate::guarantee::block_size_for_update_rate(&sv_curve, img_bytes, 2.0).unwrap();
 
     let probe = |kind: TransportKind, block: u64| {
         let img = BlockedImage::paper_image(block);

@@ -62,7 +62,10 @@ impl BlockedImage {
         bytes_per_pixel: u32,
         block_bytes: u64,
     ) -> BlockedImage {
-        assert!(block_bytes >= bytes_per_pixel as u64, "block below one pixel");
+        assert!(
+            block_bytes >= bytes_per_pixel as u64,
+            "block below one pixel"
+        );
         let px_per_block = (block_bytes / bytes_per_pixel as u64).max(1);
         // Square-ish, preferring an exact split: pick the power-of-two width
         // nearest sqrt(px); when px is a power of two this tiles exactly.
@@ -180,7 +183,7 @@ mod tests {
     #[test]
     fn rect_queries_pick_correct_blocks() {
         let img = BlockedImage::paper_image(65_536); // 16x16 grid of 128px blocks
-        // A rect inside block (0,0).
+                                                     // A rect inside block (0,0).
         assert_eq!(img.blocks_in_rect(Rect::new(0, 0, 10, 10)), vec![0]);
         // A rect spanning the first two columns.
         assert_eq!(img.blocks_in_rect(Rect::new(120, 0, 136, 10)), vec![0, 1]);

@@ -14,7 +14,7 @@
 use crate::pipeline::{QueryDesc, QueryKind, UowDone};
 use hpsock_datacutter::UowStartMsg;
 use hpsock_sim::stats::Histogram;
-use hpsock_sim::{Ctx, Dur, Message, Process, ProcessId, Sim, SimTime};
+use hpsock_sim::{Ctx, Dur, Message, ProbeEvent, Process, ProcessId, Sim, SimTime};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -91,6 +91,13 @@ impl QueryDriver {
         let uow = self.next_uow;
         self.next_uow += 1;
         self.pending.insert(uow, (q.kind, ctx.now()));
+        let kind = q.kind;
+        ctx.probe_emit(|t| ProbeEvent::SpanBegin {
+            track: "viz.queries".to_string(),
+            label: format!("{} #{uow}", kind.label()),
+            time: t,
+            id: u64::from(uow),
+        });
         let desc: Arc<dyn std::any::Any + Send + Sync> = Arc::new(q);
         let targets = self.targets.lock().expect("targets lock").clone();
         assert!(!targets.is_empty(), "driver targets were never installed");
@@ -212,6 +219,11 @@ impl Process for QueryDriver {
                 };
                 self.latency_hist.add(result.latency().as_micros_f64());
                 self.results.push(result);
+                ctx.probe_emit(|_| ProbeEvent::SpanEnd {
+                    track: "viz.queries".to_string(),
+                    time: done.at,
+                    id: u64::from(done.uow),
+                });
                 if self.closed && self.closed_next < self.queries.len() {
                     let q = self.queries[self.closed_next].clone();
                     self.closed_next += 1;

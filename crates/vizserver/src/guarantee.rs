@@ -86,10 +86,7 @@ mod tests {
         assert_eq!(block_size_for_update_rate(&tcp, IMG, 4.0), None);
         // 3.25 ups is feasible with a block in the 8-32 KB range.
         let s = block_size_for_update_rate(&tcp, IMG, 3.25).unwrap();
-        assert!(
-            (8_192..=32_768).contains(&s),
-            "TCP block for 3.25 ups: {s}"
-        );
+        assert!((8_192..=32_768).contains(&s), "TCP block for 3.25 ups: {s}");
     }
 
     #[test]

@@ -32,7 +32,9 @@ impl FilterLogic for LbSource {
         uow: u32,
         desc: Arc<dyn Any + Send + Sync>,
     ) -> Action {
-        let q = desc.downcast::<QueryDesc>().expect("LB expects a QueryDesc");
+        let q = desc
+            .downcast::<QueryDesc>()
+            .expect("LB expects a QueryDesc");
         self.queue = q.blocks.iter().copied().collect();
         Action::compute(Dur::ZERO).and_continue(uow)
     }
@@ -56,7 +58,9 @@ struct ComputeWorker {
 
 impl FilterLogic for ComputeWorker {
     fn on_buffer(&mut self, _fc: &mut FilterCtx<'_>, _port: usize, buf: DataBuffer) -> Action {
-        Action::compute(Dur::nanos((self.ns_per_byte * buf.bytes as f64).round() as u64))
+        Action::compute(Dur::nanos(
+            (self.ns_per_byte * buf.bytes as f64).round() as u64
+        ))
     }
 }
 
@@ -101,8 +105,11 @@ fn build_lb(
     policy: Policy,
     speeds: &[SpeedModel],
     blocks: u32,
-) -> (hpsock_datacutter::Instance, hpsock_datacutter::FilterHandle, hpsock_datacutter::FilterHandle)
-{
+) -> (
+    hpsock_datacutter::Instance,
+    hpsock_datacutter::FilterHandle,
+    hpsock_datacutter::FilterHandle,
+) {
     let cluster = Cluster::build(sim, setup.workers + 1);
     let provider = Provider::new(setup.kind);
     let mut g = GroupBuilder::new();
@@ -111,8 +118,7 @@ fn build_lb(
     // one block equals the time a node takes to process it, so the balancer
     // emits one block per block-processing time. The single balancer NIC is
     // then the pipeline bottleneck, as in the Figure 6 setup.
-    let emit_interval =
-        Dur::nanos((setup.ns_per_byte * setup.block_bytes as f64).round() as u64);
+    let emit_interval = Dur::nanos((setup.ns_per_byte * setup.block_bytes as f64).round() as u64);
     let lb = g.filter(
         "load-balancer",
         vec![NodeId(0)],
@@ -186,7 +192,14 @@ pub fn dd_execution_time(
     blocks: u32,
     seed: u64,
 ) -> Dur {
-    run_lb_workload(setup, Policy::demand_driven(), slow_prob, factor, blocks, seed)
+    run_lb_workload(
+        setup,
+        Policy::demand_driven(),
+        slow_prob,
+        factor,
+        blocks,
+        seed,
+    )
 }
 
 /// [`dd_execution_time`] with an explicit demand-driven window depth
@@ -219,7 +232,14 @@ pub fn rr_execution_time(
     blocks: u32,
     seed: u64,
 ) -> Dur {
-    run_lb_workload(setup, Policy::RoundRobinAcked, slow_prob, factor, blocks, seed)
+    run_lb_workload(
+        setup,
+        Policy::RoundRobinAcked,
+        slow_prob,
+        factor,
+        blocks,
+        seed,
+    )
 }
 
 /// Execution time of the load-balancing workload with explicit per-worker

@@ -324,10 +324,7 @@ mod tests {
     #[test]
     fn compute_model_costs() {
         assert_eq!(ComputeModel::None.cost(1_000_000), Dur::ZERO);
-        assert_eq!(
-            ComputeModel::paper_linear().cost(1_000),
-            Dur::nanos(18_000)
-        );
+        assert_eq!(ComputeModel::paper_linear().cost(1_000), Dur::nanos(18_000));
         assert_eq!(ComputeModel::None.label(), "No Computation");
     }
 

@@ -42,7 +42,10 @@ fn main() {
     // 2. Reaction time: a node turns 4x slower mid-run; how long until the
     //    balancer's acknowledgment stream reveals it? (paper Figure 10)
     println!("\none node turns 4x slower mid-run (round-robin):");
-    println!("{:<12} {:>12} {:>18}", "transport", "block", "reaction time");
+    println!(
+        "{:<12} {:>12} {:>18}",
+        "transport", "block", "reaction time"
+    );
     let mut reactions = Vec::new();
     for kind in [TransportKind::SocketVia, TransportKind::KTcp] {
         let setup = LbSetup::paper(kind);

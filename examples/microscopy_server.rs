@@ -7,7 +7,7 @@
 use hpsock_net::{Cluster, TransportKind};
 use hpsock_sim::Sim;
 use hpsock_vizserver::{
-    complete_update, partial_update, zoom_query, BlockedImage, ComputeModel, Plan, PipelineCfg,
+    complete_update, partial_update, zoom_query, BlockedImage, ComputeModel, PipelineCfg, Plan,
     QueryDesc, QueryDriver, QueryKind, VizPipeline,
 };
 use socketvia::Provider;

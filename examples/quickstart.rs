@@ -11,7 +11,10 @@ fn main() {
 
     // 1. Ping-pong latency and streamed bandwidth, through the
     //    discrete-event engine (paper Figure 4).
-    println!("{:<12} {:>14} {:>16}", "transport", "latency (4B)", "bandwidth (64KB)");
+    println!(
+        "{:<12} {:>14} {:>16}",
+        "transport", "latency (4B)", "bandwidth (64KB)"
+    );
     for kind in TransportKind::PAPER_SET {
         let provider = Provider::new(kind);
         let lat = microbench::oneway_us(&provider, 4, 16);
@@ -27,9 +30,19 @@ fn main() {
     let sv = PerfCurve::measure(&Provider::new(TransportKind::SocketVia));
     let x = crossover(&tcp, &sv, 400.0).expect("both reach 400 Mbps");
     println!("\nTo sustain 400 Mbps:");
-    println!("  kernel TCP needs {} B messages  -> chunk latency {:.0} us (L1)", x.u1, x.l1_us);
-    println!("  SocketVIA at the same chunk     -> {:.0} us (L2, direct win: {:.1}x)",
-             x.l2_us, x.l1_us / x.l2_us);
-    println!("  SocketVIA re-chunked to {} B  -> {:.0} us (L3, combined win: {:.1}x)",
-             x.u2, x.l3_us, x.l1_us / x.l3_us);
+    println!(
+        "  kernel TCP needs {} B messages  -> chunk latency {:.0} us (L1)",
+        x.u1, x.l1_us
+    );
+    println!(
+        "  SocketVIA at the same chunk     -> {:.0} us (L2, direct win: {:.1}x)",
+        x.l2_us,
+        x.l1_us / x.l2_us
+    );
+    println!(
+        "  SocketVIA re-chunked to {} B  -> {:.0} us (L3, combined win: {:.1}x)",
+        x.u2,
+        x.l3_us,
+        x.l1_us / x.l3_us
+    );
 }

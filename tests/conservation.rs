@@ -3,14 +3,14 @@
 //! regardless of transport, scheduling policy, block size, or node
 //! slowdowns.
 
+use hpsock_datacutter::Policy;
+use hpsock_datacutter::SpeedModel;
 use hpsock_net::{Cluster, NodeId, TransportKind};
 use hpsock_sim::Sim;
-use hpsock_datacutter::SpeedModel;
 use hpsock_vizserver::{
-    complete_update, zoom_query, BlockedImage, ComputeModel, Plan, PipelineCfg, QueryDriver,
+    complete_update, zoom_query, BlockedImage, ComputeModel, PipelineCfg, Plan, QueryDriver,
     VizPipeline,
 };
-use hpsock_datacutter::Policy;
 use socketvia::Provider;
 
 fn run_complete(kind: TransportKind, block_bytes: u64, policy: Policy) -> (u64, u64, u64) {
@@ -25,16 +25,16 @@ fn run_complete(kind: TransportKind, block_bytes: u64, policy: Policy) -> (u64, 
     *targets.lock().unwrap() = pipe.repo_pids();
     sim.run();
     let viz = pipe.inst.copy(&sim, pipe.viz, 0);
-    (
-        viz.stats.bytes_in,
-        viz.stats.buffers_in,
-        img.stored_bytes(),
-    )
+    (viz.stats.bytes_in, viz.stats.buffers_in, img.stored_bytes())
 }
 
 #[test]
 fn bytes_conserved_across_transports_and_policies() {
-    for kind in [TransportKind::SocketVia, TransportKind::KTcp, TransportKind::Via] {
+    for kind in [
+        TransportKind::SocketVia,
+        TransportKind::KTcp,
+        TransportKind::Via,
+    ] {
         for policy in [
             Policy::RoundRobin,
             Policy::RoundRobinAcked,

@@ -4,17 +4,24 @@
 //! involved.
 
 use hpsock_net::{Cluster, TransportKind};
-use hpsock_sim::Sim;
+use hpsock_sim::{Recorder, Sim};
 use hpsock_vizserver::{
-    complete_update, zoom_query, BlockedImage, ComputeModel, Plan, PipelineCfg, QueryDesc,
+    complete_update, zoom_query, BlockedImage, ComputeModel, PipelineCfg, Plan, QueryDesc,
     QueryDriver, VizPipeline,
 };
 use socketvia::Provider;
 
 fn run_pipeline(seed: u64, kind: TransportKind) -> (u64, u64, f64) {
+    run_pipeline_probed(seed, kind, None)
+}
+
+fn run_pipeline_probed(seed: u64, kind: TransportKind, rec: Option<&Recorder>) -> (u64, u64, f64) {
     let img = BlockedImage::paper_image(262_144);
     let queries: Vec<QueryDesc> = vec![zoom_query(&img), complete_update(&img), zoom_query(&img)];
     let mut sim = Sim::new(seed);
+    if let Some(r) = rec {
+        sim.attach_probe(r.probe());
+    }
     let cluster = Cluster::build(&mut sim, VizPipeline::nodes_needed(3));
     let cfg = PipelineCfg::paper(Provider::new(kind), ComputeModel::paper_linear());
     let (driver_pid, targets) = QueryDriver::install(&mut sim, Plan::ClosedLoop(queries));
@@ -43,6 +50,27 @@ fn same_seed_same_trace_tcp() {
         run_pipeline(7, TransportKind::KTcp),
         run_pipeline(7, TransportKind::KTcp)
     );
+}
+
+/// The probe bus is purely observational: attaching a [`Recorder`] must
+/// leave the trace digest, dispatch count and measured latencies
+/// bit-identical to the unprobed run — probes draw no randomness and
+/// insert no events.
+#[test]
+fn recorder_does_not_perturb_the_trace() {
+    for kind in [TransportKind::SocketVia, TransportKind::KTcp] {
+        let bare = run_pipeline(7, kind);
+        let rec = Recorder::new();
+        let probed = run_pipeline_probed(7, kind, Some(&rec));
+        assert_eq!(bare, probed, "recorder perturbed a {kind:?} run");
+        assert!(rec.dispatches() > 0, "recorder saw kernel dispatches");
+        assert!(!rec.is_empty(), "recorder buffered probe events");
+        assert_eq!(
+            rec.dispatches(),
+            probed.1,
+            "recorder counted every dispatch"
+        );
+    }
 }
 
 #[test]

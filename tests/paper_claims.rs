@@ -47,8 +47,14 @@ fn claim_update_rate_guarantee_improvements() {
         },
     );
     // At 4 ups TCP has no feasible chunking at all; SocketVIA DR sustains.
-    assert!(pts[0].tcp_us.is_none());
-    assert!(pts[0].sv_dr_sustained);
+    assert!(
+        pts[0].tcp_us.is_none(),
+        "§5.2.2: TCP cannot meet an update constraint greater than 3.25/s"
+    );
+    assert!(
+        pts[0].sv_dr_sustained,
+        "§5.2.2: SocketVIA (with DR) can still achieve this frame rate"
+    );
     // At 3.25 ups: direct and repartitioned improvements.
     let p = &pts[1];
     let tcp = p.tcp_us.unwrap();
@@ -127,7 +133,14 @@ fn claim_crossover_shape() {
     for mbps in [200.0, 300.0, 400.0] {
         let x = socketvia::curves::crossover(&tcp, &sv, mbps).unwrap();
         assert!(x.u2 * 4 <= x.u1, "{mbps} Mbps: U2={} U1={}", x.u2, x.u1);
-        assert!(x.l3_us < x.l2_us && x.l2_us < x.l1_us);
+        assert!(
+            x.l3_us < x.l2_us && x.l2_us < x.l1_us,
+            "Figure 2: smaller messages on the better substrate cut latency \
+             (L3 < L2 < L1), got {} / {} / {} us",
+            x.l3_us,
+            x.l2_us,
+            x.l1_us
+        );
     }
 }
 
@@ -141,6 +154,12 @@ fn claim_perfect_pipelining_points() {
     let balance = |c: &PerfCurve, s: u64| {
         (c.transfer_us(s) - 18.0e-3 * s as f64).abs() / (18.0e-3 * s as f64)
     };
-    assert!(balance(&tcp, 16_384) < 0.10);
-    assert!(balance(&sv, 2_048) < 0.20);
+    assert!(
+        balance(&tcp, 16_384) < 0.10,
+        "§5.2.3: TCP transfer matches 18 ns/B compute at ~16KB blocks"
+    );
+    assert!(
+        balance(&sv, 2_048) < 0.20,
+        "§5.2.3: SocketVIA transfer matches 18 ns/B compute at ~2KB blocks"
+    );
 }

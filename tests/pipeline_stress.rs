@@ -2,9 +2,7 @@
 //! units of work, degenerate placements, empty shares, and every
 //! transport × policy combination completing.
 
-use hpsock_datacutter::{
-    Action, DataBuffer, FilterCtx, FilterLogic, GroupBuilder, Policy,
-};
+use hpsock_datacutter::{Action, DataBuffer, FilterCtx, FilterLogic, GroupBuilder, Policy};
 use hpsock_net::{Cluster, NodeId, TransportKind};
 use hpsock_sim::{Dur, Sim, SimTime};
 use socketvia::Provider;
@@ -31,8 +29,12 @@ impl FilterLogic for Burst {
             return Action::none().and_end_uow(uow);
         }
         self.left -= 1;
-        Action::emit(Dur::nanos(100), 0, DataBuffer::new(uow, self.bytes, self.left as u64))
-            .and_continue(uow)
+        Action::emit(
+            Dur::nanos(100),
+            0,
+            DataBuffer::new(uow, self.bytes, self.left as u64),
+        )
+        .and_continue(uow)
     }
 }
 

@@ -1,0 +1,243 @@
+//! Offline shim for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! Benches compile and run under `cargo bench`; each benchmark executes its
+//! closure a small fixed number of iterations and prints the mean wall time
+//! (plus throughput when configured). There is no statistical analysis,
+//! plotting, or baseline comparison — just cheap, dependency-free timing.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Measurement marker types.
+pub mod measurement {
+    /// Wall-clock time measurement (the only one supported).
+    pub struct WallTime;
+}
+
+/// Per-iteration work, used to print a rate next to the timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark label.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Label a benchmark by its parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// Label a benchmark by function name and parameter.
+    pub fn new<S: Into<String>, P: Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs closures and records their timing.
+pub struct Bencher {
+    iters: u32,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, running it a small fixed number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / f64::from(self.iters);
+    }
+}
+
+fn report(group: &str, id: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.0} elem/s)", n as f64 / (mean_ns / 1e9))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / (mean_ns / 1e9) / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!("bench {label:<40} {:>12.0} ns/iter{rate}", mean_ns);
+}
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    iters: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Heavy simulated workloads make many iterations pointless here;
+        // three is enough to amortize warm-up for a smoke-level signal.
+        Criterion { iters: 3 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI args are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(
+        &mut self,
+        name: S,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            _m: PhantomData,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<S: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.iters,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        report("", &id.to_string(), b.mean_ns, None);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a, M> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    _m: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Accepted for API compatibility; sampling is fixed in the shim.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement time is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is fixed.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Attach a throughput so results also print as a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure under this group.
+    pub fn bench_function<S: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.criterion.iters,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        report(&self.name, &id.to_string(), b.mean_ns, self.throughput);
+        self
+    }
+
+    /// Benchmark a closure that borrows a prepared input.
+    pub fn bench_with_input<S: Display, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: S,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.criterion.iters,
+            mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), b.mean_ns, self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_time() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("spin", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(42), &42u64, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        g.finish();
+    }
+}
