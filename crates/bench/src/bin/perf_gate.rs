@@ -1,0 +1,232 @@
+//! Perf-regression gate over the engine benchmarks.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_gate check  <current.jsonl>   # compare vs committed BENCH_engine.json
+//! perf_gate update <current.jsonl>   # rewrite BENCH_engine.json from current
+//! ```
+//!
+//! `current.jsonl` is what the vendored criterion shim appends when run
+//! with `HPSOCK_BENCH_JSON=<path>` — one `{"id":…,"mean_ns":…}` object per
+//! line. Run the bench several times into the same file: the gate takes
+//! the **best (minimum) mean per id**, which is the noise-robust statistic
+//! for "how fast can this code go".
+//!
+//! `check` fails (exit 1) when any baseline benchmark is slower by more
+//! than [`TOLERANCE`] — i.e. throughput regressed by more than 20 % — or
+//! is missing from the current results (renames must ship a baseline
+//! update). New benchmarks absent from the baseline are reported but do
+//! not fail; commit them via `update`.
+//!
+//! Baselines are machine-class-bound: absolute ns only compare against
+//! runs on comparable hardware. `update` re-anchors after intentional
+//! changes.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Allowed slowdown before the gate fails: 1.20 = 20 % more ns/iter.
+const TOLERANCE: f64 = 1.20;
+
+/// The committed baseline lives at the workspace root.
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json")
+}
+
+/// Extract `(id, mean_ns)` pairs from JSON text by scanning for the two
+/// key tokens — accepts both the shim's JSON-lines output and the pretty
+/// baseline array without a JSON dependency. Returns first-seen order.
+fn parse_results(text: &str) -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"id\"") {
+        rest = &rest[pos + 4..];
+        let Some(q1) = rest.find('"') else { break };
+        let Some(q2) = rest[q1 + 1..].find('"') else {
+            break;
+        };
+        let id = rest[q1 + 1..q1 + 1 + q2].to_string();
+        rest = &rest[q1 + 2 + q2..];
+        let Some(mpos) = rest.find("\"mean_ns\"") else {
+            break;
+        };
+        rest = &rest[mpos + 9..];
+        let num_start = match rest.find(|c: char| c.is_ascii_digit()) {
+            Some(i) => i,
+            None => break,
+        };
+        let rest2 = &rest[num_start..];
+        let num_end = rest2
+            .find(|c: char| !c.is_ascii_digit() && c != '.')
+            .unwrap_or(rest2.len());
+        if let Ok(v) = rest2[..num_end].parse::<f64>() {
+            out.push((id, v));
+        }
+        rest = &rest2[num_end..];
+    }
+    out
+}
+
+/// Collapse repeated runs to the best (minimum) mean per id, keeping
+/// first-appearance order.
+fn best_of(results: Vec<(String, f64)>) -> Vec<(String, f64)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut best: BTreeMap<String, f64> = BTreeMap::new();
+    for (id, v) in results {
+        match best.get_mut(&id) {
+            Some(cur) => {
+                if v < *cur {
+                    *cur = v;
+                }
+            }
+            None => {
+                order.push(id.clone());
+                best.insert(id, v);
+            }
+        }
+    }
+    order
+        .into_iter()
+        .map(|id| {
+            let v = best[&id];
+            (id, v)
+        })
+        .collect()
+}
+
+fn render_baseline(results: &[(String, f64)]) -> String {
+    let mut out =
+        String::from("{\n  \"schema\": \"hpsock-bench-baseline-v1\",\n  \"results\": [\n");
+    for (i, (id, v)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"id\": \"{id}\", \"mean_ns\": {v:.1}}}{sep}\n"
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn load(path: &std::path::Path) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let parsed = best_of(parse_results(&text));
+    if parsed.is_empty() {
+        return Err(format!("no benchmark results in {}", path.display()));
+    }
+    Ok(parsed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (mode, current_path) = match (args.get(1).map(String::as_str), args.get(2)) {
+        (Some(m @ ("check" | "update")), Some(p)) => (m, PathBuf::from(p)),
+        _ => {
+            eprintln!("usage: perf_gate <check|update> <current.jsonl>");
+            return ExitCode::from(2);
+        }
+    };
+    let current = match load(&current_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if mode == "update" {
+        let rendered = render_baseline(&current);
+        if let Err(e) = std::fs::write(baseline_path(), rendered) {
+            eprintln!("perf_gate: cannot write baseline: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "perf_gate: wrote {} entries to {}",
+            current.len(),
+            baseline_path().display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match load(&baseline_path()) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("perf_gate: {e} (run `perf_gate update` to create it)");
+            return ExitCode::from(2);
+        }
+    };
+    let current_map: BTreeMap<&str, f64> =
+        current.iter().map(|(id, v)| (id.as_str(), *v)).collect();
+    let baseline_ids: Vec<&str> = baseline.iter().map(|(id, _)| id.as_str()).collect();
+
+    let mut failed = false;
+    for (id, base) in &baseline {
+        match current_map.get(id.as_str()) {
+            None => {
+                eprintln!("FAIL {id}: in baseline but not in current results");
+                failed = true;
+            }
+            Some(&cur) => {
+                let ratio = cur / base;
+                let verdict = if ratio > TOLERANCE {
+                    failed = true;
+                    "FAIL"
+                } else {
+                    "ok  "
+                };
+                println!(
+                    "{verdict} {id:<40} base {base:>12.0} ns  cur {cur:>12.0} ns  ({:+.1}%)",
+                    (ratio - 1.0) * 100.0
+                );
+            }
+        }
+    }
+    for (id, _) in &current {
+        if !baseline_ids.contains(&id.as_str()) {
+            println!("new  {id}: not in baseline (commit via `perf_gate update`)");
+        }
+    }
+    if failed {
+        eprintln!(
+            "perf_gate: regression beyond {:.0}% tolerance (or missing bench)",
+            (TOLERANCE - 1.0) * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("perf_gate: all benchmarks within tolerance");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_json_lines_and_pretty_array() {
+        let lines =
+            "{\"id\":\"engine/a\",\"mean_ns\":1234.5}\n{\"id\":\"engine/b\",\"mean_ns\":9}\n";
+        assert_eq!(
+            parse_results(lines),
+            vec![("engine/a".into(), 1234.5), ("engine/b".into(), 9.0)]
+        );
+        let pretty = render_baseline(&[("engine/a".into(), 1234.5), ("engine/b".into(), 9.0)]);
+        assert_eq!(parse_results(&pretty), parse_results(lines));
+    }
+
+    #[test]
+    fn best_of_takes_min_per_id_keeping_order() {
+        let runs = vec![
+            ("b".to_string(), 30.0),
+            ("a".to_string(), 20.0),
+            ("b".to_string(), 10.0),
+            ("a".to_string(), 25.0),
+        ];
+        assert_eq!(
+            best_of(runs),
+            vec![("b".to_string(), 10.0), ("a".to_string(), 20.0)]
+        );
+    }
+}

@@ -48,7 +48,8 @@ impl Process for Pinger {
     }
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.sent_at = ctx.now();
-        self.net.send(ctx, self.conn_out, self.bytes, Box::new(()));
+        self.net
+            .send(ctx, self.conn_out, self.bytes, Message::new(()));
     }
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
         let d = msg
@@ -65,7 +66,8 @@ impl Process for Pinger {
         if self.remaining > 0 {
             self.remaining -= 1;
             self.sent_at = ctx.now();
-            self.net.send(ctx, self.conn_out, self.bytes, Box::new(()));
+            self.net
+                .send(ctx, self.conn_out, self.bytes, Message::new(()));
         }
     }
 }
@@ -85,7 +87,8 @@ impl Process for Ponger {
             .downcast::<Delivery>()
             .expect("ponger expects deliveries");
         self.net.consumed(ctx, d.conn, d.msg_id);
-        self.net.send(ctx, self.conn_back, d.bytes, Box::new(()));
+        self.net
+            .send(ctx, self.conn_back, d.bytes, Message::new(()));
     }
 }
 
@@ -146,7 +149,7 @@ struct StreamSender {
 impl Process for StreamSender {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         for _ in 0..self.count {
-            self.net.send(ctx, self.conn, self.bytes, Box::new(()));
+            self.net.send(ctx, self.conn, self.bytes, Message::new(()));
         }
     }
     fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Message) {}

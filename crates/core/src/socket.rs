@@ -149,7 +149,10 @@ mod tests {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             self.sock = Some(self.sockets.lock().unwrap()[0].clone());
             self.sent_at = ctx.now();
-            self.sock.as_ref().unwrap().send(ctx, 512, Box::new("ping"));
+            self.sock
+                .as_ref()
+                .unwrap()
+                .send(ctx, 512, SimMessage::new("ping"));
         }
         fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: SimMessage) {
             let d = msg.downcast::<Delivery>().unwrap();
@@ -161,7 +164,7 @@ mod tests {
             if self.remaining > 0 {
                 self.remaining -= 1;
                 self.sent_at = ctx.now();
-                sock.send(ctx, 512, Box::new("ping"));
+                sock.send(ctx, 512, SimMessage::new("ping"));
             }
         }
     }
@@ -180,7 +183,7 @@ mod tests {
             let d = msg.downcast::<Delivery>().unwrap();
             let sock = self.sock.as_ref().unwrap().clone();
             sock.consumed(ctx, &d);
-            sock.send(ctx, d.bytes, Box::new("pong"));
+            sock.send(ctx, d.bytes, SimMessage::new("pong"));
             self.served += 1;
         }
     }

@@ -288,7 +288,7 @@ impl FilterProcess {
             done_notify,
         };
         let cpu = self.wiring().cpu;
-        let completion = ctx.use_resource(cpu, scaled, Box::new(done));
+        let completion = ctx.use_resource(cpu, scaled, Message::new(done));
         if ctx.probe_enabled() {
             let id = self.next_span;
             self.next_span += 1;
@@ -358,8 +358,12 @@ impl FilterProcess {
                     // demand-driven window (it carries no data).
                     let conns = self.wiring().outputs[port].data_conns.clone();
                     for conn in conns {
-                        self.net
-                            .send(ctx, conn, CONTROL_BYTES, Box::new(StreamMsg::Eow { uow }));
+                        self.net.send(
+                            ctx,
+                            conn,
+                            CONTROL_BYTES,
+                            Message::new(StreamMsg::Eow { uow }),
+                        );
                     }
                 }
                 Some(OutItem::Buf(_)) => {
@@ -382,7 +386,7 @@ impl FilterProcess {
                     let conn = self.wiring().outputs[port].data_conns[i];
                     let bytes = buf.bytes;
                     self.net
-                        .send(ctx, conn, bytes, Box::new(StreamMsg::Data(buf)));
+                        .send(ctx, conn, bytes, Message::new(StreamMsg::Data(buf)));
                 }
             }
         }
@@ -413,7 +417,7 @@ impl FilterProcess {
                     if input_policy.wants_acks() {
                         let ack_conn = input.ack_conns[producer];
                         self.net
-                            .send(ctx, ack_conn, CONTROL_BYTES, Box::new(StreamMsg::Ack));
+                            .send(ctx, ack_conn, CONTROL_BYTES, Message::new(StreamMsg::Ack));
                     }
                     self.stats.buffers_in += 1;
                     self.stats.bytes_in += buf.bytes;
@@ -502,7 +506,6 @@ impl Process for FilterProcess {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
         let msg = match msg.downcast::<Delivery>() {
             Ok(d) => {
-                let d = *d;
                 let route = *self
                     .wiring()
                     .routes
@@ -510,7 +513,7 @@ impl Process for FilterProcess {
                     .unwrap_or_else(|| panic!("{}: delivery on unknown conn", self.name));
                 match route {
                     Route::DataIn { port, producer } => {
-                        match *d.payload.downcast::<StreamMsg>().expect("stream message") {
+                        match d.payload.downcast::<StreamMsg>().expect("stream message") {
                             StreamMsg::Data(buf) => self.inbox.push_back(WorkItem::Buffer {
                                 port,
                                 producer,
@@ -533,7 +536,7 @@ impl Process for FilterProcess {
                     }
                     Route::AckIn { port, consumer } => {
                         self.net.consumed(ctx, d.conn, d.msg_id);
-                        match *d.payload.downcast::<StreamMsg>().expect("stream message") {
+                        match d.payload.downcast::<StreamMsg>().expect("stream message") {
                             StreamMsg::Ack => {
                                 self.scheds[port].on_ack(consumer);
                                 ctx.probe_emit(|t| ProbeEvent::Counter {
@@ -590,10 +593,9 @@ impl Process for FilterProcess {
         };
         let msg = match msg.downcast::<ComputeDone>() {
             Ok(done) => {
-                let done = *done;
                 if let Some(conn) = done.done_notify {
                     self.net
-                        .send(ctx, conn, CONTROL_BYTES, Box::new(StreamMsg::Done));
+                        .send(ctx, conn, CONTROL_BYTES, Message::new(StreamMsg::Done));
                 }
                 self.emit(ctx, done.outputs);
                 if let Some(uow) = done.flush_eow {

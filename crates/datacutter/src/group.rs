@@ -12,7 +12,7 @@ use crate::filter::{CopyWiring, FilterProcess, InputWiring, OutputWiring, Route,
 use crate::logic::{FilterLogic, SpeedModel};
 use crate::sched::Policy;
 use hpsock_net::{Cluster, NodeId};
-use hpsock_sim::{Ctx, ProcessId, Sim, SimTime};
+use hpsock_sim::{Ctx, Message, ProcessId, Sim, SimTime};
 use socketvia::Provider;
 use std::any::Any;
 use std::collections::HashMap;
@@ -252,7 +252,7 @@ impl Instance {
             sim.schedule_at(
                 at,
                 pid,
-                Box::new(UowStartMsg {
+                Message::new(UowStartMsg {
                     uow,
                     desc: Arc::clone(&desc),
                 }),
@@ -271,7 +271,7 @@ impl Instance {
         for &pid in self.pids(f) {
             ctx.send(
                 pid,
-                Box::new(UowStartMsg {
+                Message::new(UowStartMsg {
                     uow,
                     desc: Arc::clone(&desc),
                 }),

@@ -15,9 +15,9 @@
 //! TCP the host-overhead share dwarfs the wire share, while SocketVIA
 //! moves most of the per-byte cost off the host.
 
-use crate::runner::{run_guarantee_traced, GuaranteeRun, RunCapture};
+use crate::runner::{run_guarantee_probed, GuaranteeRun, RunCapture};
 use crate::table::Table;
-use hpsock_sim::{ProbeEvent, Recorder};
+use hpsock_sim::{ProbeEvent, Recorder, StreamingTraceWriter, Tee};
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -211,6 +211,11 @@ fn slug(label: &str) -> String {
 /// one Chrome trace JSON per series (`<figure>_<series>.trace.json`,
 /// openable in Perfetto / `chrome://tracing`) and the combined
 /// `<figure>_breakdown.csv` time attribution under `dir`.
+///
+/// The trace JSON streams to disk *during* the run through a
+/// [`StreamingTraceWriter`] (teed with the [`Recorder`] the breakdown
+/// needs), so export memory stays bounded by the recorder's analysis
+/// events, not the trace text.
 pub fn export_guarantee_traces(
     dir: &Path,
     figure: &str,
@@ -220,13 +225,33 @@ pub fn export_guarantee_traces(
     let mut rows = Vec::with_capacity(runs.len());
     for (label, run) in runs {
         let rec = Recorder::new();
-        let (_result, cap) = run_guarantee_traced(run, Some(rec.probe()));
         let path = dir.join(format!("{figure}_{}.trace.json", slug(label)));
-        match std::fs::create_dir_all(dir)
-            .and_then(|()| std::fs::write(&path, rec.chrome_trace_json(&cap.resource_names)))
-        {
-            Ok(()) => println!("  -> {} ({} probe events)", path.display(), rec.len()),
-            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        let mut writer = None;
+        let (_result, cap) = run_guarantee_probed(run, |names| {
+            // Tee analysis events to the in-memory recorder and the trace
+            // JSON straight to disk; fall back to recorder-only if the
+            // file cannot be created.
+            Some(match StreamingTraceWriter::create(&path, names) {
+                Ok(w) => {
+                    let probe = w.probe();
+                    writer = Some(w);
+                    Box::new(Tee(rec.probe(), probe))
+                }
+                Err(e) => {
+                    eprintln!("warning: could not create {}: {e}", path.display());
+                    rec.probe()
+                }
+            })
+        });
+        if let Some(w) = writer {
+            match w.finish() {
+                Ok(_) => println!(
+                    "  -> {} ({} probe events, streamed)",
+                    path.display(),
+                    rec.len()
+                ),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            }
         }
         rows.push(compute(&rec, &cap, label));
     }
@@ -243,6 +268,7 @@ pub fn export_guarantee_traces(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_guarantee_traced;
 
     #[test]
     fn union_minus_merges_and_subtracts() {

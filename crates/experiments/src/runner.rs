@@ -80,6 +80,18 @@ pub fn run_guarantee_traced(
     run: &GuaranteeRun,
     probe: Option<Box<dyn Probe>>,
 ) -> (GuaranteeResult, RunCapture) {
+    run_guarantee_probed(run, |_| probe)
+}
+
+/// [`run_guarantee_traced`] where the probe is built *after* the cluster
+/// topology exists: the factory receives the resource names (indexed by
+/// `ResourceId`), which streaming trace sinks need up-front for their
+/// track tables. Resources are all registered before the first event
+/// fires, so attaching at this point observes the entire run.
+pub fn run_guarantee_probed(
+    run: &GuaranteeRun,
+    make_probe: impl FnOnce(&[String]) -> Option<Box<dyn Probe>>,
+) -> (GuaranteeResult, RunCapture) {
     let img = BlockedImage::paper_image(run.block_bytes);
     let period = Dur::from_secs_f64(1.0 / run.target_ups);
     let mut items: Vec<(SimTime, QueryDesc)> = (0..run.n_complete)
@@ -93,14 +105,14 @@ pub fn run_guarantee_traced(
         ));
     }
     let mut sim = Sim::new(run.seed);
-    if let Some(p) = probe {
-        sim.attach_probe(p);
-    }
     let cluster = Cluster::build(&mut sim, VizPipeline::nodes_needed(3));
     let cfg = PipelineCfg::paper(Provider::new(run.kind), run.compute);
     let (driver_pid, targets) = QueryDriver::install(&mut sim, Plan::OpenLoop(items));
     let pipe = VizPipeline::build(&mut sim, &cluster, &cfg, driver_pid);
     *targets.lock().expect("targets") = pipe.repo_pids();
+    if let Some(p) = make_probe(&sim.resource_names()) {
+        sim.attach_probe(p);
+    }
     let end = sim.run();
     let resource_names = sim.resource_names();
     let servers = (0..resource_names.len())

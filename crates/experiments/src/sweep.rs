@@ -2,13 +2,32 @@
 //!
 //! Each sweep point runs an *independent* deterministic simulation, so
 //! points parallelize perfectly across OS threads: a shared work queue
-//! feeds a scoped worker pool and results return in input order.
+//! feeds a scoped worker pool and results land in input order.
 
 use std::num::NonZeroUsize;
 use std::sync::Mutex;
 
+/// Number of sweep workers: the `HPSOCK_THREADS` environment variable if
+/// set to a positive integer, otherwise the machine's available
+/// parallelism. Worker count never affects results, only wall time.
+fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("HPSOCK_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
 /// Map `f` over `items` on a thread pool, preserving input order.
 /// Determinism is unaffected: each item's simulation is self-contained.
+///
+/// Thread count comes from [`worker_count`] (override with
+/// `HPSOCK_THREADS=n`).
 pub fn parallel_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
 where
     I: Send,
@@ -19,38 +38,37 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(n);
+    let workers = worker_count().min(n);
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
-    // Indexed work queue drained by the pool; each worker writes results
-    // into its own slot list, merged (still in input order) at the end.
+    // Indexed work queue drained by the pool. Each result goes straight
+    // into its input-order slot; the per-slot mutex is uncontended (every
+    // index is handed to exactly one worker) and exists only to make the
+    // shared write safe.
     let jobs: Mutex<Vec<(usize, I)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
-    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
-    let results: Mutex<Vec<(usize, O)>> = Mutex::new(Vec::with_capacity(n));
+    let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..workers {
             let jobs = &jobs;
-            let results = &results;
+            let slots = &slots;
             let f = &f;
             s.spawn(move || loop {
                 let Some((idx, item)) = jobs.lock().expect("job queue lock").pop() else {
                     return;
                 };
                 let out = f(item);
-                results.lock().expect("result lock").push((idx, out));
+                *slots[idx].lock().expect("slot lock") = Some(out);
             });
         }
     });
-    for (idx, out) in results.into_inner().expect("result lock") {
-        slots[idx] = Some(out);
-    }
     slots
         .into_iter()
-        .map(|s| s.expect("every sweep point completed"))
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock")
+                .expect("every sweep point completed")
+        })
         .collect()
 }
 
@@ -74,5 +92,17 @@ mod tests {
     #[test]
     fn single_item() {
         assert_eq!(parallel_map(vec![7], |x: u32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn thread_override_is_honored_and_result_identical() {
+        // `HPSOCK_THREADS=1` must take the sequential path and produce the
+        // same output. Setting the variable races only against concurrent
+        // *reads* in sibling tests, which can change their worker count but
+        // never their results.
+        std::env::set_var("HPSOCK_THREADS", "1");
+        let out = parallel_map((0..50).collect::<Vec<u64>>(), |x| x + 3);
+        std::env::remove_var("HPSOCK_THREADS");
+        assert_eq!(out, (3..53).collect::<Vec<u64>>());
     }
 }

@@ -101,12 +101,12 @@ mod tests {
     }
     impl Process for Blaster {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-            self.net.send(ctx, self.conn, self.bytes, Box::new(()));
+            self.net.send(ctx, self.conn, self.bytes, Message::new(()));
             self.sent = 1;
         }
         fn on_message(&mut self, ctx: &mut Ctx<'_>, _msg: Message) {
             if self.sent < self.count {
-                self.net.send(ctx, self.conn, self.bytes, Box::new(()));
+                self.net.send(ctx, self.conn, self.bytes, Message::new(()));
                 self.sent += 1;
             }
         }
@@ -129,7 +129,7 @@ mod tests {
             self.delivered += d.bytes;
             self.net.consumed(ctx, d.conn, d.msg_id);
             if let Some(s) = self.sender {
-                ctx.send(s, Box::new(()));
+                ctx.send(s, Message::new(()));
             }
         }
     }
@@ -235,7 +235,7 @@ mod tests {
     impl Process for BurstBlaster {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             for _ in 0..self.count {
-                self.net.send(ctx, self.conn, self.bytes, Box::new(()));
+                self.net.send(ctx, self.conn, self.bytes, Message::new(()));
             }
         }
         fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Message) {}

@@ -235,7 +235,7 @@ impl Network {
     pub fn send(&self, ctx: &mut Ctx<'_>, conn: ConnId, bytes: u64, payload: Message) {
         ctx.send(
             self.pid,
-            Box::new(NetCmd::Send {
+            Message::new(NetCmd::Send {
                 conn,
                 bytes,
                 payload,
@@ -246,7 +246,7 @@ impl Network {
     /// Report consumption of a delivered message (frees flow-control
     /// resources at the sender after the transport's ack latency).
     pub fn consumed(&self, ctx: &mut Ctx<'_>, conn: ConnId, msg_id: u64) {
-        ctx.send(self.pid, Box::new(NetCmd::Consumed { conn, msg_id }));
+        ctx.send(self.pid, Message::new(NetCmd::Consumed { conn, msg_id }));
     }
 
     /// The engine's process id.
@@ -337,7 +337,7 @@ impl NetEngine {
             ctx.use_resource(
                 host_tx,
                 service,
-                Box::new(Ev::HostTxDone { conn, msg, frame }),
+                Message::new(Ev::HostTxDone { conn, msg, frame }),
             );
         }
     }
@@ -384,7 +384,7 @@ impl NetEngine {
                 // model needs a receive-buffer update.
                 if !c.flow.is_credits() {
                     let ack = c.costs.ack_latency;
-                    ctx.send_self_in(ack, Box::new(Ev::FlowReturn { conn, bytes }));
+                    ctx.send_self_in(ack, Message::new(Ev::FlowReturn { conn, bytes }));
                 }
             }
         }
@@ -400,12 +400,16 @@ impl NetEngine {
                 let service = c.costs.nic_per_frame
                     + Dur::nanos((wire_bytes as f64 * c.costs.wire_ns_per_byte).round() as u64);
                 let nic = self.nodes[c.src.node.0].nic_tx;
-                ctx.use_resource(nic, service, Box::new(Ev::WireDone { conn, msg, frame }));
+                ctx.use_resource(
+                    nic,
+                    service,
+                    Message::new(Ev::WireDone { conn, msg, frame }),
+                );
             }
             Ev::WireDone { conn, msg, frame } => {
                 let c = &self.conns[conn.0];
                 let delay = c.costs.switch_latency + c.costs.prop_delay;
-                ctx.send_self_in(delay, Box::new(Ev::RxArrive { conn, msg, frame }));
+                ctx.send_self_in(delay, Message::new(Ev::RxArrive { conn, msg, frame }));
             }
             Ev::RxArrive { conn, msg, frame } => {
                 let c = &self.conns[conn.0];
@@ -417,7 +421,7 @@ impl NetEngine {
                 ctx.use_resource(
                     host_rx,
                     service,
-                    Box::new(Ev::HostRxFrameDone { conn, msg, frame }),
+                    Message::new(Ev::HostRxFrameDone { conn, msg, frame }),
                 );
             }
             Ev::HostRxFrameDone { conn, msg, frame } => {
@@ -439,12 +443,12 @@ impl NetEngine {
                     // the sender after the return-path latency.
                     let n = c.flow.on_frame_arrived(flen);
                     if n > 0 {
-                        ctx.send_self_in(ack, Box::new(Ev::CreditArrive { conn, n }));
+                        ctx.send_self_in(ack, Message::new(Ev::CreditArrive { conn, n }));
                     }
                 } else {
                     ctx.send_self_in(
                         ack,
-                        Box::new(Ev::AckArrive {
+                        Message::new(Ev::AckArrive {
                             conn,
                             frame_bytes: flen,
                         }),
@@ -453,7 +457,7 @@ impl NetEngine {
                 if last {
                     let service = c.costs.per_msg_recv;
                     let host_rx = self.nodes[c.dst.node.0].host_rx;
-                    ctx.use_resource(host_rx, service, Box::new(Ev::MsgReady { conn, msg }));
+                    ctx.use_resource(host_rx, service, Message::new(Ev::MsgReady { conn, msg }));
                 }
             }
             Ev::MsgReady { conn, msg } => {
@@ -473,7 +477,7 @@ impl NetEngine {
                     sent_at: st.sent_at,
                     payload,
                 };
-                ctx.send(c.dst.pid, Box::new(delivery));
+                ctx.send(c.dst.pid, Message::new(delivery));
             }
             Ev::AckArrive { conn, frame_bytes } => {
                 self.conns[conn.0].flow.on_frame_arrived(frame_bytes);
@@ -517,10 +521,12 @@ impl Process for NetEngine {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        match msg.downcast::<NetCmd>() {
-            Ok(cmd) => self.on_cmd(ctx, *cmd),
-            Err(other) => match other.downcast::<Ev>() {
-                Ok(ev) => self.on_ev(ctx, *ev),
+        // Internal events outnumber commands (one send fans out into
+        // several wire/host events), so try the common type first.
+        match msg.downcast::<Ev>() {
+            Ok(ev) => self.on_ev(ctx, ev),
+            Err(other) => match other.downcast::<NetCmd>() {
+                Ok(cmd) => self.on_cmd(ctx, cmd),
                 Err(_) => panic!("net engine received an unknown message type"),
             },
         }

@@ -18,7 +18,7 @@ struct BatchSender {
 impl Process for BatchSender {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         for &(bytes, tag) in &self.batch {
-            self.net.send(ctx, self.conn, bytes, Box::new(tag));
+            self.net.send(ctx, self.conn, bytes, Message::new(tag));
         }
     }
     fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Message) {}
@@ -34,7 +34,7 @@ impl Process for BatchSink {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
         let d = msg.downcast::<Delivery>().expect("delivery");
         self.net.consumed(ctx, d.conn, d.msg_id);
-        let tag = *d.payload.downcast::<u64>().expect("tag");
+        let tag = d.payload.downcast::<u64>().expect("tag");
         self.got.push((tag, d.bytes));
         self.latencies_ns
             .push(ctx.now().since(d.sent_at).as_nanos());

@@ -4,13 +4,30 @@
 //! increasing sequence number assigned at insertion. Ties in virtual time are
 //! therefore broken by insertion order, which makes the whole simulation a
 //! deterministic function of the initial seed and process construction order.
+//!
+//! Internally this is a **calendar queue** tuned to the kernel's dominant
+//! pattern — short-delta `send_self_in` relative to the current time: a ring
+//! of power-of-two time buckets (width `1 << shift` ns) covering a sliding
+//! window starting at the bucket of the last popped event, with a binary-heap
+//! overflow for events beyond the window. Near-term events cost O(1)
+//! amortized push/pop; far-future events degrade gracefully to heap behavior
+//! and migrate into the ring as the window advances. The structure only
+//! changes *when* work is done, never *what order* events come out in: pops
+//! always return the global `(time, seq)` minimum, so `TraceDigest` is
+//! bit-identical to the previous `BinaryHeap` implementation (pinned by the
+//! model-based property test in `tests/queue_model.rs`).
 
 use crate::kernel::{Message, ProcessId};
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// A scheduled delivery of a [`Message`] to a process at a virtual instant.
+///
+/// 16-byte aligned so the whole-event moves through the queue's register
+/// compile to aligned vector copies (events travel by value on the hot
+/// path).
+#[repr(align(16))]
 pub struct Event {
     /// Delivery time.
     pub time: SimTime,
@@ -30,8 +47,8 @@ impl Event {
     }
 }
 
-// BinaryHeap is a max-heap; invert the comparison so `pop` yields the
-// earliest event.
+// BinaryHeap is a max-heap; invert the comparison so the overflow heap
+// yields the earliest event.
 impl PartialEq for Event {
     fn eq(&self, other: &Self) -> bool {
         self.key() == other.key()
@@ -49,54 +66,324 @@ impl Ord for Event {
     }
 }
 
+/// Initial bucket width: `1 << 11` ns ≈ 2 µs, matching per-frame service
+/// times on the simulated gigabit paths.
+const DEFAULT_SHIFT: u32 = 11;
+const DEFAULT_BUCKETS: usize = 128;
+const MAX_BUCKETS: usize = 1 << 16;
+/// Grow the ring when average bucket occupancy exceeds this.
+const GROW_FACTOR: usize = 8;
+/// Widest bucket considered: `1 << 40` ns ≈ 18 min of virtual time.
+const MAX_SHIFT: u32 = 40;
+
+/// Sentinel location meaning "overflow heap" rather than a ring slot.
+const OVERFLOW: usize = usize::MAX;
+
 /// Priority queue of pending events, earliest first, FIFO among equal times.
-#[derive(Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Event>,
+    /// The global minimum, held out of the calendar in a register. The
+    /// kernel's dominant pattern — handle one event, schedule the next —
+    /// then costs two register moves and never touches a bucket.
+    /// Invariant: `None` only when the whole queue is empty (pops refill
+    /// it eagerly); everything in the calendar is `>` this event.
+    next: Option<Event>,
+    /// Ring of time buckets; each holds the events of exactly one absolute
+    /// bucket index, sorted ascending by `(time, seq)`.
+    buckets: Vec<VecDeque<Event>>,
+    mask: u64,
+    shift: u32,
+    /// Events currently in the ring (the rest are in `overflow`).
+    ring_len: usize,
+    /// Events beyond the ring's window, earliest on top.
+    overflow: BinaryHeap<Event>,
+    /// Largest time popped so far; the window floor.
+    last_time: SimTime,
     next_seq: u64,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EventQueue {
     /// An empty queue.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_shape(DEFAULT_BUCKETS, DEFAULT_SHIFT)
+    }
+
+    /// A bucketless shell left behind when a queue is moved into the
+    /// arena during `Sim` teardown. Still a correct queue (everything
+    /// would take the overflow heap), just never used.
+    pub(crate) fn hollow() -> Self {
+        EventQueue {
+            next: None,
+            buckets: Vec::new(),
+            mask: 0,
+            shift: DEFAULT_SHIFT,
+            ring_len: 0,
+            overflow: BinaryHeap::new(),
+            last_time: SimTime::ZERO,
+            next_seq: 0,
+        }
+    }
+
+    fn with_shape(nbuckets: usize, shift: u32) -> Self {
+        debug_assert!(nbuckets.is_power_of_two());
+        EventQueue {
+            next: None,
+            buckets: (0..nbuckets).map(|_| VecDeque::new()).collect(),
+            mask: nbuckets as u64 - 1,
+            shift,
+            ring_len: 0,
+            overflow: BinaryHeap::new(),
+            last_time: SimTime::ZERO,
+            next_seq: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, t: SimTime) -> u64 {
+        t.as_nanos() >> self.shift
+    }
+
+    /// The window floor: the bucket of the last popped event.
+    #[inline]
+    fn cur_bucket(&self) -> u64 {
+        self.last_time.as_nanos() >> self.shift
     }
 
     /// Insert a delivery of `msg` to `target` at `time`.
+    #[inline]
     pub fn push(&mut self, time: SimTime, target: ProcessId, msg: Message) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event {
-            time,
-            seq,
-            target,
-            msg,
-        });
+        // Decide placement from the key alone so the fast path constructs
+        // the event directly in the register, with no intermediate move.
+        match &self.next {
+            None => {
+                debug_assert!(self.ring_len == 0 && self.overflow.is_empty());
+                self.next = Some(Event {
+                    time,
+                    seq,
+                    target,
+                    msg,
+                });
+            }
+            Some(n) if (time, seq) < n.key() => {
+                let old = self
+                    .next
+                    .replace(Event {
+                        time,
+                        seq,
+                        target,
+                        msg,
+                    })
+                    .expect("register full");
+                self.demote(old);
+            }
+            Some(_) => self.demote(Event {
+                time,
+                seq,
+                target,
+                msg,
+            }),
+        }
+    }
+
+    /// Insert into the calendar proper (resize check + placement).
+    fn demote(&mut self, ev: Event) {
+        self.maybe_resize();
+        self.place(ev);
+    }
+
+    /// Put `ev` in its ring slot (sorted) or the overflow heap.
+    /// Never resizes.
+    fn place(&mut self, ev: Event) {
+        let cur = self.cur_bucket();
+        // Defensive: an event scheduled before the last popped time (the
+        // kernel never does this) is treated as due now; sorted insertion
+        // by key still pops it first.
+        let b = self.bucket_of(ev.time).max(cur);
+        if b - cur >= self.buckets.len() as u64 {
+            self.overflow.push(ev);
+            return;
+        }
+        let slot = (b & self.mask) as usize;
+        let q = &mut self.buckets[slot];
+        if q.back().map_or(true, |last| last.key() < ev.key()) {
+            q.push_back(ev);
+        } else {
+            // Out-of-order arrival within the bucket: binary search for
+            // the insertion point (keys are unique — seq strictly grows).
+            let (mut lo, mut hi) = (0, q.len());
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if q[mid].key() < ev.key() {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            q.insert(lo, ev);
+        }
+        self.ring_len += 1;
+    }
+
+    /// Locate the calendar's `(time, seq)` minimum (ring slot index, or
+    /// [`OVERFLOW`]) without removing it.
+    fn min_loc(&self) -> Option<usize> {
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        if self.ring_len > 0 {
+            let cur = self.cur_bucket();
+            // Every ring event lives in a bucket within `nbuckets` of the
+            // floor, and each slot holds one absolute bucket, so the first
+            // non-empty slot in window order holds the earliest bucket.
+            for i in 0..self.buckets.len() as u64 {
+                let slot = ((cur + i) & self.mask) as usize;
+                if let Some(e) = self.buckets[slot].front() {
+                    best = Some((e.time, e.seq, slot));
+                    break;
+                }
+            }
+            debug_assert!(best.is_some(), "ring_len > 0 but window scan found nothing");
+        }
+        if let Some(o) = self.overflow.peek() {
+            let better = match best {
+                Some((t, s, _)) => (o.time, o.seq) < (t, s),
+                None => true,
+            };
+            if better {
+                best = Some((o.time, o.seq, OVERFLOW));
+            }
+        }
+        best.map(|(_, _, loc)| loc)
     }
 
     /// Remove and return the earliest event, if any.
+    #[inline]
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        let ev = self.next.take()?;
+        if ev.time > self.last_time {
+            self.last_time = ev.time;
+        }
+        if self.ring_len != 0 || !self.overflow.is_empty() {
+            self.refill();
+        }
+        Some(ev)
+    }
+
+    /// [`pop`](Self::pop), destructured. Splitting the event apart *before*
+    /// the refill keeps `time`/`target` in registers and moves only the
+    /// payload word-block; returning the whole `Event` forces the optimizer
+    /// to shuttle all 64 bytes through the stack around the refill call.
+    #[inline]
+    pub fn pop_parts(&mut self) -> Option<(SimTime, ProcessId, Message)> {
+        let Event {
+            time, target, msg, ..
+        } = self.next.take()?;
+        if time > self.last_time {
+            self.last_time = time;
+        }
+        if self.ring_len != 0 || !self.overflow.is_empty() {
+            self.refill();
+        }
+        Some((time, target, msg))
+    }
+
+    /// Move the calendar's minimum into the `next` register. Caller
+    /// guarantees the calendar is non-empty.
+    fn refill(&mut self) {
+        self.migrate();
+        let loc = self.min_loc().expect("calendar non-empty");
+        let ev = if loc == OVERFLOW {
+            self.overflow.pop().expect("overflow minimum exists")
+        } else {
+            self.ring_len -= 1;
+            self.buckets[loc].pop_front().expect("ring minimum exists")
+        };
+        self.next = Some(ev);
+    }
+
+    /// Pull overflow events whose bucket has entered the window into the
+    /// ring, so a drained ring never pins popping at heap speed.
+    fn migrate(&mut self) {
+        let n = self.buckets.len() as u64;
+        let cur = self.cur_bucket();
+        while self
+            .overflow
+            .peek()
+            .is_some_and(|top| self.bucket_of(top.time) - cur < n)
+        {
+            let ev = self.overflow.pop().expect("peeked overflow event exists");
+            self.place(ev);
+        }
+    }
+
+    /// Adapt the ring to the workload: more buckets when occupancy is
+    /// high, wider buckets when most events sit beyond the window.
+    fn maybe_resize(&mut self) {
+        let n = self.buckets.len();
+        if self.len() > n * GROW_FACTOR && n < MAX_BUCKETS {
+            self.rebuild(n * 2, self.shift);
+        } else if self.overflow.len() > 64
+            && self.overflow.len() > self.ring_len * 4
+            && self.shift < MAX_SHIFT
+        {
+            self.rebuild(n, self.shift + 2);
+        }
+    }
+
+    fn rebuild(&mut self, nbuckets: usize, shift: u32) {
+        let mut pending: Vec<Event> = Vec::with_capacity(self.len());
+        for q in &mut self.buckets {
+            pending.extend(q.drain(..));
+        }
+        pending.extend(self.overflow.drain());
+        if nbuckets > self.buckets.len() {
+            self.buckets.resize_with(nbuckets, VecDeque::new);
+        }
+        self.mask = nbuckets as u64 - 1;
+        self.shift = shift;
+        self.ring_len = 0;
+        for ev in pending {
+            self.place(ev);
+        }
     }
 
     /// The time of the earliest pending event, if any.
+    #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.next.as_ref().map(|e| e.time)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.ring_len + self.overflow.len() + usize::from(self.next.is_some())
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever inserted (the next sequence number).
     pub fn inserted(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Empty the queue for reuse, keeping bucket allocations and the shape
+    /// the previous run's workload tuned; sequence numbers restart at 0.
+    pub fn recycle(&mut self) {
+        self.next = None;
+        for q in &mut self.buckets {
+            q.clear();
+        }
+        self.overflow.clear();
+        self.ring_len = 0;
+        self.last_time = SimTime::ZERO;
+        self.next_seq = 0;
     }
 }
 
@@ -112,11 +399,11 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(t(30), ProcessId(0), Box::new(3u32));
-        q.push(t(10), ProcessId(0), Box::new(1u32));
-        q.push(t(20), ProcessId(0), Box::new(2u32));
+        q.push(t(30), ProcessId(0), Message::new(3u32));
+        q.push(t(10), ProcessId(0), Message::new(1u32));
+        q.push(t(20), ProcessId(0), Message::new(2u32));
         let order: Vec<u32> = std::iter::from_fn(|| q.pop())
-            .map(|e| *e.msg.downcast::<u32>().unwrap())
+            .map(|e| e.msg.downcast::<u32>().unwrap())
             .collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
@@ -125,10 +412,10 @@ mod tests {
     fn equal_times_are_fifo() {
         let mut q = EventQueue::new();
         for i in 0..100u32 {
-            q.push(t(5), ProcessId(0), Box::new(i));
+            q.push(t(5), ProcessId(0), Message::new(i));
         }
         let order: Vec<u32> = std::iter::from_fn(|| q.pop())
-            .map(|e| *e.msg.downcast::<u32>().unwrap())
+            .map(|e| e.msg.downcast::<u32>().unwrap())
             .collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
@@ -138,7 +425,7 @@ mod tests {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
-        q.push(t(42), ProcessId(1), Box::new(()));
+        q.push(t(42), ProcessId(1), Message::new(()));
         assert_eq!(q.peek_time(), Some(t(42)));
         assert_eq!(q.len(), 1);
         assert_eq!(q.inserted(), 1);
@@ -150,15 +437,81 @@ mod tests {
     #[test]
     fn interleaved_push_pop_keeps_order() {
         let mut q = EventQueue::new();
-        q.push(t(10), ProcessId(0), Box::new(1u32));
-        q.push(t(30), ProcessId(0), Box::new(4u32));
+        q.push(t(10), ProcessId(0), Message::new(1u32));
+        q.push(t(30), ProcessId(0), Message::new(4u32));
         let e = q.pop().unwrap();
-        assert_eq!(*e.msg.downcast::<u32>().unwrap(), 1);
-        q.push(t(20), ProcessId(0), Box::new(2u32));
-        q.push(t(20), ProcessId(0), Box::new(3u32));
+        assert_eq!(e.msg.downcast::<u32>().unwrap(), 1);
+        q.push(t(20), ProcessId(0), Message::new(2u32));
+        q.push(t(20), ProcessId(0), Message::new(3u32));
         let got: Vec<u32> = std::iter::from_fn(|| q.pop())
-            .map(|e| *e.msg.downcast::<u32>().unwrap())
+            .map(|e| e.msg.downcast::<u32>().unwrap())
             .collect();
         assert_eq!(got, vec![2, 3, 4]);
+    }
+
+    /// Events far beyond the ring window take the overflow path and still
+    /// come out in global order as the window advances over them.
+    #[test]
+    fn far_future_events_order_with_near_ones() {
+        let mut q = EventQueue::new();
+        let horizon = (DEFAULT_BUCKETS as u64) << DEFAULT_SHIFT;
+        q.push(t(10 * horizon), ProcessId(0), Message::new(4u32));
+        q.push(t(3), ProcessId(0), Message::new(1u32));
+        q.push(t(2 * horizon), ProcessId(0), Message::new(3u32));
+        q.push(t(7), ProcessId(0), Message::new(2u32));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.msg.downcast::<u32>().unwrap())
+            .collect();
+        assert_eq!(order, vec![1, 2, 3, 4]);
+    }
+
+    /// Equal-time events split across the overflow boundary (some pushed
+    /// while the time was far, some near) stay FIFO by sequence.
+    #[test]
+    fn fifo_survives_overflow_migration() {
+        let mut q = EventQueue::new();
+        let far = (DEFAULT_BUCKETS as u64) << (DEFAULT_SHIFT + 1);
+        q.push(t(far), ProcessId(0), Message::new(0u32)); // overflow
+        q.push(t(1), ProcessId(1), Message::new(99u32));
+        assert_eq!(q.pop().unwrap().msg.downcast::<u32>().unwrap(), 99);
+        // Window has advanced only to bucket of t=1; push more at `far`.
+        q.push(t(far), ProcessId(0), Message::new(1u32));
+        q.push(t(far), ProcessId(0), Message::new(2u32));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.msg.downcast::<u32>().unwrap())
+            .collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    /// Pushing far more events than buckets triggers ring growth without
+    /// disturbing the order.
+    #[test]
+    fn growth_preserves_order() {
+        let mut q = EventQueue::new();
+        let n = (DEFAULT_BUCKETS * GROW_FACTOR * 2) as u64;
+        // Reverse time order, all within a few buckets.
+        for i in 0..n {
+            q.push(t(n - i), ProcessId(0), Message::new(n - i));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.msg.downcast::<u64>().unwrap())
+            .collect();
+        let want: Vec<u64> = (1..=n).collect();
+        assert_eq!(order, want);
+    }
+
+    #[test]
+    fn recycle_resets_but_keeps_working() {
+        let mut q = EventQueue::new();
+        q.push(t(5), ProcessId(0), Message::new(1u32));
+        q.push(t(900_000_000), ProcessId(0), Message::new(2u32));
+        q.pop();
+        q.recycle();
+        assert!(q.is_empty());
+        assert_eq!(q.inserted(), 0);
+        assert_eq!(q.peek_time(), None);
+        q.push(t(4), ProcessId(0), Message::new(7u32));
+        assert_eq!(q.peek_time(), Some(t(4)));
+        assert_eq!(q.pop().unwrap().msg.downcast::<u32>().unwrap(), 7);
     }
 }

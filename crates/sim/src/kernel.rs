@@ -7,7 +7,9 @@
 //! its private RNG stream, and process spawning. Dispatch is strictly
 //! sequential in `(time, seq)` order, so runs are reproducible.
 
+use crate::arena;
 use crate::event::EventQueue;
+use crate::payload::Payload;
 use crate::probe::{Probe, ProbeEvent};
 use crate::resource::{Resource, ResourceId};
 use crate::time::{Dur, SimTime};
@@ -17,7 +19,11 @@ use rand::SeedableRng;
 use std::any::Any;
 
 /// Opaque message payload; receiving processes downcast to concrete types.
-pub type Message = Box<dyn Any + Send>;
+///
+/// Construct with [`Message::new`] (which stores small values inline and
+/// pools mid-sized ones — see [`crate::payload`]); consume with
+/// [`Payload::downcast`] / [`Payload::downcast_ref`].
+pub type Message = Payload;
 
 /// Handle to a process registered with a [`Sim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -85,13 +91,18 @@ pub struct Sim {
 
 impl Sim {
     /// Create a simulator whose RNG streams derive from `seed`.
+    ///
+    /// Adopts event-queue/table buffers recycled from a previously dropped
+    /// `Sim` on this thread (see [`crate::arena`]); reuse never changes
+    /// behaviour, only allocation traffic.
     pub fn new(seed: u64) -> Self {
+        let parts = arena::take();
         Sim {
             core: Core {
                 now: SimTime::ZERO,
-                queue: EventQueue::new(),
-                resources: Vec::new(),
-                rngs: Vec::new(),
+                queue: parts.queue,
+                resources: parts.resources,
+                rngs: parts.rngs,
                 trace: TraceDigest::new(),
                 master_seed: seed,
                 pending_spawns: Vec::new(),
@@ -100,7 +111,7 @@ impl Sim {
                 events_dispatched: 0,
                 probe: None,
             },
-            procs: Vec::new(),
+            procs: parts.procs,
             started: 0,
             max_events: u64::MAX,
         }
@@ -192,48 +203,61 @@ impl Sim {
 
     fn run_inner(&mut self, limit: Option<SimTime>) -> SimTime {
         self.start_new_processes();
+        // Flatten the optional limit into one compare on the hot path; an
+        // unlimited run can never pass t > MAX.
+        let horizon = limit.unwrap_or(SimTime::from_nanos(u64::MAX));
+        // `stop` can only flip inside a handler, so it is re-checked after
+        // dispatch (below) rather than on every loop entry.
+        if self.core.stop_requested {
+            return self.core.now;
+        }
         while let Some(t) = self.core.queue.peek_time() {
-            if self.core.stop_requested {
-                break;
-            }
-            if let Some(l) = limit {
-                if t > l {
-                    self.core.now = l;
-                    return self.core.now;
-                }
+            if t > horizon {
+                self.core.now = horizon;
+                return self.core.now;
             }
             if self.core.events_dispatched >= self.max_events {
                 break;
             }
-            let ev = self.core.queue.pop().expect("peeked event exists");
-            debug_assert!(ev.time >= self.core.now, "time must not run backwards");
-            self.core.now = ev.time;
+            // SAFETY: peek_time just returned Some and nothing between the
+            // peek and here touches the queue. Skipping the unwrap branch
+            // lets the event be popped straight into this frame.
+            let (time, target, msg) = unsafe { self.core.queue.pop_parts().unwrap_unchecked() };
+            debug_assert!(time >= self.core.now, "time must not run backwards");
+            self.core.now = time;
             self.core.events_dispatched += 1;
-            self.core.trace.record(ev.time, ev.target);
+            self.core.trace.record(time, target);
             if let Some(probe) = self.core.probe.as_mut() {
-                probe.record(ProbeEvent::Dispatch {
-                    time: ev.time,
-                    target: ev.target,
-                });
+                probe.record(ProbeEvent::Dispatch { time, target });
             }
-            self.dispatch(ev.target, ev.msg);
-            self.start_new_processes();
+            self.dispatch(target, msg);
+            // Mid-run the table only grows through `Ctx::spawn`, which
+            // stages into `pending_spawns`; anything added before the run
+            // was started by the `start_new_processes` call at entry.
+            if !self.core.pending_spawns.is_empty() {
+                self.start_new_processes();
+            }
+            if self.core.stop_requested {
+                break;
+            }
         }
         self.core.now
     }
 
     fn dispatch(&mut self, target: ProcessId, msg: Message) {
-        let slot = self
+        // Handlers can only reach `core` through `Ctx`, never the process
+        // table, so the entry is borrowed in place (no checkout round-trip).
+        let proc = self
             .procs
             .get_mut(target.0)
-            .unwrap_or_else(|| panic!("message to unknown process {:?}", target));
-        let mut proc = slot.take().expect("process checked out during dispatch");
+            .unwrap_or_else(|| panic!("message to unknown process {:?}", target))
+            .as_deref_mut()
+            .expect("process checked out during dispatch");
         let mut ctx = Ctx {
             core: &mut self.core,
             pid: target,
         };
         proc.on_message(&mut ctx, msg);
-        self.procs[target.0] = Some(proc);
     }
 
     /// Fold pending spawns into the table and run `on_start` for every
@@ -270,6 +294,17 @@ impl Sim {
         self.procs[pid.0]
             .as_deref()
             .and_then(|p| (p as &dyn Any).downcast_ref::<T>())
+    }
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        arena::put(arena::Parts {
+            queue: std::mem::replace(&mut self.core.queue, EventQueue::hollow()),
+            procs: std::mem::take(&mut self.procs),
+            rngs: std::mem::take(&mut self.core.rngs),
+            resources: std::mem::take(&mut self.core.resources),
+        });
     }
 }
 
@@ -416,12 +451,12 @@ mod tests {
 
     impl Process for Echo {
         fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-            let v = *msg.downcast::<u64>().unwrap();
+            let v = msg.downcast::<u64>().unwrap();
             self.heard.push(v);
             if let Some(peer) = self.peer {
                 if self.bounces > 0 {
                     self.bounces -= 1;
-                    ctx.send_in(Dur::micros(10), peer, Box::new(v + 1));
+                    ctx.send_in(Dur::micros(10), peer, Message::new(v + 1));
                 }
             }
         }
@@ -440,7 +475,7 @@ mod tests {
             peer: Some(a),
             bounces: 3,
         }));
-        sim.schedule_at(SimTime::ZERO, b, Box::new(0u64));
+        sim.schedule_at(SimTime::ZERO, b, Message::new(0u64));
         let end = sim.run();
         // b hears 0 at t=0, sends to a at 10us; a is a sink.
         assert_eq!(end.as_nanos(), 10_000);
@@ -451,7 +486,7 @@ mod tests {
     struct Starter;
     impl Process for Starter {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-            ctx.send_self_in(Dur::nanos(7), Box::new(1u64));
+            ctx.send_self_in(Dur::nanos(7), Message::new(1u64));
         }
         fn on_message(&mut self, ctx: &mut Ctx<'_>, _msg: Message) {
             ctx.stop();
@@ -462,7 +497,7 @@ mod tests {
     fn on_start_runs_and_stop_halts() {
         let mut sim = Sim::new(0);
         let p = sim.add_process(Box::new(Starter));
-        sim.schedule_at(SimTime::from_nanos(100), p, Box::new(2u64));
+        sim.schedule_at(SimTime::from_nanos(100), p, Message::new(2u64));
         let end = sim.run();
         assert_eq!(end.as_nanos(), 7); // stopped before the t=100 event
         assert_eq!(sim.events_dispatched(), 1);
@@ -483,7 +518,7 @@ mod tests {
         fn on_message(&mut self, ctx: &mut Ctx<'_>, _msg: Message) {
             let child = ctx.spawn(Box::new(Child { heard: 0 }));
             self.child_heard = Some(child);
-            ctx.send_in(Dur::nanos(1), child, Box::new(()));
+            ctx.send_in(Dur::nanos(1), child, Message::new(()));
         }
     }
 
@@ -491,7 +526,7 @@ mod tests {
     fn spawn_mid_run_is_addressable() {
         let mut sim = Sim::new(0);
         let p = sim.add_process(Box::new(Spawner { child_heard: None }));
-        sim.schedule_at(SimTime::ZERO, p, Box::new(()));
+        sim.schedule_at(SimTime::ZERO, p, Message::new(()));
         sim.run();
         let spawner: &Spawner = sim.process(p).unwrap();
         let child_pid = spawner.child_heard.unwrap();
@@ -507,8 +542,8 @@ mod tests {
             peer: None,
             bounces: 0,
         }));
-        sim.schedule_at(SimTime::from_nanos(50), p, Box::new(1u64));
-        sim.schedule_at(SimTime::from_nanos(150), p, Box::new(2u64));
+        sim.schedule_at(SimTime::from_nanos(50), p, Message::new(1u64));
+        sim.schedule_at(SimTime::from_nanos(150), p, Message::new(2u64));
         let t = sim.run_until(SimTime::from_nanos(100));
         assert_eq!(t.as_nanos(), 100);
         assert_eq!(sim.events_dispatched(), 1);
@@ -525,9 +560,9 @@ mod tests {
         impl Process for Worker {
             fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
                 match msg.downcast::<&'static str>() {
-                    Ok(s) if *s == "job" => {
-                        ctx.use_resource(self.cpu, Dur::nanos(100), Box::new("done"));
-                        ctx.use_resource(self.cpu, Dur::nanos(100), Box::new("done"));
+                    Ok("job") => {
+                        ctx.use_resource(self.cpu, Dur::nanos(100), Message::new("done"));
+                        ctx.use_resource(self.cpu, Dur::nanos(100), Message::new("done"));
                     }
                     Ok(_) => self.done_at.push(ctx.now().as_nanos()),
                     Err(_) => panic!("unexpected message"),
@@ -540,7 +575,7 @@ mod tests {
             done_at: vec![],
             cpu,
         }));
-        sim.schedule_at(SimTime::ZERO, w, Box::new("job"));
+        sim.schedule_at(SimTime::ZERO, w, Message::new("job"));
         sim.run();
         let w_ref: &Worker = sim.process(w).unwrap();
         assert_eq!(w_ref.done_at, vec![100, 200]); // serialized on one server
@@ -560,7 +595,7 @@ mod tests {
                 peer: Some(a),
                 bounces: 10,
             }));
-            sim.schedule_at(SimTime::ZERO, b, Box::new(0u64));
+            sim.schedule_at(SimTime::ZERO, b, Message::new(0u64));
             sim.run();
             (sim.trace_digest(), sim.events_dispatched())
         }
@@ -580,8 +615,8 @@ mod tests {
         }
         let a = sim.add_process(Box::new(R { v: 0 }));
         let b = sim.add_process(Box::new(R { v: 0 }));
-        sim.schedule_at(SimTime::ZERO, a, Box::new(()));
-        sim.schedule_at(SimTime::ZERO, b, Box::new(()));
+        sim.schedule_at(SimTime::ZERO, a, Message::new(()));
+        sim.schedule_at(SimTime::ZERO, b, Message::new(()));
         sim.run();
         let ra: &R = sim.process(a).unwrap();
         let rb: &R = sim.process(b).unwrap();
@@ -593,12 +628,12 @@ mod tests {
         struct Loopy;
         impl Process for Loopy {
             fn on_message(&mut self, ctx: &mut Ctx<'_>, _m: Message) {
-                ctx.send_self_in(Dur::nanos(1), Box::new(()));
+                ctx.send_self_in(Dur::nanos(1), Message::new(()));
             }
         }
         let mut sim = Sim::new(0);
         let p = sim.add_process(Box::new(Loopy));
-        sim.schedule_at(SimTime::ZERO, p, Box::new(()));
+        sim.schedule_at(SimTime::ZERO, p, Message::new(()));
         sim.set_max_events(1000);
         sim.run();
         assert_eq!(sim.events_dispatched(), 1000);

@@ -6,7 +6,8 @@
 //!
 //! * a virtual clock with nanosecond resolution ([`SimTime`], [`Dur`]),
 //! * an actor-style process model ([`Process`]) driven by a total-ordered
-//!   event queue,
+//!   calendar event queue with allocation-free inline/pooled message
+//!   payloads ([`payload`]) and cross-run buffer recycling ([`arena`]),
 //! * analytic FCFS multi-server resources ([`Resource`]) used to model CPUs,
 //!   NICs and links,
 //! * deterministic per-process random-number streams,
@@ -31,12 +32,12 @@
 //! struct Ping { pongs: u32 }
 //! impl Process for Ping {
 //!     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-//!         ctx.send_self_in(Dur::micros(5), Box::new("tick"));
+//!         ctx.send_self_in(Dur::micros(5), Message::new("tick"));
 //!     }
 //!     fn on_message(&mut self, ctx: &mut Ctx<'_>, _msg: Message) {
 //!         self.pongs += 1;
 //!         if self.pongs < 3 {
-//!             ctx.send_self_in(Dur::micros(5), Box::new("tick"));
+//!             ctx.send_self_in(Dur::micros(5), Message::new("tick"));
 //!         }
 //!     }
 //! }
@@ -47,8 +48,10 @@
 //! assert_eq!(end.as_nanos(), 15_000);
 //! ```
 
+pub mod arena;
 pub mod event;
 pub mod kernel;
+pub mod payload;
 pub mod probe;
 pub mod resource;
 pub mod stats;
@@ -57,7 +60,8 @@ pub mod trace;
 
 pub use event::{Event, EventQueue};
 pub use kernel::{Ctx, Message, Process, ProcessId, Sim};
-pub use probe::{MetricRegistry, Probe, ProbeEvent, Recorder};
+pub use payload::Payload;
+pub use probe::{MetricRegistry, Probe, ProbeEvent, Recorder, StreamingTraceWriter, Tee};
 pub use resource::{Resource, ResourceId};
 pub use time::{Dur, SimTime};
 pub use trace::TraceDigest;

@@ -22,7 +22,7 @@ use crate::kernel::ProcessId;
 use crate::resource::ResourceId;
 use crate::stats::{Histogram, Tally, TimeWeighted};
 use crate::time::{Dur, SimTime};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
 
@@ -259,203 +259,326 @@ impl Recorder {
     /// Export buffered events as Chrome trace-event JSON (the format
     /// Perfetto and `chrome://tracing` open directly).
     ///
-    /// `resource_names[i]` labels the track for `ResourceId(i)` (use
-    /// [`crate::Sim::resource_names`]). Layout: tid 0 carries counters and
-    /// gauges, tids `1..=n` are the resource tracks (occupancy as complete
-    /// `"X"` events, stalls on a sibling `"· stall"` track), and span
-    /// tracks follow in name order. Timestamps are virtual µs.
+    /// Convenience wrapper feeding the buffered events through a
+    /// [`StreamingTraceWriter`] over an in-memory buffer; for long runs
+    /// prefer attaching a `StreamingTraceWriter` directly so events go to
+    /// disk as they happen instead of accumulating here.
     pub fn chrome_trace_json(&self, resource_names: &[String]) -> String {
-        let inner = self.inner.lock().expect("recorder lock");
-        let us = |t: SimTime| t.as_nanos() as f64 / 1e3;
-
-        // Deterministic track table: resources first, then stall tracks for
-        // resources that stalled, then span tracks in name order.
-        let mut stall_rids: BTreeSet<usize> = BTreeSet::new();
-        let mut span_tracks: BTreeSet<&str> = BTreeSet::new();
-        for ev in &inner.events {
-            match ev {
-                ProbeEvent::Stall { rid, .. } => {
-                    stall_rids.insert(rid.0);
+        let writer = StreamingTraceWriter::new(Vec::new(), resource_names);
+        {
+            let mut p = writer.probe();
+            self.with_events(|events| {
+                for ev in events {
+                    p.record(ev.clone());
                 }
-                ProbeEvent::SpanBegin { track, .. } | ProbeEvent::SpanEnd { track, .. } => {
-                    span_tracks.insert(track);
-                }
-                _ => {}
-            }
+            });
         }
-        let stall_tid: BTreeMap<usize, u64> = stall_rids
-            .iter()
-            .enumerate()
-            .map(|(i, &rid)| (rid, resource_names.len() as u64 + 1 + i as u64))
-            .collect();
-        let span_base = resource_names.len() as u64 + 1 + stall_tid.len() as u64;
-        let span_tid: BTreeMap<&str, u64> = span_tracks
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| (t, span_base + i as u64))
-            .collect();
+        let bytes = writer.finish().expect("in-memory trace write cannot fail");
+        String::from_utf8(bytes).expect("trace JSON is UTF-8")
+    }
+}
 
-        let mut out = String::with_capacity(1 << 16);
-        out.push_str("{\"traceEvents\":[");
-        let mut first = true;
-        let emit = |out: &mut String, first: &mut bool, body: &str| {
-            if !*first {
-                out.push(',');
-            }
-            *first = false;
-            out.push_str(body);
+/// Incremental Chrome trace-event JSON writer.
+///
+/// The [`Probe`] side serializes each event straight into the underlying
+/// `io::Write` as it is recorded, so memory stays bounded regardless of
+/// run length: the only retained state is the track-id tables, one running
+/// total per counter name, and the labels of currently-open spans. Wrap a
+/// `File` in a `BufWriter` (or use [`StreamingTraceWriter::create`]) to
+/// batch the small per-event writes.
+///
+/// Layout matches [`Recorder::chrome_trace_json`]: tid 0 carries counters
+/// and gauges, tids `1..=n` the resource tracks (named up-front from
+/// `resource_names`), and stall/span tracks are assigned — with their
+/// `thread_name` metadata emitted inline — the first time each appears.
+/// Timestamps are virtual µs. [`ProbeEvent::Dispatch`] is counted, never
+/// written.
+///
+/// Call [`finish`](Self::finish) to write the JSON trailer and recover the
+/// writer (and the first I/O error, if any). Dropping the handle without
+/// finishing writes the trailer best-effort so the file stays loadable.
+pub struct StreamingTraceWriter<W: std::io::Write + Send + 'static> {
+    inner: Arc<Mutex<StreamInner<W>>>,
+}
+
+struct StreamInner<W: std::io::Write> {
+    /// `None` only after [`StreamingTraceWriter::finish`] reclaimed it.
+    w: Option<W>,
+    /// No event object has been emitted yet (controls comma placement).
+    first: bool,
+    finished: bool,
+    /// First write error; once set, further events are dropped.
+    err: Option<std::io::Error>,
+    dispatches: u64,
+    written: u64,
+    next_tid: u64,
+    stall_tid: BTreeMap<usize, u64>,
+    span_tid: BTreeMap<String, u64>,
+    resource_names: Vec<String>,
+    /// Cumulative counter values (counters plot running totals).
+    running: BTreeMap<String, f64>,
+    /// Labels of open spans; async span ends reuse the label from their
+    /// matching begin (Perfetto pairs on cat+id).
+    open_spans: BTreeMap<(u64, u64), String>,
+}
+
+impl<W: std::io::Write + Send + 'static> StreamingTraceWriter<W> {
+    /// Start a trace into `w`: writes the JSON header and one
+    /// `thread_name` metadata record per resource track immediately.
+    pub fn new(w: W, resource_names: &[String]) -> Self {
+        let mut inner = StreamInner {
+            w: Some(w),
+            first: true,
+            finished: false,
+            err: None,
+            dispatches: 0,
+            written: 0,
+            next_tid: resource_names.len() as u64 + 1,
+            stall_tid: BTreeMap::new(),
+            span_tid: BTreeMap::new(),
+            resource_names: resource_names.to_vec(),
+            running: BTreeMap::new(),
+            open_spans: BTreeMap::new(),
         };
-
-        // Track-name metadata.
-        for (i, name) in resource_names.iter().enumerate() {
-            emit(
-                &mut out,
-                &mut first,
-                &format!(
-                    "{{\"ph\":\"M\",\"pid\":0,\"tid\":{},\"name\":\"thread_name\",\
-                     \"args\":{{\"name\":\"{}\"}}}}",
-                    i + 1,
-                    json_escape(name)
-                ),
-            );
+        inner.try_io(|w| w.write_all(b"{\"traceEvents\":["));
+        for idx in 0..inner.resource_names.len() {
+            let name = json_escape(&inner.resource_names[idx]);
+            inner.emit(format_args!(
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                idx + 1,
+                name
+            ));
         }
-        for (&rid, &tid) in &stall_tid {
-            let name = resource_names
+        StreamingTraceWriter {
+            inner: Arc::new(Mutex::new(inner)),
+        }
+    }
+
+    /// A probe handle feeding this writer; attach it with
+    /// [`crate::Sim::attach_probe`].
+    pub fn probe(&self) -> Box<dyn Probe> {
+        Box::new(StreamingProbe {
+            inner: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Number of kernel dispatches observed (counted, not written).
+    pub fn dispatches(&self) -> u64 {
+        self.inner.lock().expect("trace writer lock").dispatches
+    }
+
+    /// Number of JSON event records written so far (metadata included).
+    pub fn events_written(&self) -> u64 {
+        self.inner.lock().expect("trace writer lock").written
+    }
+
+    /// Write the JSON trailer, flush, and return the writer — or the
+    /// first I/O error hit at any point during the trace.
+    pub fn finish(self) -> std::io::Result<W> {
+        let mut inner = self.inner.lock().expect("trace writer lock");
+        inner.close();
+        if let Some(e) = inner.err.take() {
+            return Err(e);
+        }
+        Ok(inner.w.take().expect("writer reclaimed once"))
+    }
+}
+
+impl<W: std::io::Write> StreamInner<W> {
+    /// Run an I/O action, latching the first error and dropping later work.
+    fn try_io(&mut self, f: impl FnOnce(&mut W) -> std::io::Result<()>) {
+        if self.err.is_none() {
+            if let Some(w) = self.w.as_mut() {
+                if let Err(e) = f(w) {
+                    self.err = Some(e);
+                }
+            }
+        }
+    }
+
+    /// Write one JSON object, comma-separated from the previous one.
+    fn emit(&mut self, body: std::fmt::Arguments<'_>) {
+        let first = std::mem::replace(&mut self.first, false);
+        self.try_io(|w| {
+            if !first {
+                w.write_all(b",")?;
+            }
+            w.write_fmt(body)
+        });
+        self.written += 1;
+    }
+
+    /// Tid for `rid`'s stall track, emitting its metadata on first use.
+    fn stall_tid_for(&mut self, rid: usize) -> u64 {
+        if let Some(&tid) = self.stall_tid.get(&rid) {
+            return tid;
+        }
+        let tid = self.next_tid;
+        self.next_tid += 1;
+        self.stall_tid.insert(rid, tid);
+        let name = json_escape(
+            self.resource_names
                 .get(rid)
                 .map(String::as_str)
-                .unwrap_or("resource");
-            emit(
-                &mut out,
-                &mut first,
-                &format!(
-                    "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
-                     \"args\":{{\"name\":\"{} · stall\"}}}}",
-                    json_escape(name)
-                ),
-            );
-        }
-        for (&track, &tid) in &span_tid {
-            emit(
-                &mut out,
-                &mut first,
-                &format!(
-                    "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
-                     \"args\":{{\"name\":\"{}\"}}}}",
-                    json_escape(track)
-                ),
-            );
-        }
+                .unwrap_or("resource"),
+        );
+        self.emit(format_args!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{name} · stall\"}}}}"
+        ));
+        tid
+    }
 
-        // Counters plot cumulative running totals; async span ends reuse
-        // the label from their matching begin (Perfetto pairs on cat+id).
-        let mut running: BTreeMap<&str, f64> = BTreeMap::new();
-        let mut open_spans: BTreeMap<(u64, u64), String> = BTreeMap::new();
-        for ev in &inner.events {
-            match ev {
-                ProbeEvent::Dispatch { .. } => {}
-                ProbeEvent::ResourceAcquire {
-                    rid,
-                    arrived,
-                    start,
-                    completion,
-                    service,
-                    busy_servers,
-                } => {
-                    let dur = completion.saturating_since(*start);
-                    emit(
-                        &mut out,
-                        &mut first,
-                        &format!(
-                            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\
-                             \"name\":\"use\",\"args\":{{\"service_us\":{:.3},\"wait_us\":{:.3},\
-                             \"busy_servers\":{}}}}}",
-                            rid.0 + 1,
-                            us(*start),
-                            dur.as_nanos() as f64 / 1e3,
-                            service.as_nanos() as f64 / 1e3,
-                            start.saturating_since(*arrived).as_nanos() as f64 / 1e3,
-                            busy_servers
-                        ),
-                    );
-                }
-                ProbeEvent::Stall { rid, from, until } => {
-                    let tid = stall_tid[&rid.0];
-                    emit(
-                        &mut out,
-                        &mut first,
-                        &format!(
-                            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3},\
-                             \"name\":\"credit stall\",\"args\":{{}}}}",
-                            us(*from),
-                            until.saturating_since(*from).as_nanos() as f64 / 1e3
-                        ),
-                    );
-                }
-                ProbeEvent::SpanBegin {
-                    track,
-                    label,
-                    time,
-                    id,
-                } => {
-                    let tid = span_tid[track.as_str()];
-                    open_spans.insert((tid, *id), label.clone());
-                    emit(
-                        &mut out,
-                        &mut first,
-                        &format!(
-                            "{{\"ph\":\"b\",\"cat\":\"span\",\"id\":{id},\"pid\":0,\
-                             \"tid\":{tid},\"ts\":{:.3},\"name\":\"{}\"}}",
-                            us(*time),
-                            json_escape(label)
-                        ),
-                    );
-                }
-                ProbeEvent::SpanEnd { track, time, id } => {
-                    let tid = span_tid[track.as_str()];
-                    let label = open_spans.remove(&(tid, *id)).unwrap_or_default();
-                    emit(
-                        &mut out,
-                        &mut first,
-                        &format!(
-                            "{{\"ph\":\"e\",\"cat\":\"span\",\"id\":{id},\"pid\":0,\
-                             \"tid\":{tid},\"ts\":{:.3},\"name\":\"{}\"}}",
-                            us(*time),
-                            json_escape(&label)
-                        ),
-                    );
-                }
-                ProbeEvent::Counter { name, time, delta } => {
-                    let v = running.entry(name.as_str()).or_insert(0.0);
-                    *v += delta;
-                    emit(
-                        &mut out,
-                        &mut first,
-                        &format!(
-                            "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":{:.3},\"name\":\"{}\",\
-                             \"args\":{{\"value\":{}}}}}",
-                            us(*time),
-                            json_escape(name),
-                            v
-                        ),
-                    );
-                }
-                ProbeEvent::Gauge { name, time, value } => {
-                    emit(
-                        &mut out,
-                        &mut first,
-                        &format!(
-                            "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":{:.3},\"name\":\"{}\",\
-                             \"args\":{{\"value\":{}}}}}",
-                            us(*time),
-                            json_escape(name),
-                            value
-                        ),
-                    );
-                }
+    /// Tid for span track `track`, emitting its metadata on first use.
+    fn span_tid_for(&mut self, track: &str) -> u64 {
+        if let Some(&tid) = self.span_tid.get(track) {
+            return tid;
+        }
+        let tid = self.next_tid;
+        self.next_tid += 1;
+        self.span_tid.insert(track.to_string(), tid);
+        let name = json_escape(track);
+        self.emit(format_args!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{name}\"}}}}"
+        ));
+        tid
+    }
+
+    fn record(&mut self, ev: ProbeEvent) {
+        let us = |t: SimTime| t.as_nanos() as f64 / 1e3;
+        match ev {
+            ProbeEvent::Dispatch { .. } => self.dispatches += 1,
+            ProbeEvent::ResourceAcquire {
+                rid,
+                arrived,
+                start,
+                completion,
+                service,
+                busy_servers,
+            } => {
+                let dur = completion.saturating_since(start);
+                self.emit(format_args!(
+                    "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\
+                     \"name\":\"use\",\"args\":{{\"service_us\":{:.3},\"wait_us\":{:.3},\
+                     \"busy_servers\":{}}}}}",
+                    rid.0 + 1,
+                    us(start),
+                    dur.as_nanos() as f64 / 1e3,
+                    service.as_nanos() as f64 / 1e3,
+                    start.saturating_since(arrived).as_nanos() as f64 / 1e3,
+                    busy_servers
+                ));
+            }
+            ProbeEvent::Stall { rid, from, until } => {
+                let tid = self.stall_tid_for(rid.0);
+                self.emit(format_args!(
+                    "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3},\
+                     \"name\":\"credit stall\",\"args\":{{}}}}",
+                    us(from),
+                    until.saturating_since(from).as_nanos() as f64 / 1e3
+                ));
+            }
+            ProbeEvent::SpanBegin {
+                track,
+                label,
+                time,
+                id,
+            } => {
+                let tid = self.span_tid_for(&track);
+                let escaped = json_escape(&label);
+                self.open_spans.insert((tid, id), label);
+                self.emit(format_args!(
+                    "{{\"ph\":\"b\",\"cat\":\"span\",\"id\":{id},\"pid\":0,\
+                     \"tid\":{tid},\"ts\":{:.3},\"name\":\"{escaped}\"}}",
+                    us(time)
+                ));
+            }
+            ProbeEvent::SpanEnd { track, time, id } => {
+                let tid = self.span_tid_for(&track);
+                let label = self.open_spans.remove(&(tid, id)).unwrap_or_default();
+                let escaped = json_escape(&label);
+                self.emit(format_args!(
+                    "{{\"ph\":\"e\",\"cat\":\"span\",\"id\":{id},\"pid\":0,\
+                     \"tid\":{tid},\"ts\":{:.3},\"name\":\"{escaped}\"}}",
+                    us(time)
+                ));
+            }
+            ProbeEvent::Counter { name, time, delta } => {
+                let v = *self
+                    .running
+                    .entry(name.clone())
+                    .and_modify(|v| *v += delta)
+                    .or_insert(delta);
+                let escaped = json_escape(&name);
+                self.emit(format_args!(
+                    "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":{:.3},\"name\":\"{escaped}\",\
+                     \"args\":{{\"value\":{v}}}}}",
+                    us(time)
+                ));
+            }
+            ProbeEvent::Gauge { name, time, value } => {
+                let escaped = json_escape(&name);
+                self.emit(format_args!(
+                    "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":{:.3},\"name\":\"{escaped}\",\
+                     \"args\":{{\"value\":{value}}}}}",
+                    us(time)
+                ));
             }
         }
-        out.push_str("],\"displayTimeUnit\":\"ms\"}");
-        out
+    }
+
+    /// Write the trailer and flush (idempotent).
+    fn close(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.try_io(|w| {
+            w.write_all(b"],\"displayTimeUnit\":\"ms\"}")?;
+            w.flush()
+        });
+    }
+}
+
+impl<W: std::io::Write> Drop for StreamInner<W> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+struct StreamingProbe<W: std::io::Write + Send> {
+    inner: Arc<Mutex<StreamInner<W>>>,
+}
+
+impl<W: std::io::Write + Send> Probe for StreamingProbe<W> {
+    fn record(&mut self, ev: ProbeEvent) {
+        self.inner.lock().expect("trace writer lock").record(ev);
+    }
+}
+
+impl StreamingTraceWriter<std::io::BufWriter<std::fs::File>> {
+    /// Stream a trace to a freshly created file through a `BufWriter`
+    /// (creating parent directories), so each probe event costs a small
+    /// buffered write rather than a syscall.
+    pub fn create(path: &std::path::Path, resource_names: &[String]) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(std::io::BufWriter::new(file), resource_names))
+    }
+}
+
+/// Fan a probe stream out to two sinks (e.g. a [`Recorder`] for analysis
+/// plus a [`StreamingTraceWriter`] for on-disk export in one run).
+pub struct Tee(pub Box<dyn Probe>, pub Box<dyn Probe>);
+
+impl Probe for Tee {
+    fn record(&mut self, ev: ProbeEvent) {
+        self.0.record(ev.clone());
+        self.1.record(ev);
     }
 }
 
@@ -592,6 +715,120 @@ mod tests {
         assert_eq!(rec.with_metrics(|m| m.counter("c")), 2.0);
         assert_eq!(rec.with_metrics(|m| m.gauge_current("g")), 7.0);
         assert_eq!(rec.len(), 2, "counter/gauge events stay in the buffer");
+    }
+
+    /// The streaming writer, fed the same events, produces the same JSON
+    /// as the Recorder convenience export (which now delegates to it) —
+    /// and writes incrementally: the header and early events are already
+    /// in the sink before the trace is finished.
+    #[test]
+    fn streaming_writer_matches_recorder_export() {
+        let events = [
+            ProbeEvent::ResourceAcquire {
+                rid: ResourceId(0),
+                arrived: t(0),
+                start: t(100),
+                completion: t(300),
+                service: Dur::nanos(200),
+                busy_servers: 0,
+            },
+            ProbeEvent::Dispatch {
+                time: t(5),
+                target: ProcessId(3),
+            },
+            ProbeEvent::Stall {
+                rid: ResourceId(0),
+                from: t(400),
+                until: t(600),
+            },
+            ProbeEvent::Counter {
+                name: "frames".into(),
+                time: t(50),
+                delta: 2.0,
+            },
+            ProbeEvent::Counter {
+                name: "frames".into(),
+                time: t(60),
+                delta: 3.0,
+            },
+        ];
+        let names = vec!["nic".to_string()];
+
+        let rec = Recorder::new();
+        let mut rp = rec.probe();
+        for ev in &events {
+            rp.record(ev.clone());
+        }
+
+        let stream = StreamingTraceWriter::new(Vec::new(), &names);
+        let mut sp = stream.probe();
+        for ev in &events {
+            sp.record(ev.clone());
+        }
+        assert_eq!(stream.dispatches(), 1);
+        assert!(
+            stream.events_written() >= 4,
+            "events flow to the sink before finish"
+        );
+        let json = String::from_utf8(stream.finish().unwrap()).unwrap();
+        assert_eq!(json, rec.chrome_trace_json(&names));
+        assert!(json.contains("\"value\":5"), "counter totals accumulate");
+        assert!(json.contains("nic · stall"));
+    }
+
+    /// Dropping the writer handle without `finish` still closes the JSON
+    /// so the file is loadable.
+    #[test]
+    fn streaming_writer_closes_on_drop() {
+        use std::sync::mpsc;
+        struct SendOnDrop(Vec<u8>, mpsc::Sender<Vec<u8>>);
+        impl std::io::Write for SendOnDrop {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        impl Drop for SendOnDrop {
+            fn drop(&mut self) {
+                let _ = self.1.send(std::mem::take(&mut self.0));
+            }
+        }
+        let (tx, rx) = mpsc::channel();
+        let w = StreamingTraceWriter::new(SendOnDrop(Vec::new(), tx), &[]);
+        w.probe().record(ProbeEvent::Gauge {
+            name: "q".into(),
+            time: t(1),
+            value: 1.0,
+        });
+        drop(w);
+        let bytes = rx.try_recv().expect("sink dropped with contents");
+        let json = String::from_utf8(bytes).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn tee_duplicates_to_both_sinks() {
+        let a = Recorder::new();
+        let b = Recorder::new();
+        let mut tee = Tee(a.probe(), b.probe());
+        tee.record(ProbeEvent::Dispatch {
+            time: t(1),
+            target: ProcessId(0),
+        });
+        tee.record(ProbeEvent::Counter {
+            name: "c".into(),
+            time: t(2),
+            delta: 1.0,
+        });
+        for rec in [&a, &b] {
+            assert_eq!(rec.dispatches(), 1);
+            assert_eq!(rec.len(), 1);
+            assert_eq!(rec.with_metrics(|m| m.counter("c")), 1.0);
+        }
     }
 
     #[test]

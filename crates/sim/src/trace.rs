@@ -1,17 +1,21 @@
 //! Event-trace digest for determinism testing.
 //!
 //! Every dispatched event (time + target) and every application-supplied tag
-//! is folded into a running FNV-1a hash. Two runs are behaviourally identical
-//! iff their digests match — a cheap, order-sensitive fingerprint used by the
-//! `determinism` integration tests.
+//! is folded into a running multiply-xorshift hash (splitmix-style rounds).
+//! Two runs are behaviourally identical iff their digests match — a cheap,
+//! order-sensitive fingerprint used by the `determinism` integration tests.
+//! The digest sits on the kernel's per-event critical path, so the fold is
+//! deliberately a short dependency chain (one multiply on the running
+//! state), not a byte-at-a-time hash.
 
 use crate::kernel::ProcessId;
 use crate::time::SimTime;
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const SEED: u64 = 0xcbf2_9ce4_8422_2325;
+const MIX_IN: u64 = 0x9E37_79B9_7F4A_7C15;
+const MIX_STATE: u64 = 0xBF58_476D_1CE4_E5B9;
 
-/// Running FNV-1a hash over the event trace.
+/// Running order-sensitive hash over the event trace.
 #[derive(Debug, Clone)]
 pub struct TraceDigest {
     state: u64,
@@ -28,24 +32,28 @@ impl TraceDigest {
     /// A fresh digest.
     pub fn new() -> Self {
         TraceDigest {
-            state: FNV_OFFSET,
+            state: SEED,
             records: 0,
         }
     }
 
     #[inline]
     fn fold(&mut self, word: u64) {
-        for byte in word.to_le_bytes() {
-            self.state ^= byte as u64;
-            self.state = self.state.wrapping_mul(FNV_PRIME);
-        }
+        // The word's own multiply is off the serial chain; the chain itself
+        // is xor → xorshift → multiply per fold.
+        let mut z = self.state ^ word.wrapping_mul(MIX_IN);
+        z ^= z >> 29;
+        self.state = z.wrapping_mul(MIX_STATE);
     }
 
     /// Fold one event dispatch into the digest.
+    ///
+    /// Time and target are combined into a single word (the target gets its
+    /// own multiplier so `(t, p)` and `(p, t)` differ) and folded in one
+    /// round: this hash is on the critical path of every dispatched event.
     #[inline]
     pub fn record(&mut self, time: SimTime, target: ProcessId) {
-        self.fold(time.as_nanos());
-        self.fold(target.0 as u64);
+        self.fold(time.as_nanos() ^ (target.0 as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
         self.records += 1;
     }
 

@@ -104,7 +104,7 @@ impl QueryDriver {
         for pid in targets {
             ctx.send(
                 pid,
-                Box::new(UowStartMsg {
+                Message::new(UowStartMsg {
                     uow,
                     desc: Arc::clone(&desc),
                 }),
@@ -181,7 +181,7 @@ impl Process for QueryDriver {
             Plan::OpenLoop(items) => {
                 for (i, (at, q)) in items.into_iter().enumerate() {
                     self.queries.push(q);
-                    ctx.send_self_in(at.since(SimTime::ZERO), Box::new(SubmitTick(i)));
+                    ctx.send_self_in(at.since(SimTime::ZERO), Message::new(SubmitTick(i)));
                 }
             }
             Plan::ClosedLoop(items) => {

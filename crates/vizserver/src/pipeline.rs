@@ -14,7 +14,7 @@ use hpsock_datacutter::{
     Action, DataBuffer, FilterCtx, FilterHandle, FilterLogic, GroupBuilder, Instance, Policy,
 };
 use hpsock_net::{Cluster, NodeId};
-use hpsock_sim::{Dur, ProcessId, Sim, SimTime};
+use hpsock_sim::{Dur, Message, ProcessId, Sim, SimTime};
 use socketvia::Provider;
 use std::any::Any;
 use std::collections::HashMap;
@@ -204,7 +204,7 @@ impl FilterLogic for VizLogic {
 
     fn on_uow_end(&mut self, fc: &mut FilterCtx<'_>, uow: u32) -> Action {
         let at = fc.now;
-        fc.notify(self.driver, Box::new(UowDone { uow, at }));
+        fc.notify(self.driver, Message::new(UowDone { uow, at }));
         Action::none()
     }
 }

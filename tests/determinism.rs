@@ -73,6 +73,54 @@ fn recorder_does_not_perturb_the_trace() {
     }
 }
 
+/// Payload storage strategy (inline vs forced-boxed) is invisible to the
+/// trace: the digest folds `(time, target)` per dispatch, never the
+/// payload's storage kind, so the same workload run with `Message::new`
+/// (inline/pooled) and with `Payload::boxed` (heap) must be bit-identical.
+#[test]
+fn payload_storage_kind_does_not_change_the_digest() {
+    use hpsock_sim::{Ctx, Dur, Message, Payload, Process};
+
+    struct Relay {
+        remaining: u64,
+        force_boxed: bool,
+    }
+    impl Process for Relay {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.send_self_in(Dur::nanos(3), self.wrap(0));
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+            let v = msg.downcast::<u64>().expect("relay counter");
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.trace_tag(v);
+                ctx.send_self_in(Dur::nanos(1 + v % 5), self.wrap(v + 1));
+            }
+        }
+    }
+    impl Relay {
+        fn wrap(&self, v: u64) -> Message {
+            if self.force_boxed {
+                Payload::boxed(v)
+            } else {
+                Message::new(v)
+            }
+        }
+    }
+
+    fn digest_of(force_boxed: bool) -> (u64, u64) {
+        let mut sim = Sim::new(5);
+        sim.add_process(Box::new(Relay {
+            remaining: 500,
+            force_boxed,
+        }));
+        sim.run();
+        (sim.trace_digest(), sim.events_dispatched())
+    }
+
+    assert_eq!(digest_of(false), digest_of(true));
+}
+
 #[test]
 fn heterogeneous_runs_are_seed_reproducible_and_seed_sensitive() {
     use hpsock_vizserver::{dd_execution_time, LbSetup};

@@ -87,6 +87,25 @@ fn report(group: &str, id: &str, mean_ns: f64, throughput: Option<Throughput>) {
         None => String::new(),
     };
     println!("bench {label:<40} {:>12.0} ns/iter{rate}", mean_ns);
+
+    // Machine-readable export for the perf-regression gate: when
+    // HPSOCK_BENCH_JSON names a file, append one JSON line per result.
+    // Appending lets several bench binaries (and repeated runs, for a
+    // best-of-N reading) share one output file.
+    if let Ok(path) = std::env::var("HPSOCK_BENCH_JSON") {
+        if !path.is_empty() {
+            use std::io::Write as _;
+            let line = format!("{{\"id\":\"{label}\",\"mean_ns\":{mean_ns:.1}}}");
+            let res = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| writeln!(f, "{line}"));
+            if let Err(e) = res {
+                eprintln!("warning: HPSOCK_BENCH_JSON={path}: {e}");
+            }
+        }
+    }
 }
 
 /// Entry point handed to benchmark functions.
