@@ -15,7 +15,8 @@
 //! TCP the host-overhead share dwarfs the wire share, while SocketVIA
 //! moves most of the per-byte cost off the host.
 
-use crate::runner::{run_guarantee_probed, GuaranteeRun, RunCapture};
+use crate::replicate;
+use crate::runner::{run_guarantee_probed, run_guarantee_traced, GuaranteeRun, RunCapture};
 use crate::table::Table;
 use hpsock_sim::{ProbeEvent, Recorder, StreamingTraceWriter, Tee};
 use std::collections::BTreeMap;
@@ -161,6 +162,24 @@ pub fn compute(rec: &Recorder, cap: &RunCapture, label: &str) -> Breakdown {
     }
 }
 
+/// Mean of per-seed breakdowns, component by component. Each replicate's
+/// accounting is exact for its own run, so the means still sum to the
+/// mean total exactly (averaging is linear).
+pub fn average(label: &str, reps: &[Breakdown]) -> Breakdown {
+    assert!(!reps.is_empty(), "average needs at least one replicate");
+    let n = reps.len() as f64;
+    let mean = |f: fn(&Breakdown) -> f64| reps.iter().map(f).sum::<f64>() / n;
+    Breakdown {
+        label: label.to_string(),
+        total_us: mean(|b| b.total_us),
+        host_us: mean(|b| b.host_us),
+        wire_us: mean(|b| b.wire_us),
+        compute_us: mean(|b| b.compute_us),
+        stall_us: mean(|b| b.stall_us),
+        idle_us: mean(|b| b.idle_us),
+    }
+}
+
 /// Render breakdowns as a table (emitted as `<figure>_breakdown.csv`).
 pub fn to_table(title: &str, rows: &[Breakdown]) -> Table {
     let mut t = Table::new(
@@ -216,14 +235,24 @@ fn slug(label: &str) -> String {
 /// [`StreamingTraceWriter`] (teed with the [`Recorder`] the breakdown
 /// needs), so export memory stays bounded by the recorder's analysis
 /// events, not the trace text.
+/// With `HPSOCK_SEEDS=n > 1` each series re-runs once per replicate seed
+/// (derived from the run's base seed, see [`crate::replicate`]): the
+/// Chrome trace is written for the base-seed replicate only, while the
+/// breakdown row becomes the across-seed [`average`] of the per-seed
+/// attributions, with an `n_seeds` column appended.
 pub fn export_guarantee_traces(
     dir: &Path,
     figure: &str,
     title: &str,
     runs: &[(&str, GuaranteeRun)],
 ) {
+    let n_seeds = replicate::seed_count();
     let mut rows = Vec::with_capacity(runs.len());
     for (label, run) in runs {
+        let seeds = replicate::seed_batch(run.seed, n_seeds);
+        let mut reps = Vec::with_capacity(seeds.len());
+        // Replicate 0 (the base seed) streams the Chrome trace to disk;
+        // the extra replicates only feed the averaged breakdown.
         let rec = Recorder::new();
         let path = dir.join(format!("{figure}_{}.trace.json", slug(label)));
         let mut writer = None;
@@ -253,9 +282,25 @@ pub fn export_guarantee_traces(
                 Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
             }
         }
-        rows.push(compute(&rec, &cap, label));
+        reps.push(compute(&rec, &cap, label));
+        for &seed in &seeds[1..] {
+            let run_k = GuaranteeRun {
+                seed,
+                ..(*run).clone()
+            };
+            let rec = Recorder::new();
+            let (_result, cap) = run_guarantee_traced(&run_k, Some(rec.probe()));
+            reps.push(compute(&rec, &cap, label));
+        }
+        rows.push(average(label, &reps));
     }
-    let t = to_table(title, &rows);
+    let mut t = to_table(title, &rows);
+    if n_seeds > 1 {
+        t.headers.push("n_seeds".into());
+        for row in &mut t.rows {
+            row.push(n_seeds.to_string());
+        }
+    }
     println!("{t}");
     let csv = dir.join(format!("{figure}_breakdown.csv"));
     if let Err(e) = t.write_csv(&csv) {
@@ -305,7 +350,7 @@ mod tests {
             target_ups: 3.0,
             n_complete: 3,
             n_partial: 2,
-            seed: 0xF167,
+            seed: crate::runner::FIG7_SEED,
         };
         let rec = Recorder::new();
         let (_res, cap) = run_guarantee_traced(&run, Some(rec.probe()));
@@ -321,6 +366,30 @@ mod tests {
         assert!(b.host_us > 0.0, "TCP spends host time on protocol work");
         assert!(b.wire_us > 0.0, "blocks crossed the wire");
         assert!(b.idle_us >= 0.0, "idle never negative: {b:?}");
+    }
+
+    #[test]
+    fn average_is_componentwise_and_identity_for_one_rep() {
+        let b = |total, host| Breakdown {
+            label: "x".into(),
+            total_us: total,
+            host_us: host,
+            wire_us: 1.0,
+            compute_us: 2.0,
+            stall_us: 3.0,
+            idle_us: total - host - 6.0,
+        };
+        let one = average("TCP", &[b(100.0, 10.0)]);
+        assert_eq!(one.label, "TCP");
+        assert_eq!(one.total_us, 100.0);
+        assert_eq!(one.host_us, 10.0, "single replicate is the identity");
+        let two = average("TCP", &[b(100.0, 10.0), b(200.0, 30.0)]);
+        assert_eq!(two.total_us, 150.0);
+        assert_eq!(two.host_us, 20.0);
+        assert!(
+            (two.components_sum_us() - two.total_us).abs() < 1e-9,
+            "averaging preserves the exact-sum property"
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //!   Figure 9 samples at {none, 8, 64}.
 
 use crate::fig9::mean_response_ms;
+use crate::runner::EXTRA_SEED;
 use crate::table::Table;
 use hpsock_net::TransportKind;
 use hpsock_vizserver::{BlockedImage, ComputeModel, Rect};
@@ -54,8 +55,8 @@ pub fn partition_tradeoff_table(kind: TransportKind, n: u32) -> Table {
         &["partitions", "zoom_ms", "complete_ms"],
     );
     for partitions in [1u64, 4, 8, 16, 64, 256] {
-        let zoom = mean_response_ms(kind, ComputeModel::None, partitions, 0.0, n, 0xE);
-        let complete = mean_response_ms(kind, ComputeModel::None, partitions, 1.0, n, 0xE);
+        let zoom = mean_response_ms(kind, ComputeModel::None, partitions, 0.0, n, EXTRA_SEED);
+        let complete = mean_response_ms(kind, ComputeModel::None, partitions, 1.0, n, EXTRA_SEED);
         t.add_row(vec![
             partitions.to_string(),
             format!("{zoom:.1}"),

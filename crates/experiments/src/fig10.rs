@@ -2,7 +2,9 @@
 //! round-robin scheduling, vs the factor of heterogeneity, for TCP (16 KB
 //! blocks) and SocketVIA (2 KB blocks) at their perfect-pipelining points.
 
-use crate::sweep::parallel_map;
+use crate::replicate::{self, Series};
+use crate::runner::FIG10_SEED;
+use crate::sweep::parallel_map_seeded;
 use crate::table::{fmt_opt, Table};
 use hpsock_net::TransportKind;
 use hpsock_sim::{Dur, SimTime};
@@ -24,38 +26,131 @@ pub fn reaction_us(kind: TransportKind, factor: f64, seed: u64) -> Option<f64> {
     rr_reaction_time(&setup, factor, slow_at, blocks, seed).map(|d| d.as_micros_f64())
 }
 
-/// Run the sweep.
-pub fn run() -> Vec<Table> {
-    let jobs: Vec<f64> = factors();
-    let rows = parallel_map(jobs, |f| {
+/// One factor's per-seed measurements. `None` entries are runs where the
+/// balancer never reacted (the workload drained before, or without, a
+/// post-slowdown block reaching the slow worker).
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Heterogeneity factor.
+    pub factor: f64,
+    /// SocketVIA reaction time per seed, µs.
+    pub sv: Vec<Option<f64>>,
+    /// TCP reaction time per seed, µs.
+    pub tcp: Vec<Option<f64>>,
+}
+
+/// Run the sweep, one replicate per seed in `seeds`.
+pub fn sweep_seeded(seeds: &[u64]) -> Vec<Row> {
+    let reps = parallel_map_seeded(factors(), seeds, |&f, seed| {
         (
-            f,
-            reaction_us(TransportKind::SocketVia, f, 0x10),
-            reaction_us(TransportKind::KTcp, f, 0x10),
+            reaction_us(TransportKind::SocketVia, f, seed),
+            reaction_us(TransportKind::KTcp, f, seed),
         )
     });
-    let mut t = Table::new(
+    factors()
+        .into_iter()
+        .zip(reps)
+        .map(|(factor, per_seed)| Row {
+            factor,
+            sv: per_seed.iter().map(|&(sv, _)| sv).collect(),
+            tcp: per_seed.iter().map(|&(_, tcp)| tcp).collect(),
+        })
+        .collect()
+}
+
+/// Render the sweep. A no-reaction measurement is an **explicit `-`
+/// (NA) cell** — the row is never skipped and `NaN` never printed
+/// (pinned by the `no_reaction_*` tests); the ratio column goes NA
+/// whenever either side has no mean. Replicated batches add
+/// `_ci95_lo`/`_ci95_hi` columns and a trailing `n_seeds`.
+pub fn to_table(rows: &[Row]) -> Table {
+    let n_seeds = rows.first().map_or(1, |r| r.sv.len());
+    let replicated = n_seeds > 1;
+    let mut headers = vec!["factor".to_string()];
+    replicate::value_headers(&mut headers, "SocketVIA", replicated);
+    replicate::value_headers(&mut headers, "TCP", replicated);
+    headers.push("TCP/SocketVIA".into());
+    if replicated {
+        headers.push("n_seeds".into());
+    }
+    let mut t = Table::from_headers(
         "Figure 10: load-balancer reaction time (us) vs factor of heterogeneity (round-robin)",
-        &["factor", "SocketVIA", "TCP", "TCP/SocketVIA"],
+        headers,
     );
-    for (f, sv, tcp) in rows {
-        let ratio = match (sv, tcp) {
+    for r in rows {
+        let sv = Series::collect(r.sv.iter().copied());
+        let tcp = Series::collect(r.tcp.iter().copied());
+        let ratio = match (sv.mean(), tcp.mean()) {
             (Some(s), Some(t)) if s > 0.0 => Some(t / s),
             _ => None,
         };
-        t.add_row(vec![
-            format!("{f:.0}"),
-            fmt_opt(sv, 1),
-            fmt_opt(tcp, 1),
-            fmt_opt(ratio, 1),
-        ]);
+        let mut row = vec![format!("{:.0}", r.factor)];
+        replicate::value_cells(&mut row, &sv, 1, replicated);
+        replicate::value_cells(&mut row, &tcp, 1, replicated);
+        row.push(fmt_opt(ratio, 1));
+        if replicated {
+            row.push(n_seeds.to_string());
+        }
+        t.add_row(row);
     }
-    vec![t]
+    t
+}
+
+/// Run the sweep with the `HPSOCK_SEEDS` replicate batch derived from
+/// [`FIG10_SEED`].
+pub fn run() -> Vec<Table> {
+    let seeds = replicate::seed_batch(FIG10_SEED, replicate::seed_count());
+    vec![to_table(&sweep_seeded(&seeds))]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn no_reaction_run_yields_none_not_a_panic() {
+        // The workload drains long before the slowdown fires, so the
+        // balancer never sends a post-slowdown block: Option stays None.
+        let setup = LbSetup::paper(TransportKind::SocketVia);
+        let far_future = SimTime::ZERO + Dur::from_secs_f64(3600.0);
+        let r = rr_reaction_time(&setup, 4.0, far_future, 20, 1);
+        assert_eq!(r, None, "balancer had nothing to react to");
+    }
+
+    #[test]
+    fn no_reaction_emits_explicit_na_cell_never_nan() {
+        // Single-seed: a None measurement must become a "-" cell in an
+        // intact row, not a skipped row or a NaN.
+        let rows = vec![
+            Row {
+                factor: 4.0,
+                sv: vec![None],
+                tcp: vec![Some(120.0)],
+            },
+            Row {
+                factor: 8.0,
+                sv: vec![Some(10.0)],
+                tcp: vec![Some(90.0)],
+            },
+        ];
+        let t = to_table(&rows);
+        assert_eq!(t.rows.len(), 2, "no-reaction row is not skipped");
+        assert_eq!(t.rows[0][1], "-", "SocketVIA NA cell is explicit");
+        assert_eq!(t.rows[0][3], "-", "ratio goes NA with it");
+        assert_eq!(t.rows[1][3], "9.0");
+        assert!(!t.to_csv().contains("NaN"), "no NaN leaks: {}", t.to_csv());
+
+        // Replicated: a batch where every seed failed to react stays NA,
+        // and a partial batch aggregates only the reacting seeds.
+        let t = to_table(&[Row {
+            factor: 4.0,
+            sv: vec![None, None, None],
+            tcp: vec![Some(100.0), None, Some(140.0)],
+        }]);
+        assert_eq!(t.rows[0][1..4], ["-", "-", "-"], "all-NA batch stays NA");
+        assert_eq!(t.rows[0][4], "120.0", "TCP mean over reacting seeds");
+        assert!(!t.to_csv().contains("NaN"), "no NaN leaks: {}", t.to_csv());
+    }
 
     #[test]
     fn tcp_reaction_is_much_slower_and_grows_with_factor() {

@@ -3,7 +3,9 @@
 //! (x-axis) at factors 2/4/8, for SocketVIA and TCP at their
 //! perfect-pipelining block sizes.
 
-use crate::sweep::parallel_map;
+use crate::replicate::{self, Series};
+use crate::runner::FIG11_SEED;
+use crate::sweep::parallel_map_seeded;
 use crate::table::Table;
 use hpsock_net::TransportKind;
 use hpsock_vizserver::{dd_execution_time, LbSetup};
@@ -27,8 +29,24 @@ pub fn exec_us(kind: TransportKind, prob: f64, factor: f64, seed: u64) -> f64 {
     dd_execution_time(&setup, prob, factor, blocks, seed).as_micros_f64()
 }
 
-/// Run the sweep.
+/// Run the sweep with the `HPSOCK_SEEDS` replicate batch derived from
+/// [`FIG11_SEED`].
 pub fn run() -> Vec<Table> {
+    run_seeded(&replicate::seed_batch(FIG11_SEED, replicate::seed_count()))
+}
+
+/// [`run`] with an explicit seed batch (see [`crate::replicate`]):
+/// replicated batches add per-column `_ci95_lo`/`_ci95_hi` plus a
+/// trailing `n_seeds`.
+pub fn run_seeded(seeds: &[u64]) -> Vec<Table> {
+    const COLS: [&str; 6] = [
+        "SocketVIA(2)",
+        "SocketVIA(4)",
+        "SocketVIA(8)",
+        "TCP(2)",
+        "TCP(4)",
+        "TCP(8)",
+    ];
     let probs = probabilities();
     let mut jobs = Vec::new();
     for &p in &probs {
@@ -38,25 +56,28 @@ pub fn run() -> Vec<Table> {
             }
         }
     }
-    let results = parallel_map(jobs, |(kind, p, f)| exec_us(kind, p, f, 0x11));
-    let mut t = Table::new(
+    let results = parallel_map_seeded(jobs, seeds, |&(kind, p, f), seed| exec_us(kind, p, f, seed));
+    let replicated = seeds.len() > 1;
+    let mut headers = vec!["prob_%".to_string()];
+    for name in COLS {
+        replicate::value_headers(&mut headers, name, replicated);
+    }
+    if replicated {
+        headers.push("n_seeds".into());
+    }
+    let mut t = Table::from_headers(
         "Figure 11: execution time (us) vs probability of being slow (demand-driven)",
-        &[
-            "prob_%",
-            "SocketVIA(2)",
-            "SocketVIA(4)",
-            "SocketVIA(8)",
-            "TCP(2)",
-            "TCP(4)",
-            "TCP(8)",
-        ],
+        headers,
     );
-    let cols = 6;
     for (i, &p) in probs.iter().enumerate() {
-        let base = i * cols;
+        let base = i * COLS.len();
         let mut row = vec![format!("{:.0}", p * 100.0)];
-        for j in 0..cols {
-            row.push(format!("{:.0}", results[base + j]));
+        for j in 0..COLS.len() {
+            let s = Series::collect(results[base + j].iter().map(|&v| Some(v)));
+            replicate::value_cells(&mut row, &s, 0, replicated);
+        }
+        if replicated {
+            row.push(seeds.len().to_string());
         }
         t.add_row(row);
     }

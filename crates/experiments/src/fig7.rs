@@ -12,9 +12,10 @@
 //! * **SocketVIA (with DR)** — SocketVIA with blocks re-planned against
 //!   its own curve (the indirect improvement).
 
-use crate::runner::{isolated_partial_us, run_guarantee, GuaranteeRun};
-use crate::sweep::parallel_map;
-use crate::table::{fmt_opt, Table};
+use crate::replicate::{self, Series};
+use crate::runner::{isolated_partial_us, run_guarantee, GuaranteeRun, FIG7_SEED};
+use crate::sweep::parallel_map_seeded;
+use crate::table::Table;
 use hpsock_net::TransportKind;
 use hpsock_vizserver::{block_size_for_update_rate, ComputeModel};
 use socketvia::PerfCurve;
@@ -74,8 +75,22 @@ impl Default for Scale {
     }
 }
 
-/// Run one panel.
+/// Run one panel with the single base seed (the historical figure).
 pub fn sweep(compute: ComputeModel, rates: &[f64], scale: Scale) -> Vec<Point> {
+    sweep_seeded(compute, rates, scale, &[FIG7_SEED])
+        .into_iter()
+        .map(|mut reps| reps.remove(0))
+        .collect()
+}
+
+/// Run one panel, one replicate per seed in `seeds`: returns per-rate
+/// batches of [`Point`]s in seed order (see [`crate::replicate`]).
+pub fn sweep_seeded(
+    compute: ComputeModel,
+    rates: &[f64],
+    scale: Scale,
+    seeds: &[u64],
+) -> Vec<Vec<Point>> {
     let tcp_curve = PerfCurve::from_kind(TransportKind::KTcp);
     let sv_curve = PerfCurve::from_kind(TransportKind::SocketVia);
     // An unmodified sockets application keeps the chunking it was written
@@ -95,74 +110,116 @@ pub fn sweep(compute: ComputeModel, rates: &[f64], scale: Scale) -> Vec<Point> {
             (ups, tcp_block, sv_block, tcp_fallback)
         })
         .collect();
-    parallel_map(jobs, move |(ups, tcp_block, sv_block, fallback)| {
-        let sustain = |kind, block| {
-            run_guarantee(&GuaranteeRun {
-                kind,
-                block_bytes: block,
-                compute,
-                target_ups: ups,
-                n_complete: scale.n_complete,
-                n_partial: scale.n_partial,
-                seed: 0xF167,
-            })
-            .sustained
-        };
-        let probe = |kind, block| isolated_partial_us(kind, block, compute, 4, 0xF167);
-        let tcp_us = tcp_block.map(|b| probe(TransportKind::KTcp, b));
-        let sv_us = probe(TransportKind::SocketVia, tcp_block.unwrap_or(fallback));
-        let sv_dr_us = probe(TransportKind::SocketVia, sv_block);
-        let tcp_sustained = tcp_block.map(|b| sustain(TransportKind::KTcp, b));
-        let sv_dr_sustained = sustain(TransportKind::SocketVia, sv_block);
-        Point {
-            ups,
-            tcp_us,
-            sv_us,
-            sv_dr_us,
-            tcp_sustained,
-            sv_dr_sustained,
-            blocks: (tcp_block, sv_block),
-        }
-    })
+    parallel_map_seeded(
+        jobs,
+        seeds,
+        move |&(ups, tcp_block, sv_block, fallback), seed| {
+            let sustain = |kind, block| {
+                run_guarantee(&GuaranteeRun {
+                    kind,
+                    block_bytes: block,
+                    compute,
+                    target_ups: ups,
+                    n_complete: scale.n_complete,
+                    n_partial: scale.n_partial,
+                    seed,
+                })
+                .sustained
+            };
+            let probe = |kind, block| isolated_partial_us(kind, block, compute, 4, seed);
+            let tcp_us = tcp_block.map(|b| probe(TransportKind::KTcp, b));
+            let sv_us = probe(TransportKind::SocketVia, tcp_block.unwrap_or(fallback));
+            let sv_dr_us = probe(TransportKind::SocketVia, sv_block);
+            let tcp_sustained = tcp_block.map(|b| sustain(TransportKind::KTcp, b));
+            let sv_dr_sustained = sustain(TransportKind::SocketVia, sv_block);
+            Point {
+                ups,
+                tcp_us,
+                sv_us,
+                sv_dr_us,
+                tcp_sustained,
+                sv_dr_sustained,
+                blocks: (tcp_block, sv_block),
+            }
+        },
+    )
 }
 
 /// Render a panel as the paper's series (partial-update latency in µs).
-pub fn to_table(title: &str, points: &[Point]) -> Table {
-    let mut t = Table::new(
-        title,
-        &[
-            "updates_per_sec",
-            "TCP",
-            "SocketVIA",
-            "SocketVIA(DR)",
-            "tcp_block",
-            "dr_block",
-            "tcp_sustained",
-        ],
-    );
-    for p in points {
-        t.add_row(vec![
-            format!("{:.2}", p.ups),
-            fmt_opt(p.tcp_us, 1),
-            format!("{:.1}", p.sv_us),
-            format!("{:.1}", p.sv_dr_us),
-            p.blocks
+/// Single-seed batches reproduce the historical columns exactly;
+/// replicated batches add per-series `_ci95_lo`/`_ci95_hi` columns (the
+/// bare column becomes the across-seed mean) plus a trailing `n_seeds`.
+pub fn to_table(title: &str, points: &[Vec<Point>]) -> Table {
+    let n_seeds = points.first().map_or(1, Vec::len);
+    let replicated = n_seeds > 1;
+    let mut headers = vec!["updates_per_sec".to_string()];
+    replicate::value_headers(&mut headers, "TCP", replicated);
+    replicate::value_headers(&mut headers, "SocketVIA", replicated);
+    replicate::value_headers(&mut headers, "SocketVIA(DR)", replicated);
+    headers.extend(["tcp_block", "dr_block", "tcp_sustained"].map(String::from));
+    if replicated {
+        headers.push("n_seeds".into());
+    }
+    let mut t = Table::from_headers(title, headers);
+    for reps in points {
+        let p0 = &reps[0];
+        let mut row = vec![format!("{:.2}", p0.ups)];
+        let cells =
+            |row: &mut Vec<String>, s: Series| replicate::value_cells(row, &s, 1, replicated);
+        cells(&mut row, Series::collect(reps.iter().map(|p| p.tcp_us)));
+        cells(
+            &mut row,
+            Series::collect(reps.iter().map(|p| Some(p.sv_us))),
+        );
+        cells(
+            &mut row,
+            Series::collect(reps.iter().map(|p| Some(p.sv_dr_us))),
+        );
+        row.push(
+            p0.blocks
                 .0
                 .map(|b| b.to_string())
                 .unwrap_or_else(|| "-".into()),
-            p.blocks.1.to_string(),
-            p.tcp_sustained
+        );
+        row.push(p0.blocks.1.to_string());
+        row.push(if replicated {
+            let known: Vec<bool> = reps.iter().filter_map(|p| p.tcp_sustained).collect();
+            if known.is_empty() {
+                "-".into()
+            } else {
+                format!("{}/{}", known.iter().filter(|&&s| s).count(), known.len())
+            }
+        } else {
+            p0.tcp_sustained
                 .map(|s| s.to_string())
-                .unwrap_or_else(|| "-".into()),
-        ]);
+                .unwrap_or_else(|| "-".into())
+        });
+        if replicated {
+            row.push(n_seeds.to_string());
+        }
+        t.add_row(row);
     }
     t
 }
 
-/// Run both panels at the given scale.
+/// Run both panels at the given scale, with the `HPSOCK_SEEDS` replicate
+/// batch derived from [`FIG7_SEED`].
 pub fn run(scale: Scale) -> Vec<Table> {
-    let a = sweep(ComputeModel::None, &rates_no_compute(), scale);
-    let b = sweep(ComputeModel::paper_linear(), &rates_linear_compute(), scale);
+    run_seeded(
+        scale,
+        &replicate::seed_batch(FIG7_SEED, replicate::seed_count()),
+    )
+}
+
+/// [`run`] with an explicit seed batch.
+pub fn run_seeded(scale: Scale, seeds: &[u64]) -> Vec<Table> {
+    let a = sweep_seeded(ComputeModel::None, &rates_no_compute(), scale, seeds);
+    let b = sweep_seeded(
+        ComputeModel::paper_linear(),
+        &rates_linear_compute(),
+        scale,
+        seeds,
+    );
     vec![
         to_table(
             "Figure 7(a): avg partial-update latency (us) with updates/sec guarantee, no computation",
@@ -197,7 +254,7 @@ pub fn export_traces(dir: &std::path::Path, scale: Scale) {
         target_ups: UPS,
         n_complete: scale.n_complete,
         n_partial: scale.n_partial,
-        seed: 0xF167,
+        seed: FIG7_SEED,
     };
     crate::breakdown::export_guarantee_traces(
         dir,
@@ -235,6 +292,59 @@ mod tests {
         assert!(s < t, "direct improvement: {s} < {t}");
         assert!(d < s, "DR improves further: {d} < {s}");
         assert!(t / d > 3.0, "combined improvement is large: {}", t / d);
+    }
+
+    #[test]
+    fn replicated_table_adds_ci_columns_and_single_seed_keeps_legacy_ones() {
+        let scale = Scale {
+            n_complete: 3,
+            n_partial: 2,
+        };
+        let seeds = replicate::seed_batch(FIG7_SEED, 3);
+        let reps = sweep_seeded(ComputeModel::None, &[3.0, 4.0], scale, &seeds);
+        assert_eq!(reps.len(), 2, "one batch per rate");
+        assert!(reps.iter().all(|r| r.len() == 3), "three replicates each");
+        let t = to_table("t", &reps);
+        assert_eq!(
+            t.headers,
+            vec![
+                "updates_per_sec",
+                "TCP",
+                "TCP_ci95_lo",
+                "TCP_ci95_hi",
+                "SocketVIA",
+                "SocketVIA_ci95_lo",
+                "SocketVIA_ci95_hi",
+                "SocketVIA(DR)",
+                "SocketVIA(DR)_ci95_lo",
+                "SocketVIA(DR)_ci95_hi",
+                "tcp_block",
+                "dr_block",
+                "tcp_sustained",
+                "n_seeds",
+            ]
+        );
+        let four_ups = &t.rows[1];
+        assert_eq!(&four_ups[1..4], ["-", "-", "-"], "TCP dropout stays a dash");
+        assert_eq!(four_ups[13], "3");
+        // Single-seed table: the legacy columns, bit-identical formatting.
+        let single = to_table(
+            "t",
+            &sweep_seeded(ComputeModel::None, &[3.0], scale, &seeds[..1]),
+        );
+        assert_eq!(
+            single.headers,
+            vec![
+                "updates_per_sec",
+                "TCP",
+                "SocketVIA",
+                "SocketVIA(DR)",
+                "tcp_block",
+                "dr_block",
+                "tcp_sustained",
+            ]
+        );
+        assert_eq!(single.rows[0][6], "true");
     }
 
     #[test]

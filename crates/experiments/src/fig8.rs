@@ -8,9 +8,10 @@
 //! (~47.5 µs + block transfer): at the paper's 100 µs point TCP barely
 //! fits a block and its rate collapses.
 
-use crate::runner::{run_saturation_ups, GuaranteeRun};
-use crate::sweep::parallel_map;
-use crate::table::{fmt_opt, Table};
+use crate::replicate::{self, Series};
+use crate::runner::{run_saturation_ups, GuaranteeRun, FIG8_SEED, FIG8_SWEEP_SEED};
+use crate::sweep::parallel_map_seeded;
+use crate::table::Table;
 use hpsock_net::TransportKind;
 use hpsock_vizserver::{block_size_for_partial_latency, ComputeModel};
 use socketvia::PerfCurve;
@@ -40,8 +41,23 @@ pub struct Point {
     pub blocks: (Option<u64>, u64),
 }
 
-/// Run one panel: `n` updates per saturation measurement.
+/// Run one panel with the single base seed: `n` updates per saturation
+/// measurement.
 pub fn sweep(compute: ComputeModel, bounds: &[f64], n: u32) -> Vec<Point> {
+    sweep_seeded(compute, bounds, n, &[FIG8_SWEEP_SEED])
+        .into_iter()
+        .map(|mut reps| reps.remove(0))
+        .collect()
+}
+
+/// Run one panel, one replicate per seed in `seeds` (see
+/// [`crate::replicate`]).
+pub fn sweep_seeded(
+    compute: ComputeModel,
+    bounds: &[f64],
+    n: u32,
+    seeds: &[u64],
+) -> Vec<Vec<Point>> {
     let tcp_curve = PerfCurve::from_kind(TransportKind::KTcp);
     let sv_curve = PerfCurve::from_kind(TransportKind::SocketVia);
     let jobs: Vec<(f64, Option<u64>, u64)> = bounds
@@ -55,11 +71,12 @@ pub fn sweep(compute: ComputeModel, bounds: &[f64], n: u32) -> Vec<Point> {
             )
         })
         .collect();
-    parallel_map(jobs, move |(limit, tcp_block, sv_block)| {
-        let tcp_ups = tcp_block.map(|b| run_saturation_ups(TransportKind::KTcp, b, compute, n, 8));
+    parallel_map_seeded(jobs, seeds, move |&(limit, tcp_block, sv_block), seed| {
+        let tcp_ups =
+            tcp_block.map(|b| run_saturation_ups(TransportKind::KTcp, b, compute, n, seed));
         let sv_ups =
-            tcp_block.map(|b| run_saturation_ups(TransportKind::SocketVia, b, compute, n, 8));
-        let sv_dr_ups = run_saturation_ups(TransportKind::SocketVia, sv_block, compute, n, 8);
+            tcp_block.map(|b| run_saturation_ups(TransportKind::SocketVia, b, compute, n, seed));
+        let sv_dr_ups = run_saturation_ups(TransportKind::SocketVia, sv_block, compute, n, seed);
         Point {
             limit_us: limit,
             tcp_ups,
@@ -70,40 +87,62 @@ pub fn sweep(compute: ComputeModel, bounds: &[f64], n: u32) -> Vec<Point> {
     })
 }
 
-/// Render a panel as the paper's series.
-pub fn to_table(title: &str, points: &[Point]) -> Table {
-    let mut t = Table::new(
-        title,
-        &[
-            "latency_us",
-            "TCP",
-            "SocketVIA",
-            "SocketVIA(DR)",
-            "tcp_block",
-            "dr_block",
-        ],
-    );
-    for p in points {
-        t.add_row(vec![
-            format!("{:.0}", p.limit_us),
-            fmt_opt(p.tcp_ups, 2),
-            fmt_opt(p.sv_ups, 2),
-            format!("{:.2}", p.sv_dr_ups),
-            p.blocks
+/// Render a panel as the paper's series. Replicated batches add
+/// per-series `_ci95_lo`/`_ci95_hi` columns (the bare column is the
+/// across-seed mean) and a trailing `n_seeds`; single-seed batches keep
+/// the historical columns bit-for-bit.
+pub fn to_table(title: &str, points: &[Vec<Point>]) -> Table {
+    let n_seeds = points.first().map_or(1, Vec::len);
+    let replicated = n_seeds > 1;
+    let mut headers = vec!["latency_us".to_string()];
+    replicate::value_headers(&mut headers, "TCP", replicated);
+    replicate::value_headers(&mut headers, "SocketVIA", replicated);
+    replicate::value_headers(&mut headers, "SocketVIA(DR)", replicated);
+    headers.extend(["tcp_block", "dr_block"].map(String::from));
+    if replicated {
+        headers.push("n_seeds".into());
+    }
+    let mut t = Table::from_headers(title, headers);
+    for reps in points {
+        let p0 = &reps[0];
+        let mut row = vec![format!("{:.0}", p0.limit_us)];
+        let cells =
+            |row: &mut Vec<String>, s: Series| replicate::value_cells(row, &s, 2, replicated);
+        cells(&mut row, Series::collect(reps.iter().map(|p| p.tcp_ups)));
+        cells(&mut row, Series::collect(reps.iter().map(|p| p.sv_ups)));
+        cells(
+            &mut row,
+            Series::collect(reps.iter().map(|p| Some(p.sv_dr_ups))),
+        );
+        row.push(
+            p0.blocks
                 .0
                 .map(|b| b.to_string())
                 .unwrap_or_else(|| "-".into()),
-            p.blocks.1.to_string(),
-        ]);
+        );
+        row.push(p0.blocks.1.to_string());
+        if replicated {
+            row.push(n_seeds.to_string());
+        }
+        t.add_row(row);
     }
     t
 }
 
-/// Run both panels, `n` updates per point.
+/// Run both panels, `n` updates per point, with the `HPSOCK_SEEDS`
+/// replicate batch derived from [`FIG8_SWEEP_SEED`].
 pub fn run(n: u32) -> Vec<Table> {
+    run_seeded(
+        n,
+        &replicate::seed_batch(FIG8_SWEEP_SEED, replicate::seed_count()),
+    )
+}
+
+/// [`run`] with an explicit seed batch.
+pub fn run_seeded(n: u32, seeds: &[u64]) -> Vec<Table> {
     let bounds = latency_bounds();
-    let a = sweep(ComputeModel::None, &bounds, n);
-    let b = sweep(ComputeModel::paper_linear(), &bounds, n);
+    let a = sweep_seeded(ComputeModel::None, &bounds, n, seeds);
+    let b = sweep_seeded(ComputeModel::paper_linear(), &bounds, n, seeds);
     vec![
         to_table(
             "Figure 8(a): updates/sec with latency guarantee, no computation",
@@ -141,7 +180,7 @@ pub fn export_traces(dir: &std::path::Path, n_complete: u32) {
         target_ups: 2.0,
         n_complete: n_complete.max(3),
         n_partial: 2,
-        seed: 0xF168,
+        seed: FIG8_SEED,
     };
     crate::breakdown::export_guarantee_traces(
         dir,

@@ -4,7 +4,9 @@
 //! none / 8 / 64 chunks, over TCP and SocketVIA, with and without
 //! computation.
 
-use crate::sweep::parallel_map;
+use crate::replicate::{self, Series};
+use crate::runner::FIG9_SEED;
+use crate::sweep::parallel_map_seeded;
 use crate::table::Table;
 use hpsock_net::{Cluster, TransportKind};
 use hpsock_sim::Sim;
@@ -65,8 +67,24 @@ pub fn mean_response_ms(
     d.mean_latency_all_us().expect("results present") / 1_000.0
 }
 
-/// Run one panel: rows = fractions, columns = partitionings × transports.
+/// Run one panel with the single base seed: rows = fractions, columns =
+/// partitionings × transports.
 pub fn panel(compute: ComputeModel, n: u32) -> Table {
+    panel_seeded(compute, n, &[FIG9_SEED])
+}
+
+/// [`panel`], one replicate per seed in `seeds` (see
+/// [`crate::replicate`]): replicated batches add per-column
+/// `_ci95_lo`/`_ci95_hi` plus a trailing `n_seeds`.
+pub fn panel_seeded(compute: ComputeModel, n: u32, seeds: &[u64]) -> Table {
+    const COLS: [&str; 6] = [
+        "NoPart(SV)",
+        "8Part(SV)",
+        "64Part(SV)",
+        "NoPart(TCP)",
+        "8Part(TCP)",
+        "64Part(TCP)",
+    ];
     let fr = fractions();
     let mut jobs = Vec::new();
     for &f in &fr {
@@ -76,41 +94,46 @@ pub fn panel(compute: ComputeModel, n: u32) -> Table {
             }
         }
     }
-    let results = parallel_map(jobs, move |(kind, parts, f)| {
-        mean_response_ms(kind, compute, parts, f, n, 0xF19)
+    let results = parallel_map_seeded(jobs, seeds, move |&(kind, parts, f), seed| {
+        mean_response_ms(kind, compute, parts, f, n, seed)
     });
-    let mut t = Table::new(
+    let replicated = seeds.len() > 1;
+    let mut headers = vec!["fraction".to_string()];
+    for name in COLS {
+        replicate::value_headers(&mut headers, name, replicated);
+    }
+    if replicated {
+        headers.push("n_seeds".into());
+    }
+    let mut t = Table::from_headers(
         format!(
             "Figure 9: avg response time (ms) vs fraction of complete-update queries, {}",
             compute.label()
         ),
-        &[
-            "fraction",
-            "NoPart(SV)",
-            "8Part(SV)",
-            "64Part(SV)",
-            "NoPart(TCP)",
-            "8Part(TCP)",
-            "64Part(TCP)",
-        ],
+        headers,
     );
-    let cols = 6;
     for (i, &f) in fr.iter().enumerate() {
-        let base = i * cols;
+        let base = i * COLS.len();
         let mut row = vec![format!("{f:.1}")];
-        for j in 0..cols {
-            row.push(format!("{:.1}", results[base + j]));
+        for j in 0..COLS.len() {
+            let s = Series::collect(results[base + j].iter().map(|&v| Some(v)));
+            replicate::value_cells(&mut row, &s, 1, replicated);
+        }
+        if replicated {
+            row.push(seeds.len().to_string());
         }
         t.add_row(row);
     }
     t
 }
 
-/// Run both panels with `n` queries per point.
+/// Run both panels with `n` queries per point, with the `HPSOCK_SEEDS`
+/// replicate batch derived from [`FIG9_SEED`].
 pub fn run(n: u32) -> Vec<Table> {
+    let seeds = replicate::seed_batch(FIG9_SEED, replicate::seed_count());
     vec![
-        panel(ComputeModel::None, n),
-        panel(ComputeModel::paper_linear(), n),
+        panel_seeded(ComputeModel::None, n, &seeds),
+        panel_seeded(ComputeModel::paper_linear(), n, &seeds),
     ]
 }
 

@@ -23,6 +23,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod future;
+pub mod replicate;
 pub mod runner;
 pub mod sweep;
 pub mod table;

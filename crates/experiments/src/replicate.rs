@@ -1,0 +1,187 @@
+//! Multi-seed replication: derive independent per-replicate seeds from a
+//! figure's base seed and aggregate per-point measurements into
+//! mean / 95 % confidence-interval columns.
+//!
+//! Every sweep point runs a *batch* of `HPSOCK_SEEDS` replicates (default
+//! 1). Replicate 0 uses the base seed itself, so single-seed output is
+//! bit-identical to the historical figures; later replicates follow a
+//! splitmix64 stream seeded at the base. Seeds depend only on the point's
+//! base seed and the replicate index — never on worker count or
+//! scheduling — so a batch's aggregate is reproducible under any
+//! `HPSOCK_THREADS` (pinned by `tests/replication.rs`).
+
+use hpsock_sim::Tally;
+
+/// One splitmix64 step (Steele et al., "Fast splittable pseudorandom
+/// number generators"): increment by the golden-ratio constant, then mix.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The replicate seeds for one figure: `[base, splitmix64¹(base),
+/// splitmix64²(base), …]`. Keeping the base seed as replicate 0 makes
+/// `HPSOCK_SEEDS=1` reproduce the single-seed figures exactly.
+pub fn seed_batch(base: u64, n: usize) -> Vec<u64> {
+    assert!(n >= 1, "a seed batch has at least one replicate");
+    let mut state = base;
+    (0..n)
+        .map(|k| if k == 0 { base } else { splitmix64(&mut state) })
+        .collect()
+}
+
+/// Parse an `HPSOCK_SEEDS` value: a positive integer, anything else is an
+/// error (mirrors `HPSOCK_THREADS` — misconfiguration must not silently
+/// fall back to a default).
+pub fn parse_seed_count(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(
+            "HPSOCK_SEEDS must be >= 1, got 0 (unset it for the single-seed default)".to_string(),
+        ),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "HPSOCK_SEEDS must be a positive integer, got {raw:?}"
+        )),
+    }
+}
+
+/// Replicates per sweep point: `HPSOCK_SEEDS` if set (rejecting invalid
+/// values loudly), otherwise 1.
+pub fn seed_count() -> usize {
+    match std::env::var("HPSOCK_SEEDS") {
+        Ok(v) => parse_seed_count(&v).unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => 1,
+    }
+}
+
+/// Aggregate of one value column across a point's seed batch. `None`
+/// observations (transport dropouts) are skipped; a column where no seed
+/// produced a value renders as the dash marker, like the single-seed
+/// tables.
+#[derive(Debug, Clone)]
+pub struct Series {
+    tally: Tally,
+}
+
+impl Series {
+    /// Collect the per-seed observations of one point.
+    pub fn collect(vals: impl IntoIterator<Item = Option<f64>>) -> Series {
+        let mut tally = Tally::new();
+        for v in vals.into_iter().flatten() {
+            tally.add(v);
+        }
+        Series { tally }
+    }
+
+    /// Across-seed mean, `None` when every seed dropped out.
+    pub fn mean(&self) -> Option<f64> {
+        (self.tally.count() > 0).then(|| self.tally.mean())
+    }
+
+    /// 95 % confidence interval of the mean (Student-t for small batches;
+    /// see [`Tally::ci95`]), `None` when every seed dropped out.
+    pub fn ci95_bounds(&self) -> Option<(f64, f64)> {
+        (self.tally.count() > 0).then(|| self.tally.ci95_bounds())
+    }
+
+    /// Number of seeds that produced a value.
+    pub fn n(&self) -> u64 {
+        self.tally.count()
+    }
+}
+
+/// Append the header(s) of one value column: just `name` for single-seed
+/// tables (bit-identical to the historical output), or
+/// `name`,`name_ci95_lo`,`name_ci95_hi` when replicated — the bare column
+/// then carries the across-seed mean.
+pub fn value_headers(out: &mut Vec<String>, name: &str, replicated: bool) {
+    out.push(name.to_string());
+    if replicated {
+        out.push(format!("{name}_ci95_lo"));
+        out.push(format!("{name}_ci95_hi"));
+    }
+}
+
+/// Append the cell(s) of one value column, matching [`value_headers`].
+pub fn value_cells(out: &mut Vec<String>, s: &Series, decimals: usize, replicated: bool) {
+    out.push(crate::table::fmt_opt(s.mean(), decimals));
+    if replicated {
+        let (lo, hi) = match s.ci95_bounds() {
+            Some((lo, hi)) => (Some(lo), Some(hi)),
+            None => (None, None),
+        };
+        out.push(crate::table::fmt_opt(lo, decimals));
+        out.push(crate::table::fmt_opt(hi, decimals));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_batch_starts_at_base_and_is_deterministic() {
+        assert_eq!(seed_batch(0xF167, 1), vec![0xF167]);
+        let b = seed_batch(0xF167, 4);
+        assert_eq!(b[0], 0xF167, "replicate 0 reproduces the single-seed run");
+        assert_eq!(b, seed_batch(0xF167, 4), "same base, same batch");
+        assert_eq!(
+            &b[..2],
+            &seed_batch(0xF167, 2)[..],
+            "a longer batch extends a shorter one"
+        );
+        let mut sorted = b.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "replicate seeds are distinct: {b:?}");
+        assert_ne!(seed_batch(0xF168, 4)[1], b[1], "bases diverge");
+    }
+
+    #[test]
+    fn parse_seed_count_accepts_positive_integers_only() {
+        assert_eq!(parse_seed_count("1"), Ok(1));
+        assert_eq!(parse_seed_count(" 12 "), Ok(12));
+        assert!(parse_seed_count("0").is_err());
+        assert!(parse_seed_count("-3").is_err());
+        assert!(parse_seed_count("three").is_err());
+        assert!(parse_seed_count("").is_err());
+        assert!(parse_seed_count("2.5").is_err());
+    }
+
+    #[test]
+    fn series_aggregates_and_skips_dropouts() {
+        let s = Series::collect([Some(10.0), None, Some(14.0)]);
+        assert_eq!(s.n(), 2);
+        assert_eq!(s.mean(), Some(12.0));
+        let (lo, hi) = s.ci95_bounds().unwrap();
+        // n = 2, s² = 8, se = 2, t(df=1) = 12.706.
+        assert!((lo - (12.0 - 12.706 * 2.0)).abs() < 1e-9);
+        assert!((hi - (12.0 + 12.706 * 2.0)).abs() < 1e-9);
+        let empty = Series::collect([None, None]);
+        assert_eq!(empty.mean(), None);
+        assert_eq!(empty.ci95_bounds(), None);
+    }
+
+    #[test]
+    fn cells_match_headers_in_both_modes() {
+        let s = Series::collect([Some(1.0), Some(3.0)]);
+        let (mut h1, mut c1) = (Vec::new(), Vec::new());
+        value_headers(&mut h1, "TCP", false);
+        value_cells(&mut c1, &s, 1, false);
+        assert_eq!(h1, vec!["TCP"]);
+        assert_eq!(c1, vec!["2.0"]);
+        let (mut h3, mut c3) = (Vec::new(), Vec::new());
+        value_headers(&mut h3, "TCP", true);
+        value_cells(&mut c3, &s, 1, true);
+        assert_eq!(h3, vec!["TCP", "TCP_ci95_lo", "TCP_ci95_hi"]);
+        assert_eq!(c3.len(), 3);
+        assert_eq!(c3[0], "2.0");
+        let dropout = Series::collect([None]);
+        let mut cells = Vec::new();
+        value_cells(&mut cells, &dropout, 1, true);
+        assert_eq!(cells, vec!["-", "-", "-"], "dropouts stay explicit dashes");
+    }
+}

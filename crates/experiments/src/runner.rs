@@ -10,6 +10,26 @@ use hpsock_vizserver::{
 };
 use socketvia::Provider;
 
+/// Base RNG seeds of the figure experiments, hoisted here so no driver
+/// re-hardcodes a magic number. Values are the historical per-figure
+/// seeds, so single-seed output is unchanged. Replicate batches
+/// (`HPSOCK_SEEDS`, see [`crate::replicate`]) derive their per-replicate
+/// streams from these; replicate 0 is the base itself.
+pub const FIG7_SEED: u64 = 0xF167;
+/// Figure 8's trace/breakdown-export seed.
+pub const FIG8_SEED: u64 = 0xF168;
+/// Figure 8's saturation-sweep seed (distinct from [`FIG8_SEED`] for
+/// historical reasons; kept so the sweep CSV stays bit-identical).
+pub const FIG8_SWEEP_SEED: u64 = 8;
+/// Figure 9's query-mix seed.
+pub const FIG9_SEED: u64 = 0xF19;
+/// Figure 10's load-balancer reaction seed.
+pub const FIG10_SEED: u64 = 0x10;
+/// Figure 11's demand-driven heterogeneity seed.
+pub const FIG11_SEED: u64 = 0x11;
+/// Seed of the supplementary (`extra`) partition-tradeoff tables.
+pub const EXTRA_SEED: u64 = 0xE;
+
 /// Configuration of one guarantee-experiment run.
 #[derive(Debug, Clone)]
 pub struct GuaranteeRun {

@@ -7,20 +7,32 @@
 use std::num::NonZeroUsize;
 use std::sync::Mutex;
 
-/// Number of sweep workers: the `HPSOCK_THREADS` environment variable if
-/// set to a positive integer, otherwise the machine's available
-/// parallelism. Worker count never affects results, only wall time.
-fn worker_count() -> usize {
-    if let Ok(v) = std::env::var("HPSOCK_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
+/// Parse an `HPSOCK_THREADS` value: a positive integer, anything else is
+/// an error. The old behaviour silently fell back to available
+/// parallelism on `0`, negative or garbage input, which masked
+/// misconfiguration (e.g. `HPSOCK_THREADS=O8`); now the run fails with a
+/// message naming the variable.
+fn parse_worker_count(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err("HPSOCK_THREADS must be >= 1, got 0 (unset it to use all cores)".to_string()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "HPSOCK_THREADS must be a positive integer, got {raw:?}"
+        )),
     }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(4)
+}
+
+/// Number of sweep workers: the `HPSOCK_THREADS` environment variable if
+/// set (invalid values are rejected loudly), otherwise the machine's
+/// available parallelism. Worker count never affects results, only wall
+/// time.
+fn worker_count() -> usize {
+    match std::env::var("HPSOCK_THREADS") {
+        Ok(v) => parse_worker_count(&v).unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(4),
+    }
 }
 
 /// Map `f` over `items` on a thread pool, preserving input order.
@@ -34,11 +46,23 @@ where
     O: Send,
     F: Fn(I) -> O + Sync,
 {
+    parallel_map_workers(items, worker_count(), f)
+}
+
+/// [`parallel_map`] with an explicit worker count, bypassing
+/// `HPSOCK_THREADS` — the hook the worker-count-independence tests use
+/// without racing on the process environment.
+pub fn parallel_map_workers<I, O, F>(items: Vec<I>, workers: usize, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = worker_count().min(n);
+    let workers = workers.max(1).min(n);
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -72,6 +96,38 @@ where
         .collect()
 }
 
+/// Schedule `points × seeds` replicate jobs through the pool: every item
+/// runs once per seed in `seeds`, and the outputs come back grouped per
+/// item, in seed order. The flattened job list feeds [`parallel_map`]
+/// directly, so replicates of different points interleave freely across
+/// workers while each output still lands in its `(point, seed)` slot —
+/// aggregates are therefore identical under any worker count.
+pub fn parallel_map_seeded<I, O, F>(items: Vec<I>, seeds: &[u64], f: F) -> Vec<Vec<O>>
+where
+    I: Clone + Send + Sync,
+    O: Send,
+    F: Fn(&I, u64) -> O + Sync,
+{
+    assert!(!seeds.is_empty(), "a seed batch has at least one replicate");
+    let n_seeds = seeds.len();
+    let jobs: Vec<(I, u64)> = items
+        .into_iter()
+        .flat_map(|item| seeds.iter().map(move |&s| (item.clone(), s)))
+        .collect();
+    let flat = parallel_map(jobs, |(item, seed)| f(&item, seed));
+    let mut out = Vec::with_capacity(flat.len() / n_seeds);
+    let mut it = flat.into_iter();
+    while let Some(first) = it.next() {
+        let mut reps = Vec::with_capacity(n_seeds);
+        reps.push(first);
+        for _ in 1..n_seeds {
+            reps.push(it.next().expect("seeds divide the job count"));
+        }
+        out.push(reps);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +148,45 @@ mod tests {
     #[test]
     fn single_item() {
         assert_eq!(parallel_map(vec![7], |x: u32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parse_worker_count_rejects_invalid_values() {
+        assert_eq!(parse_worker_count("1"), Ok(1));
+        assert_eq!(parse_worker_count(" 16 "), Ok(16));
+        let err = parse_worker_count("0").unwrap_err();
+        assert!(err.contains("HPSOCK_THREADS"), "names the variable: {err}");
+        assert!(parse_worker_count("-4").is_err(), "negative rejected");
+        assert!(parse_worker_count("eight").is_err(), "garbage rejected");
+        assert!(parse_worker_count("").is_err(), "empty rejected");
+        assert!(parse_worker_count("3.5").is_err(), "fractional rejected");
+    }
+
+    #[test]
+    fn seeded_map_groups_by_item_in_seed_order() {
+        let out = parallel_map_seeded(vec![10u64, 20], &[1, 2, 3], |&x, s| x + s);
+        assert_eq!(out, vec![vec![11, 12, 13], vec![21, 22, 23]]);
+        let single = parallel_map_seeded(vec![5u64], &[7], |&x, s| x * s);
+        assert_eq!(single, vec![vec![35]]);
+        let empty = parallel_map_seeded(Vec::<u64>::new(), &[1, 2], |&x, _| x);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn seeded_map_is_worker_count_independent() {
+        // The replicate grid goes through parallel_map's indexed slots, so
+        // grouping never depends on scheduling; pin it against the
+        // explicit-worker path for 1 vs 8 workers.
+        let items: Vec<u64> = (0..13).collect();
+        let seeds = crate::replicate::seed_batch(0xF167, 3);
+        let jobs = |w: usize| {
+            let flat: Vec<(u64, u64)> = items
+                .iter()
+                .flat_map(|&i| seeds.iter().map(move |&s| (i, s)))
+                .collect();
+            parallel_map_workers(flat, w, |(i, s)| i.wrapping_mul(s))
+        };
+        assert_eq!(jobs(1), jobs(8));
     }
 
     #[test]

@@ -25,6 +25,16 @@ impl Table {
         }
     }
 
+    /// Empty table from pre-built headers — the replicated figure tables
+    /// assemble their column set dynamically (CI columns per series).
+    pub fn from_headers(title: impl Into<String>, headers: Vec<String>) -> Table {
+        Table {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
     /// Append a row; must match the header arity.
     pub fn add_row(&mut self, cells: Vec<String>) {
         assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");

@@ -63,5 +63,6 @@ pub use kernel::{Ctx, Message, Process, ProcessId, Sim};
 pub use payload::Payload;
 pub use probe::{MetricRegistry, Probe, ProbeEvent, Recorder, StreamingTraceWriter, Tee};
 pub use resource::{Resource, ResourceId};
+pub use stats::Tally;
 pub use time::{Dur, SimTime};
 pub use trace::TraceDigest;

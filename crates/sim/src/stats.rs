@@ -87,6 +87,34 @@ impl Tally {
         }
     }
 
+    /// Half-width of the two-sided 95 % confidence interval of the mean:
+    /// `t · s / √n` with Student's t for small samples (exact critical
+    /// values for n ≤ 31, the normal value 1.960 beyond). 0 with fewer
+    /// than two observations — one seed gives a point estimate, not an
+    /// interval.
+    pub fn ci95(&self) -> f64 {
+        /// Two-sided 95 % Student-t critical values for 1..=30 degrees of
+        /// freedom (Abramowitz & Stegun table 26.10).
+        const T95: [f64; 30] = [
+            12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+            2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+            2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        ];
+        if self.n < 2 {
+            return 0.0;
+        }
+        let df = (self.n - 1) as usize;
+        let t = if df <= T95.len() { T95[df - 1] } else { 1.960 };
+        t * (self.variance() / self.n as f64).sqrt()
+    }
+
+    /// `(mean − ci95, mean + ci95)` — the 95 % confidence interval of the
+    /// mean. Collapses to `(mean, mean)` with fewer than two observations.
+    pub fn ci95_bounds(&self) -> (f64, f64) {
+        let h = self.ci95();
+        (self.mean() - h, self.mean() + h)
+    }
+
     /// Merge another tally into this one (parallel-sweep reduction).
     pub fn merge(&mut self, other: &Tally) {
         if other.n == 0 {
@@ -270,6 +298,50 @@ mod tests {
         assert_eq!(a.count(), whole.count());
         assert!((a.mean() - whole.mean()).abs() < 1e-9);
         assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci95_matches_hand_computed_small_samples() {
+        // n = 2, {1, 3}: mean 2, s² = 2, se = √(2/2) = 1, t(df=1) = 12.706.
+        let mut t = Tally::new();
+        t.add(1.0);
+        t.add(3.0);
+        assert!((t.ci95() - 12.706).abs() < 1e-9, "{}", t.ci95());
+        let (lo, hi) = t.ci95_bounds();
+        assert!((lo - (2.0 - 12.706)).abs() < 1e-9);
+        assert!((hi - (2.0 + 12.706)).abs() < 1e-9);
+        // n = 5, {10,12,14,16,18}: mean 14, s² = 10, se = √2, t(df=4) = 2.776.
+        let mut t = Tally::new();
+        for x in [10.0, 12.0, 14.0, 16.0, 18.0] {
+            t.add(x);
+        }
+        assert!(
+            (t.ci95() - 2.776 * 2.0f64.sqrt()).abs() < 1e-9,
+            "{}",
+            t.ci95()
+        );
+    }
+
+    #[test]
+    fn ci95_uses_normal_value_for_large_samples() {
+        // n = 32 (df = 31 > table): 1.960 · √(s²/n), s² = 2728/31 = 88.
+        let mut t = Tally::new();
+        for i in 0..32 {
+            t.add(i as f64);
+        }
+        assert!((t.variance() - 88.0).abs() < 1e-9);
+        assert!((t.ci95() - 1.960 * (88.0f64 / 32.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci95_degenerate_cases() {
+        let mut t = Tally::new();
+        assert_eq!(t.ci95(), 0.0, "empty tally has no interval");
+        t.add(5.0);
+        assert_eq!(t.ci95(), 0.0, "one observation has no interval");
+        assert_eq!(t.ci95_bounds(), (5.0, 5.0));
+        t.add(5.0);
+        assert_eq!(t.ci95(), 0.0, "zero variance collapses the interval");
     }
 
     #[test]
