@@ -33,6 +33,8 @@ pub mod provider;
 pub mod socket;
 
 pub use curves::PerfCurve;
-pub use microbench::{bandwidth_series, latency_series, BandwidthPoint, LatencyPoint};
+pub use microbench::{
+    bandwidth_series, latency_series, streaming_mbps_probed, BandwidthPoint, LatencyPoint,
+};
 pub use provider::Provider;
 pub use socket::{Socket, SocketSet};

@@ -9,7 +9,7 @@
 
 use crate::provider::Provider;
 use hpsock_net::{Cluster, ConnId, Delivery, NodeId};
-use hpsock_sim::{Ctx, Message, Process, Sim, SimTime};
+use hpsock_sim::{Ctx, Message, Probe, Process, Sim, SimTime};
 
 /// One point of the latency series (Figure 4a).
 #[derive(Debug, Clone, Copy)]
@@ -176,6 +176,21 @@ impl Process for StreamSink {
 
 /// Achieved bandwidth in Mbps streaming `count` messages of `bytes` each.
 pub fn streaming_mbps(provider: &Provider, bytes: u64, count: u32) -> f64 {
+    streaming_mbps_probed(provider, bytes, count, |_| None).0
+}
+
+/// [`streaming_mbps`] with the probe bus attached after the cluster
+/// exists (the factory receives the resource-name table), additionally
+/// returning the run's end time — the horizon needed to read
+/// time-weighted gauge means such as the net engine's per-connection
+/// `net.conn<N>.mbps` bandwidth gauge. Probes are observational only, so
+/// the measured bandwidth is identical to the unprobed run.
+pub fn streaming_mbps_probed(
+    provider: &Provider,
+    bytes: u64,
+    count: u32,
+    make_probe: impl FnOnce(&[String]) -> Option<Box<dyn Probe>>,
+) -> (f64, SimTime) {
     let mut sim = Sim::new(0xF00D);
     let cluster = Cluster::build(&mut sim, 2);
     let net = cluster.network();
@@ -197,11 +212,17 @@ pub fn streaming_mbps(provider: &Provider, bytes: u64, count: u32) -> f64 {
         cluster.endpoint(NodeId(0), sender),
         cluster.endpoint(NodeId(1), sink),
     );
-    sim.run();
+    if let Some(p) = make_probe(&sim.resource_names()) {
+        sim.attach_probe(p);
+    }
+    let end = sim.run();
     let s: &StreamSink = sim.process(sink).expect("sink persists");
     assert_eq!(s.msgs, count as u64, "all messages delivered");
     assert_eq!(s.bytes, bytes * count as u64, "byte conservation");
-    8.0 * s.bytes as f64 / s.last.as_nanos() as f64 * 1_000.0
+    (
+        8.0 * s.bytes as f64 / s.last.as_nanos() as f64 * 1_000.0,
+        end,
+    )
 }
 
 /// Bandwidth series over `sizes` (Figure 4b). `total_bytes` controls how

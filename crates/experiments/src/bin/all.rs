@@ -8,6 +8,7 @@ fn main() {
     eprintln!("[1/8] Figure 4 + Figure 2 ...");
     let (iters, total) = if quick { (4, 1 << 20) } else { (16, 1 << 22) };
     x::emit(&x::fig4::run(iters, total), &dir);
+    x::export_under_trace("fig4", |tdir| x::fig4::export_traces(tdir, total));
     eprintln!("[2/8] Figure 7 ...");
     let scale = if quick {
         x::fig7::Scale {
@@ -18,23 +19,21 @@ fn main() {
         x::fig7::Scale::default()
     };
     x::emit(&x::fig7::run(scale), &dir);
-    if let Some(tdir) = x::trace_dir() {
-        eprintln!("      probe-bus export (HPSOCK_TRACE) ...");
-        x::fig7::export_traces(&tdir, scale);
-    }
+    x::export_under_trace("fig7", |tdir| x::fig7::export_traces(tdir, scale));
     eprintln!("[3/8] Figure 8 ...");
     let n8 = if quick { 3 } else { 5 };
     x::emit(&x::fig8::run(n8), &dir);
-    if let Some(tdir) = x::trace_dir() {
-        eprintln!("      probe-bus export (HPSOCK_TRACE) ...");
-        x::fig8::export_traces(&tdir, n8);
-    }
+    x::export_under_trace("fig8", |tdir| x::fig8::export_traces(tdir, n8));
     eprintln!("[4/8] Figure 9 ...");
-    x::emit(&x::fig9::run(if quick { 5 } else { 10 }), &dir);
+    let n9 = if quick { 5 } else { 10 };
+    x::emit(&x::fig9::run(n9), &dir);
+    x::export_under_trace("fig9", |tdir| x::fig9::export_traces(tdir, n9));
     eprintln!("[5/8] Figure 10 ...");
     x::emit(&x::fig10::run(), &dir);
+    x::export_under_trace("fig10", x::fig10::export_traces);
     eprintln!("[6/8] Figure 11 ...");
     x::emit(&x::fig11::run(), &dir);
+    x::export_under_trace("fig11", x::fig11::export_traces);
     eprintln!("[7/8] Future work: RDMA ...");
     x::emit(&x::future::run(), &dir);
     eprintln!("[8/8] Supplementary: Figure 1 amplification, partition trade-off ...");

@@ -3,4 +3,5 @@
 fn main() {
     let tables = hpsock_experiments::fig10::run();
     hpsock_experiments::emit(&tables, hpsock_experiments::results_dir());
+    hpsock_experiments::export_under_trace("fig10", hpsock_experiments::fig10::export_traces);
 }

@@ -3,4 +3,5 @@
 fn main() {
     let tables = hpsock_experiments::fig11::run();
     hpsock_experiments::emit(&tables, hpsock_experiments::results_dir());
+    hpsock_experiments::export_under_trace("fig11", hpsock_experiments::fig11::export_traces);
 }

@@ -5,4 +5,7 @@ fn main() {
     let (iters, total) = if quick { (4, 1 << 20) } else { (16, 1 << 22) };
     let tables = hpsock_experiments::fig4::run(iters, total);
     hpsock_experiments::emit(&tables, hpsock_experiments::results_dir());
+    hpsock_experiments::export_under_trace("fig4", |dir| {
+        hpsock_experiments::fig4::export_traces(dir, total);
+    });
 }

@@ -13,8 +13,5 @@ fn main() {
     };
     let tables = run(scale);
     hpsock_experiments::emit(&tables, hpsock_experiments::results_dir());
-    if let Some(dir) = hpsock_experiments::trace_dir() {
-        eprintln!("probe-bus export (HPSOCK_TRACE) ...");
-        export_traces(&dir, scale);
-    }
+    hpsock_experiments::export_under_trace("fig7", |dir| export_traces(dir, scale));
 }

@@ -8,8 +8,7 @@ fn main() {
     };
     let tables = hpsock_experiments::fig8::run(n);
     hpsock_experiments::emit(&tables, hpsock_experiments::results_dir());
-    if let Some(dir) = hpsock_experiments::trace_dir() {
-        eprintln!("probe-bus export (HPSOCK_TRACE) ...");
-        hpsock_experiments::fig8::export_traces(&dir, n);
-    }
+    hpsock_experiments::export_under_trace("fig8", |dir| {
+        hpsock_experiments::fig8::export_traces(dir, n);
+    });
 }

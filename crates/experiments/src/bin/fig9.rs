@@ -8,4 +8,7 @@ fn main() {
     };
     let tables = hpsock_experiments::fig9::run(n);
     hpsock_experiments::emit(&tables, hpsock_experiments::results_dir());
+    hpsock_experiments::export_under_trace("fig9", |dir| {
+        hpsock_experiments::fig9::export_traces(dir, n);
+    });
 }

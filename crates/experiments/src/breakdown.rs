@@ -16,9 +16,9 @@
 //! moves most of the per-byte cost off the host.
 
 use crate::replicate;
-use crate::runner::{run_guarantee_probed, run_guarantee_traced, GuaranteeRun, RunCapture};
+use crate::runner::{run_guarantee_probed, GuaranteeRun, RunCapture};
 use crate::table::Table;
-use hpsock_sim::{ProbeEvent, Recorder, StreamingTraceWriter, Tee};
+use hpsock_sim::{Probe, ProbeEvent, Recorder, StreamingTraceWriter, Tee};
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -151,9 +151,14 @@ pub fn compute(rec: &Recorder, cap: &RunCapture, label: &str) -> Breakdown {
     let (host_us, wire_us, compute_us) = (us(busy_ns[0]), us(busy_ns[1]), us(busy_ns[2]));
     let stall_us = us(stall_ns as f64);
     let idle_us = us(ns_total) - host_us - wire_us - compute_us - stall_us;
+    // Store the total as the components re-summed in the same
+    // left-associated order as `components_sum_us`: deriving idle by
+    // subtraction alone can leave the re-sum an ulp off `us(ns_total)`,
+    // and the exactness tests compare bit patterns, not tolerances.
+    let total_us = host_us + wire_us + compute_us + stall_us + idle_us;
     Breakdown {
         label: label.to_string(),
-        total_us: us(ns_total),
+        total_us,
         host_us,
         wire_us,
         compute_us,
@@ -195,9 +200,15 @@ pub fn to_table(title: &str, rows: &[Breakdown]) -> Table {
         ],
     );
     for b in rows {
+        // Rounding each component to 0.1 µs independently can leave the
+        // printed columns 0.1 off the printed total, so the rendered
+        // total is the sum of the *rounded* components (within 0.25 µs
+        // of the true total): the CSV stays exactly self-consistent.
+        let r = |v: f64| (v * 10.0).round() / 10.0;
+        let total = r(b.host_us) + r(b.wire_us) + r(b.compute_us) + r(b.stall_us) + r(b.idle_us);
         t.add_row(vec![
             b.label.clone(),
-            format!("{:.1}", b.total_us),
+            format!("{total:.1}"),
             format!("{:.1}", b.host_us),
             format!("{:.1}", b.wire_us),
             format!("{:.1}", b.compute_us),
@@ -209,7 +220,7 @@ pub fn to_table(title: &str, rows: &[Breakdown]) -> Table {
 }
 
 /// File-name slug for a series label.
-fn slug(label: &str) -> String {
+pub(crate) fn slug(label: &str) -> String {
     label
         .chars()
         .map(|c| {
@@ -226,37 +237,53 @@ fn slug(label: &str) -> String {
         .join("_")
 }
 
-/// Re-run each labelled guarantee run with the probe bus recording; write
-/// one Chrome trace JSON per series (`<figure>_<series>.trace.json`,
-/// openable in Perfetto / `chrome://tracing`) and the combined
-/// `<figure>_breakdown.csv` time attribution under `dir`.
+/// The probe-factory argument of a [`ProbedRun`]: builds the probe once
+/// the simulation topology exists (it receives the resource-name table,
+/// as in [`run_guarantee_probed`][crate::runner::run_guarantee_probed]).
+pub type ProbeFactory<'a> = dyn FnMut(&[String]) -> Option<Box<dyn Probe>> + 'a;
+
+/// One probed run for [`export_run_traces`]: handed a replicate seed and
+/// a [`ProbeFactory`], it executes the run and returns its
+/// [`RunCapture`]. Boxed so figure modules with differently-shaped
+/// drivers (guarantee pipelines, query mixes, LB clusters) all export
+/// through the same code path.
+pub type ProbedRun<'a> = Box<dyn Fn(u64, &mut ProbeFactory<'_>) -> RunCapture + 'a>;
+
+/// Re-run each labelled `(label, base_seed, run)` with the probe bus
+/// recording; under `dir`, write per series a Chrome trace JSON
+/// (`<figure>_<series>.trace.json`, openable in Perfetto /
+/// `chrome://tracing`) and a collapsed-stack flamegraph
+/// (`<figure>_<series>.folded`, consumable by inferno's
+/// `flamegraph.pl`-compatible tooling or speedscope), plus the combined
+/// `<figure>_breakdown.csv` time attribution.
 ///
 /// The trace JSON streams to disk *during* the run through a
 /// [`StreamingTraceWriter`] (teed with the [`Recorder`] the breakdown
 /// needs), so export memory stays bounded by the recorder's analysis
 /// events, not the trace text.
 /// With `HPSOCK_SEEDS=n > 1` each series re-runs once per replicate seed
-/// (derived from the run's base seed, see [`crate::replicate`]): the
-/// Chrome trace is written for the base-seed replicate only, while the
-/// breakdown row becomes the across-seed [`average`] of the per-seed
-/// attributions, with an `n_seeds` column appended.
-pub fn export_guarantee_traces(
+/// (derived from its base seed, see [`crate::replicate`]): the Chrome
+/// trace and flamegraph are written for the base-seed replicate only,
+/// while the breakdown row becomes the across-seed [`average`] of the
+/// per-seed attributions, with an `n_seeds` column appended.
+pub fn export_run_traces(
     dir: &Path,
     figure: &str,
     title: &str,
-    runs: &[(&str, GuaranteeRun)],
+    runs: Vec<(&str, u64, ProbedRun<'_>)>,
 ) {
     let n_seeds = replicate::seed_count();
     let mut rows = Vec::with_capacity(runs.len());
-    for (label, run) in runs {
-        let seeds = replicate::seed_batch(run.seed, n_seeds);
+    for (label, base_seed, run) in &runs {
+        let seeds = replicate::seed_batch(*base_seed, n_seeds);
         let mut reps = Vec::with_capacity(seeds.len());
-        // Replicate 0 (the base seed) streams the Chrome trace to disk;
-        // the extra replicates only feed the averaged breakdown.
+        // Replicate 0 (the base seed) streams the Chrome trace to disk
+        // and folds the span flamegraph; the extra replicates only feed
+        // the averaged breakdown.
         let rec = Recorder::new();
         let path = dir.join(format!("{figure}_{}.trace.json", slug(label)));
         let mut writer = None;
-        let (_result, cap) = run_guarantee_probed(run, |names| {
+        let mut mk = |names: &[String]| -> Option<Box<dyn Probe>> {
             // Tee analysis events to the in-memory recorder and the trace
             // JSON straight to disk; fall back to recorder-only if the
             // file cannot be created.
@@ -271,7 +298,8 @@ pub fn export_guarantee_traces(
                     rec.probe()
                 }
             })
-        });
+        };
+        let cap = run(seeds[0], &mut mk);
         if let Some(w) = writer {
             match w.finish() {
                 Ok(_) => println!(
@@ -282,14 +310,17 @@ pub fn export_guarantee_traces(
                 Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
             }
         }
+        let stacks = rec.folded_spans();
+        let folded = dir.join(format!("{figure}_{}.folded", slug(label)));
+        match hpsock_sim::write_folded(&folded, &stacks) {
+            Ok(()) => println!("  -> {} ({} stacks)", folded.display(), stacks.len()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", folded.display()),
+        }
         reps.push(compute(&rec, &cap, label));
         for &seed in &seeds[1..] {
-            let run_k = GuaranteeRun {
-                seed,
-                ..(*run).clone()
-            };
             let rec = Recorder::new();
-            let (_result, cap) = run_guarantee_traced(&run_k, Some(rec.probe()));
+            let mut mk = |_: &[String]| -> Option<Box<dyn Probe>> { Some(rec.probe()) };
+            let cap = run(seed, &mut mk);
             reps.push(compute(&rec, &cap, label));
         }
         rows.push(average(label, &reps));
@@ -310,10 +341,35 @@ pub fn export_guarantee_traces(
     }
 }
 
+/// [`export_run_traces`] over guarantee runs (Figures 7/8): each series
+/// replays its [`GuaranteeRun`] with the replicate seed substituted.
+pub fn export_guarantee_traces(
+    dir: &Path,
+    figure: &str,
+    title: &str,
+    runs: &[(&str, GuaranteeRun)],
+) {
+    let probed: Vec<(&str, u64, ProbedRun<'_>)> = runs
+        .iter()
+        .map(|(label, run)| {
+            let probed: ProbedRun<'_> = Box::new(move |seed: u64, mk: &mut ProbeFactory<'_>| {
+                let run_k = GuaranteeRun {
+                    seed,
+                    ..run.clone()
+                };
+                run_guarantee_probed(&run_k, |names| mk(names)).1
+            });
+            (*label, run.seed, probed)
+        })
+        .collect();
+    export_run_traces(dir, figure, title, probed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::runner::run_guarantee_traced;
+    use proptest::prelude::*;
 
     #[test]
     fn union_minus_merges_and_subtracts() {
@@ -399,5 +455,71 @@ mod tests {
         assert_eq!(bucket("node12.nic_tx"), Some(1));
         assert_eq!(bucket("node1.cpu"), Some(2));
         assert_eq!(bucket("something_else"), None);
+    }
+
+    #[test]
+    fn slug_flattens_labels() {
+        assert_eq!(slug("SocketVIA"), "socketvia");
+        assert_eq!(slug("TCP (no delay)"), "tcp_no_delay");
+        assert_eq!(slug("__x__"), "x");
+    }
+
+    proptest! {
+        /// The exact-sum invariant is structural, not numeric luck: for
+        /// arbitrary soups of busy intervals and stalls over a synthetic
+        /// station table, the five components re-sum to the stored total
+        /// bit-exactly (`==` on the bit patterns, no tolerance).
+        #[test]
+        fn components_sum_is_bit_exact_for_arbitrary_events(
+            end_ns in 1u64..5_000_000,
+            services in proptest::collection::vec(
+                (0usize..6, 0u64..1_000_000, 1u64..300_000), 0..48),
+            stalls in proptest::collection::vec(
+                (0usize..6, 0u64..1_000_000, 1u64..300_000), 0..12),
+        ) {
+            use hpsock_sim::{Dur, ResourceId, SimTime};
+            let names = [
+                "node0.host_tx",
+                "node0.host_rx",
+                "node0.nic_tx",
+                "node0.cpu",
+                "node0.link",
+                "misc",
+            ];
+            let rec = Recorder::new();
+            let mut probe = rec.probe();
+            for (rid, start, len) in services {
+                let start = SimTime::ZERO + Dur::nanos(start);
+                probe.record(ProbeEvent::ResourceAcquire {
+                    rid: ResourceId(rid),
+                    arrived: start,
+                    start,
+                    completion: start + Dur::nanos(len),
+                    service: Dur::nanos(len),
+                    busy_servers: 1,
+                });
+            }
+            for (rid, from, len) in stalls {
+                let from = SimTime::ZERO + Dur::nanos(from);
+                probe.record(ProbeEvent::Stall {
+                    rid: ResourceId(rid),
+                    from,
+                    until: from + Dur::nanos(len),
+                });
+            }
+            let cap = RunCapture {
+                end: SimTime::ZERO + Dur::nanos(end_ns),
+                resource_names: names.iter().map(|s| s.to_string()).collect(),
+                servers: vec![1; names.len()],
+            };
+            let b = compute(&rec, &cap, "synthetic");
+            prop_assert_eq!(
+                b.components_sum_us().to_bits(),
+                b.total_us.to_bits(),
+                "components {} vs total {}",
+                b.components_sum_us(),
+                b.total_us
+            );
+        }
     }
 }

@@ -2,13 +2,15 @@
 //! round-robin scheduling, vs the factor of heterogeneity, for TCP (16 KB
 //! blocks) and SocketVIA (2 KB blocks) at their perfect-pipelining points.
 
+use crate::breakdown::{self, ProbeFactory, ProbedRun};
 use crate::replicate::{self, Series};
-use crate::runner::FIG10_SEED;
+use crate::runner::{RunCapture, FIG10_SEED};
 use crate::sweep::parallel_map_seeded;
 use crate::table::{fmt_opt, Table};
 use hpsock_net::TransportKind;
-use hpsock_sim::{Dur, SimTime};
-use hpsock_vizserver::{rr_reaction_time, LbSetup};
+use hpsock_sim::{Dur, Probe, SimTime};
+use hpsock_vizserver::{rr_reaction_time_probed, LbSetup};
+use std::path::Path;
 
 /// Heterogeneity factors on the x-axis.
 pub fn factors() -> Vec<f64> {
@@ -17,13 +19,50 @@ pub fn factors() -> Vec<f64> {
 
 /// Reaction time (µs) for one transport at one factor.
 pub fn reaction_us(kind: TransportKind, factor: f64, seed: u64) -> Option<f64> {
+    reaction_probed(kind, factor, seed, |_| None).0
+}
+
+/// [`reaction_us`] with the probe bus attached once the LB cluster
+/// exists (the factory receives the resource-name table), additionally
+/// returning the run's [`RunCapture`] for the breakdown/export layer.
+/// Probes are observational only, so the measured reaction time is
+/// identical to the unprobed run (pinned by the determinism tests).
+pub fn reaction_probed(
+    kind: TransportKind,
+    factor: f64,
+    seed: u64,
+    make_probe: impl FnOnce(&[String]) -> Option<Box<dyn Probe>>,
+) -> (Option<f64>, RunCapture) {
     let setup = LbSetup::paper(kind);
     // One node turns slow a third of the way through a workload long
     // enough to observe the balancer's mistake.
     let emit_ns = (setup.ns_per_byte * setup.block_bytes as f64) as u64;
     let blocks = 3 * 100u32; // ~100 emissions before and after the switch
     let slow_at = SimTime::ZERO + Dur::nanos(emit_ns * 100);
-    rr_reaction_time(&setup, factor, slow_at, blocks, seed).map(|d| d.as_micros_f64())
+    let (reaction, cap) =
+        rr_reaction_time_probed(&setup, factor, slow_at, blocks, seed, make_probe);
+    (reaction.map(|d| d.as_micros_f64()), cap)
+}
+
+/// `HPSOCK_TRACE` export: replay the factor-4 heterogeneous cluster
+/// (mid-sweep, where both transports still react) over TCP and SocketVIA
+/// with the probe bus recording; see [`breakdown::export_run_traces`]
+/// for the files written.
+pub fn export_traces(dir: &Path) {
+    let run = |kind: TransportKind| -> ProbedRun<'static> {
+        Box::new(move |seed: u64, mk: &mut ProbeFactory<'_>| {
+            reaction_probed(kind, 4.0, seed, |names| mk(names)).1
+        })
+    };
+    breakdown::export_run_traces(
+        dir,
+        "fig10",
+        "Figure 10 time breakdown at heterogeneity factor 4 (us of server-time)",
+        vec![
+            ("TCP", FIG10_SEED, run(TransportKind::KTcp)),
+            ("SocketVIA", FIG10_SEED, run(TransportKind::SocketVia)),
+        ],
+    );
 }
 
 /// One factor's per-seed measurements. `None` entries are runs where the
@@ -106,6 +145,7 @@ pub fn run() -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hpsock_vizserver::rr_reaction_time;
 
     #[test]
     fn no_reaction_run_yields_none_not_a_panic() {

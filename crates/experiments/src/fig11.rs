@@ -3,12 +3,15 @@
 //! (x-axis) at factors 2/4/8, for SocketVIA and TCP at their
 //! perfect-pipelining block sizes.
 
+use crate::breakdown::{self, ProbeFactory, ProbedRun};
 use crate::replicate::{self, Series};
-use crate::runner::FIG11_SEED;
+use crate::runner::{RunCapture, FIG11_SEED};
 use crate::sweep::parallel_map_seeded;
 use crate::table::Table;
 use hpsock_net::TransportKind;
-use hpsock_vizserver::{dd_execution_time, LbSetup};
+use hpsock_sim::Probe;
+use hpsock_vizserver::{dd_execution_time, dd_execution_time_probed, LbSetup};
+use std::path::Path;
 
 /// Probabilities on the x-axis (percent / 100).
 pub fn probabilities() -> Vec<f64> {
@@ -27,6 +30,45 @@ pub fn exec_us(kind: TransportKind, prob: f64, factor: f64, seed: u64) -> f64 {
     let setup = LbSetup::paper(kind);
     let blocks = (WORKLOAD_BYTES / setup.block_bytes) as u32;
     dd_execution_time(&setup, prob, factor, blocks, seed).as_micros_f64()
+}
+
+/// [`exec_us`] with the probe bus attached once the LB cluster exists
+/// (the factory receives the resource-name table), additionally
+/// returning the run's [`RunCapture`] for the breakdown/export layer.
+/// Probes are observational only, so the measured execution time is
+/// identical to the unprobed run (pinned by the determinism tests).
+pub fn exec_probed(
+    kind: TransportKind,
+    prob: f64,
+    factor: f64,
+    seed: u64,
+    make_probe: impl FnOnce(&[String]) -> Option<Box<dyn Probe>>,
+) -> (f64, RunCapture) {
+    let setup = LbSetup::paper(kind);
+    let blocks = (WORKLOAD_BYTES / setup.block_bytes) as u32;
+    let (dur, cap) = dd_execution_time_probed(&setup, prob, factor, blocks, seed, make_probe);
+    (dur.as_micros_f64(), cap)
+}
+
+/// `HPSOCK_TRACE` export: replay the p=0.5, factor-4 demand-driven
+/// cluster (mid-sweep on both axes) over TCP and SocketVIA with the
+/// probe bus recording; see [`breakdown::export_run_traces`] for the
+/// files written.
+pub fn export_traces(dir: &Path) {
+    let run = |kind: TransportKind| -> ProbedRun<'static> {
+        Box::new(move |seed: u64, mk: &mut ProbeFactory<'_>| {
+            exec_probed(kind, 0.5, 4.0, seed, |names| mk(names)).1
+        })
+    };
+    breakdown::export_run_traces(
+        dir,
+        "fig11",
+        "Figure 11 time breakdown at p=0.5, heterogeneity factor 4 (us of server-time)",
+        vec![
+            ("TCP", FIG11_SEED, run(TransportKind::KTcp)),
+            ("SocketVIA", FIG11_SEED, run(TransportKind::SocketVia)),
+        ],
+    );
 }
 
 /// Run the sweep with the `HPSOCK_SEEDS` replicate batch derived from

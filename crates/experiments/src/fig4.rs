@@ -2,10 +2,13 @@
 //! bandwidth, for VIA / SocketVIA / TCP. Also regenerates the Figure 2
 //! crossover table (U1/U2, L1/L2/L3) as a by-product.
 
+use crate::breakdown::slug;
 use crate::table::Table;
 use hpsock_net::TransportKind;
+use hpsock_sim::{Recorder, StreamingTraceWriter, Tee};
 use socketvia::curves::{crossover, PerfCurve};
-use socketvia::{bandwidth_series, latency_series, Provider};
+use socketvia::{bandwidth_series, latency_series, streaming_mbps_probed, Provider};
+use std::path::Path;
 
 /// Message sizes of Figure 4(a).
 pub fn latency_sizes() -> Vec<u64> {
@@ -118,6 +121,81 @@ pub fn run(iters: u32, total_bytes: u64) -> Vec<Table> {
         bandwidth_table(total_bytes),
         crossover_table(),
     ]
+}
+
+/// `HPSOCK_TRACE` export: re-run the peak (64 KB) streaming benchmark per
+/// transport with the probe bus recording. Writes one Chrome trace per
+/// series (`fig4_<series>.trace.json`) and surfaces the net engine's
+/// per-connection bandwidth gauges (`net.conn<N>.mbps`) as
+/// `fig4_bandwidth_gauges.csv`: the gauge's final value and its
+/// time-weighted mean over the run, next to the benchmark's own
+/// bytes/time measurement they should bracket.
+pub fn export_traces(dir: &Path, total_bytes: u64) {
+    const MSG_BYTES: u64 = 65_536;
+    let count = (total_bytes / MSG_BYTES).clamp(32, 4_000) as u32;
+    let mut t = Table::new(
+        "Figure 4 per-connection bandwidth gauges at 64 KB messages",
+        &[
+            "series",
+            "gauge",
+            "final_mbps",
+            "mean_mbps",
+            "measured_mbps",
+        ],
+    );
+    for &kind in TransportKind::PAPER_SET.iter() {
+        let rec = Recorder::new();
+        let path = dir.join(format!("fig4_{}.trace.json", slug(kind.label())));
+        let mut writer = None;
+        let (mbps, end) = streaming_mbps_probed(&Provider::new(kind), MSG_BYTES, count, |names| {
+            // Tee analysis events to the recorder and the trace JSON
+            // straight to disk; recorder-only if the file can't open.
+            Some(match StreamingTraceWriter::create(&path, names) {
+                Ok(w) => {
+                    let probe = w.probe();
+                    writer = Some(w);
+                    Box::new(Tee(rec.probe(), probe))
+                }
+                Err(e) => {
+                    eprintln!("warning: could not create {}: {e}", path.display());
+                    rec.probe()
+                }
+            })
+        });
+        if let Some(w) = writer {
+            match w.finish() {
+                Ok(_) => println!(
+                    "  -> {} ({} probe events, streamed)",
+                    path.display(),
+                    rec.len()
+                ),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            }
+        }
+        rec.with_metrics(|m| {
+            let mut names: Vec<&str> = m
+                .gauge_names()
+                .filter(|n| n.starts_with("net.conn") && n.ends_with(".mbps"))
+                .collect();
+            names.sort_unstable();
+            for name in names {
+                t.add_row(vec![
+                    kind.label().to_string(),
+                    name.to_string(),
+                    format!("{:.1}", m.gauge_current(name)),
+                    format!("{:.1}", m.gauge_mean(name, end)),
+                    format!("{mbps:.1}"),
+                ]);
+            }
+        });
+    }
+    println!("{t}");
+    let csv = dir.join("fig4_bandwidth_gauges.csv");
+    if let Err(e) = t.write_csv(&csv) {
+        eprintln!("warning: could not write {}: {e}", csv.display());
+    } else {
+        println!("  -> {}\n", csv.display());
+    }
 }
 
 #[cfg(test)]

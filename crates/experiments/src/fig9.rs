@@ -4,17 +4,20 @@
 //! none / 8 / 64 chunks, over TCP and SocketVIA, with and without
 //! computation.
 
+use crate::breakdown::{self, ProbeFactory, ProbedRun};
 use crate::replicate::{self, Series};
-use crate::runner::FIG9_SEED;
+use crate::runner::{RunCapture, FIG9_SEED};
 use crate::sweep::parallel_map_seeded;
 use crate::table::Table;
 use hpsock_net::{Cluster, TransportKind};
-use hpsock_sim::Sim;
-use hpsock_vizserver::{
-    complete_update, zoom_query, BlockedImage, ComputeModel, PipelineCfg, Plan, QueryDesc,
-    QueryDriver, VizPipeline,
-};
+use hpsock_sim::{Probe, Sim};
+use hpsock_vizserver::{BlockedImage, ComputeModel, PipelineCfg, Plan, QueryDriver, VizPipeline};
 use socketvia::Provider;
+use std::path::Path;
+
+/// The mixed-stream interleaving now lives next to the other query
+/// constructors; re-exported so `fig9::query_mix` keeps resolving.
+pub use hpsock_vizserver::query_mix;
 
 /// The paper's 16 MB image.
 pub const IMAGE_BYTES: u64 = 16 * 1024 * 1024;
@@ -27,23 +30,6 @@ pub fn fractions() -> Vec<f64> {
     (0..=10).map(|i| i as f64 / 10.0).collect()
 }
 
-/// Deterministically interleave `n` queries so a fraction `f` of them are
-/// complete updates, the rest zooms (Bresenham-style spacing).
-pub fn query_mix(img: &BlockedImage, f: f64, n: u32) -> Vec<QueryDesc> {
-    let mut out = Vec::with_capacity(n as usize);
-    let mut acc = 0.0f64;
-    for _ in 0..n {
-        acc += f;
-        if acc >= 1.0 - 1e-9 {
-            acc -= 1.0;
-            out.push(complete_update(img));
-        } else {
-            out.push(zoom_query(img));
-        }
-    }
-    out
-}
-
 /// Mean response time (ms) of a closed-loop mixed stream.
 pub fn mean_response_ms(
     kind: TransportKind,
@@ -53,6 +39,23 @@ pub fn mean_response_ms(
     n: u32,
     seed: u64,
 ) -> f64 {
+    mean_response_probed(kind, compute, partitions, fraction, n, seed, |_| None).0
+}
+
+/// [`mean_response_ms`] with the probe bus attached once the pipeline
+/// exists (the factory receives the resource-name table), additionally
+/// returning the run's [`RunCapture`] for the breakdown/export layer.
+/// Probes are observational only, so the measured response time is
+/// identical to the unprobed run (pinned by the determinism tests).
+pub fn mean_response_probed(
+    kind: TransportKind,
+    compute: ComputeModel,
+    partitions: u64,
+    fraction: f64,
+    n: u32,
+    seed: u64,
+    make_probe: impl FnOnce(&[String]) -> Option<Box<dyn Probe>>,
+) -> (f64, RunCapture) {
     let img = BlockedImage::paper_image(IMAGE_BYTES / partitions);
     let queries = query_mix(&img, fraction, n);
     let mut sim = Sim::new(seed);
@@ -61,10 +64,41 @@ pub fn mean_response_ms(
     let (driver_pid, targets) = QueryDriver::install(&mut sim, Plan::ClosedLoop(queries));
     let pipe = VizPipeline::build(&mut sim, &cluster, &cfg, driver_pid);
     *targets.lock().expect("targets") = pipe.repo_pids();
-    sim.run();
+    if let Some(p) = make_probe(&sim.resource_names()) {
+        sim.attach_probe(p);
+    }
+    let end = sim.run();
+    let cap = RunCapture::of(&sim, end);
     let d: &QueryDriver = sim.process(driver_pid).expect("driver persists");
     assert_eq!(d.results.len(), n as usize, "closed loop drained");
-    d.mean_latency_all_us().expect("results present") / 1_000.0
+    (
+        d.mean_latency_all_us().expect("results present") / 1_000.0,
+        cap,
+    )
+}
+
+/// `HPSOCK_TRACE` export: replay the half-complete/half-zoom mix at 64
+/// partitions without computation (the panel point where the transports
+/// diverge hardest) over TCP and SocketVIA with the probe bus recording;
+/// see [`breakdown::export_run_traces`] for the files written.
+pub fn export_traces(dir: &Path, n: u32) {
+    let run = |kind: TransportKind| -> ProbedRun<'static> {
+        Box::new(move |seed: u64, mk: &mut ProbeFactory<'_>| {
+            mean_response_probed(kind, ComputeModel::None, 64, 0.5, n, seed, |names| {
+                mk(names)
+            })
+            .1
+        })
+    };
+    breakdown::export_run_traces(
+        dir,
+        "fig9",
+        "Figure 9 time breakdown at fraction 0.5, 64 partitions, no computation (us of server-time)",
+        vec![
+            ("TCP", FIG9_SEED, run(TransportKind::KTcp)),
+            ("SocketVIA", FIG9_SEED, run(TransportKind::SocketVia)),
+        ],
+    );
 }
 
 /// Run one panel with the single base seed: rows = fractions, columns =

@@ -76,8 +76,67 @@ pub fn results_dir() -> std::path::PathBuf {
 }
 
 /// Trace directory: `Some($HPSOCK_TRACE)` when set, enabling probe-bus
-/// instrumentation — Chrome trace JSON plus `*_breakdown.csv` time
-/// attribution written under the given directory.
+/// instrumentation — Chrome trace JSON, collapsed-stack `.folded`
+/// flamegraphs and `*_breakdown.csv` time attribution written under the
+/// given directory. A missing directory is created (recursively); an
+/// unusable path aborts up-front with a message naming the variable and
+/// the path, instead of surfacing a raw io::Error mid-export.
 pub fn trace_dir() -> Option<std::path::PathBuf> {
-    std::env::var_os("HPSOCK_TRACE").map(Into::into)
+    let dir: std::path::PathBuf = std::env::var_os("HPSOCK_TRACE")?.into();
+    if let Err(e) = ensure_trace_dir(&dir) {
+        panic!("{e}");
+    }
+    Some(dir)
+}
+
+/// Create `dir` (and any missing parents) for trace output; errors are
+/// rendered in terms of the `HPSOCK_TRACE` setting that chose the path.
+pub fn ensure_trace_dir(dir: &Path) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| {
+        format!(
+            "HPSOCK_TRACE={}: cannot create the trace directory: {e}",
+            dir.display()
+        )
+    })
+}
+
+/// Announce and run one figure's probe-bus export when `HPSOCK_TRACE` is
+/// set — the single dispatch every figure binary (and `all`) goes
+/// through, so the announce line and the directory handling can't drift
+/// apart per binary.
+pub fn export_under_trace(figure: &str, export: impl FnOnce(&Path)) {
+    if let Some(dir) = trace_dir() {
+        eprintln!("probe-bus export (HPSOCK_TRACE) for {figure} ...");
+        export(&dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_trace_dir_creates_missing_directories() {
+        let base = std::env::temp_dir().join(format!("hpsock_trace_test_{}", std::process::id()));
+        let nested = base.join("deep/nested/trace_dir");
+        assert!(!nested.exists());
+        ensure_trace_dir(&nested).expect("creates the full path");
+        assert!(nested.is_dir());
+        ensure_trace_dir(&nested).expect("idempotent on an existing dir");
+        std::fs::remove_dir_all(&base).expect("cleanup");
+    }
+
+    #[test]
+    fn ensure_trace_dir_error_names_the_variable_and_path() {
+        let base = std::env::temp_dir().join(format!("hpsock_trace_file_{}", std::process::id()));
+        std::fs::write(&base, b"not a directory").expect("fixture file");
+        let bad = base.join("child");
+        let err = ensure_trace_dir(&bad).expect_err("a file can't be a parent dir");
+        assert!(err.contains("HPSOCK_TRACE"), "names the variable: {err}");
+        assert!(
+            err.contains(&bad.display().to_string()),
+            "names the path: {err}"
+        );
+        std::fs::remove_file(&base).expect("cleanup");
+    }
 }

@@ -3,12 +3,17 @@
 //! interleaved partial-update probes.
 
 use hpsock_net::{Cluster, TransportKind};
-use hpsock_sim::{Dur, Probe, ResourceId, Sim, SimTime};
+use hpsock_sim::{Dur, Probe, Sim, SimTime};
 use hpsock_vizserver::{
     complete_update, partial_update, BlockedImage, ComputeModel, PipelineCfg, Plan, QueryDesc,
     QueryDriver, QueryKind, VizPipeline,
 };
 use socketvia::Provider;
+
+/// What a probed run exposes about the simulation it ran — defined next
+/// to the drivers in `hpsock_vizserver` (every `*_probed` driver returns
+/// one), re-exported here for the breakdown/export layer.
+pub use hpsock_vizserver::RunCapture;
 
 /// Base RNG seeds of the figure experiments, hoisted here so no driver
 /// re-hardcodes a magic number. Values are the historical per-figure
@@ -75,19 +80,6 @@ pub fn probe_indices(n_complete: u32, n_partial: u32) -> Vec<u32> {
     (0..n_partial).map(|p| first_probe + p % span).collect()
 }
 
-/// What a probed ([`run_guarantee_traced`]) run exposes about the
-/// simulation it ran, for trace export and time-breakdown reports.
-#[derive(Debug, Clone)]
-pub struct RunCapture {
-    /// Final virtual time.
-    pub end: SimTime,
-    /// Resource names indexed by `ResourceId` (the Chrome-trace track
-    /// table).
-    pub resource_names: Vec<String>,
-    /// Server count per resource, same indexing.
-    pub servers: Vec<usize>,
-}
-
 /// Run the pipeline under the configured load and measure.
 pub fn run_guarantee(run: &GuaranteeRun) -> GuaranteeResult {
     run_guarantee_traced(run, None).0
@@ -134,10 +126,7 @@ pub fn run_guarantee_probed(
         sim.attach_probe(p);
     }
     let end = sim.run();
-    let resource_names = sim.resource_names();
-    let servers = (0..resource_names.len())
-        .map(|i| sim.resource(ResourceId(i)).servers())
-        .collect();
+    let cap = RunCapture::of(&sim, end);
     let d: &QueryDriver = sim.process(driver_pid).expect("driver persists");
     let achieved = d.achieved_rate(QueryKind::Complete);
     let sustained = achieved.is_some_and(|r| r >= 0.95 * run.target_ups) && d.outstanding() == 0;
@@ -148,11 +137,7 @@ pub fn run_guarantee_probed(
             achieved_ups: achieved,
             sustained,
         },
-        RunCapture {
-            end,
-            resource_names,
-            servers,
-        },
+        cap,
     )
 }
 

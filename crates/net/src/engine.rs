@@ -470,6 +470,18 @@ impl NetEngine {
                 c.stats
                     .latency_us
                     .add(ctx.now().since(st.sent_at).as_micros_f64());
+                // Cumulative achieved bandwidth of this connection so far
+                // (bits delivered / virtual time), as a gauge per delivery.
+                let delivered = c.stats.bytes_delivered;
+                ctx.probe_emit(|t| ProbeEvent::Gauge {
+                    name: format!("net.conn{}.mbps", conn.0),
+                    time: t,
+                    value: if t == SimTime::ZERO {
+                        0.0
+                    } else {
+                        8.0 * delivered as f64 / t.as_nanos() as f64 * 1_000.0
+                    },
+                });
                 let delivery = Delivery {
                     conn,
                     msg_id: msg,

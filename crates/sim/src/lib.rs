@@ -61,7 +61,10 @@ pub mod trace;
 pub use event::{Event, EventQueue};
 pub use kernel::{Ctx, Message, Process, ProcessId, Sim};
 pub use payload::Payload;
-pub use probe::{MetricRegistry, Probe, ProbeEvent, Recorder, StreamingTraceWriter, Tee};
+pub use probe::{
+    fold_spans, write_folded, MetricRegistry, Probe, ProbeEvent, Recorder, StreamingTraceWriter,
+    Tee,
+};
 pub use resource::{Resource, ResourceId};
 pub use stats::Tally;
 pub use time::{Dur, SimTime};

@@ -16,7 +16,9 @@
 //! [`Recorder`] is the batteries-included sink: it buffers events, folds
 //! counters/gauges into a [`MetricRegistry`], and exports Chrome
 //! trace-event JSON openable in Perfetto / `chrome://tracing`, with one
-//! track per simulated resource plus one per named span track.
+//! track per simulated resource plus one per named span track. The span
+//! tracks also fold into flamegraph collapsed stacks ([`fold_spans`],
+//! written as `.folded` files by [`write_folded`]).
 
 use crate::kernel::ProcessId;
 use crate::resource::ResourceId;
@@ -254,6 +256,12 @@ impl Recorder {
     /// Run `f` against the metric registry.
     pub fn with_metrics<R>(&self, f: impl FnOnce(&MetricRegistry) -> R) -> R {
         f(&self.inner.lock().expect("recorder lock").metrics)
+    }
+
+    /// Flamegraph-style aggregation of the buffered span tracks; see
+    /// [`fold_spans`].
+    pub fn folded_spans(&self) -> BTreeMap<String, u64> {
+        self.with_events(fold_spans)
     }
 
     /// Export buffered events as Chrome trace-event JSON (the format
@@ -608,6 +616,92 @@ impl Probe for RecorderProbe {
     }
 }
 
+/// Per-track open-span state while folding.
+struct FoldTrack {
+    /// Open spans in begin order: `(id, label)`.
+    stack: Vec<(u64, String)>,
+    /// Last instant time was attributed up to.
+    last: SimTime,
+}
+
+/// Attribute `[fold.last, now)` to the track's current stack path.
+fn fold_attribute(
+    out: &mut BTreeMap<String, u64>,
+    track: &str,
+    fold: &mut FoldTrack,
+    now: SimTime,
+) {
+    let dt = now.saturating_since(fold.last).as_nanos();
+    fold.last = now;
+    if dt == 0 || fold.stack.is_empty() {
+        return;
+    }
+    let mut key = String::from(track);
+    for (_, label) in &fold.stack {
+        key.push(';');
+        key.push_str(label);
+    }
+    *out.entry(key).or_insert(0) += dt;
+}
+
+/// Fold span tracks into flamegraph collapsed stacks: identical stacks of
+/// open spans are merged, keyed `track;outer_label;…;inner_label` and
+/// weighted by the virtual nanoseconds spent with exactly that stack open.
+///
+/// The output is the collapsed-stack format `inferno` / speedscope /
+/// `flamegraph.pl` consume (one `stack weight` line per entry, see
+/// [`write_folded`]). Spans that overlap on one track without nesting
+/// (e.g. concurrent open-loop queries) stack in begin order — the fold
+/// shows *what was in flight*, not a call hierarchy. Determinism: keys
+/// iterate in `BTreeMap` order and weights are integer nanoseconds, so
+/// equal runs fold byte-identically.
+pub fn fold_spans(events: &[ProbeEvent]) -> BTreeMap<String, u64> {
+    let mut tracks: BTreeMap<String, FoldTrack> = BTreeMap::new();
+    let mut out = BTreeMap::new();
+    for ev in events {
+        match ev {
+            ProbeEvent::SpanBegin {
+                track,
+                label,
+                time,
+                id,
+            } => {
+                let fold = tracks.entry(track.clone()).or_insert(FoldTrack {
+                    stack: Vec::new(),
+                    last: *time,
+                });
+                fold_attribute(&mut out, track, fold, *time);
+                fold.stack.push((*id, label.clone()));
+            }
+            ProbeEvent::SpanEnd { track, time, id } => {
+                if let Some(fold) = tracks.get_mut(track) {
+                    fold_attribute(&mut out, track, fold, *time);
+                    if let Some(pos) = fold.stack.iter().rposition(|(sid, _)| sid == id) {
+                        fold.stack.remove(pos);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Write collapsed stacks (from [`fold_spans`]) as a `.folded` file —
+/// one `stack weight` line per entry, weights in virtual nanoseconds —
+/// creating parent directories as needed.
+pub fn write_folded(path: &std::path::Path, stacks: &BTreeMap<String, u64>) -> std::io::Result<()> {
+    use std::io::Write as _;
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for (stack, weight) in stacks {
+        writeln!(w, "{stack} {weight}")?;
+    }
+    w.flush()
+}
+
 /// Escape `s` for inclusion inside a JSON string literal (quotes,
 /// backslash, and all control characters below U+0020).
 pub fn json_escape(s: &str) -> String {
@@ -808,6 +902,82 @@ mod tests {
         let json = String::from_utf8(bytes).unwrap();
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn fold_spans_merges_identical_stacks_and_splits_nesting() {
+        let rec = Recorder::new();
+        let mut p = rec.probe();
+        let begin = |p: &mut Box<dyn Probe>, at, label: &str, id| {
+            p.record(ProbeEvent::SpanBegin {
+                track: "work".into(),
+                label: label.into(),
+                time: t(at),
+                id,
+            })
+        };
+        let end = |p: &mut Box<dyn Probe>, at, id| {
+            p.record(ProbeEvent::SpanEnd {
+                track: "work".into(),
+                time: t(at),
+                id,
+            })
+        };
+        // outer [0,100) with inner [20,60); then outer again [100,130).
+        begin(&mut p, 0, "outer", 1);
+        begin(&mut p, 20, "inner", 2);
+        end(&mut p, 60, 2);
+        end(&mut p, 100, 1);
+        begin(&mut p, 100, "outer", 3);
+        end(&mut p, 130, 3);
+        let folded = rec.folded_spans();
+        assert_eq!(folded.get("work;outer"), Some(&90), "20 + 40 + 30 self-ns");
+        assert_eq!(folded.get("work;outer;inner"), Some(&40));
+        assert_eq!(folded.len(), 2, "identical stacks fold into one entry");
+        // Total folded weight equals total open time (130ns, no gaps).
+        assert_eq!(folded.values().sum::<u64>(), 130);
+    }
+
+    #[test]
+    fn fold_spans_keeps_tracks_separate_and_ignores_non_spans() {
+        let rec = Recorder::new();
+        let mut p = rec.probe();
+        for (track, id) in [("a", 1u64), ("b", 2)] {
+            p.record(ProbeEvent::SpanBegin {
+                track: track.into(),
+                label: "x".into(),
+                time: t(0),
+                id,
+            });
+            p.record(ProbeEvent::SpanEnd {
+                track: track.into(),
+                time: t(50),
+                id,
+            });
+        }
+        p.record(ProbeEvent::Counter {
+            name: "c".into(),
+            time: t(10),
+            delta: 1.0,
+        });
+        let folded = rec.folded_spans();
+        assert_eq!(folded.get("a;x"), Some(&50));
+        assert_eq!(folded.get("b;x"), Some(&50));
+        assert_eq!(folded.len(), 2);
+        assert!(fold_spans(&[]).is_empty(), "no spans, no stacks");
+    }
+
+    #[test]
+    fn write_folded_emits_collapsed_stack_lines() {
+        let dir = std::env::temp_dir().join(format!("hpsock_folded_{}", std::process::id()));
+        let path = dir.join("nested/out.folded");
+        let mut stacks = BTreeMap::new();
+        stacks.insert("track;outer".to_string(), 90u64);
+        stacks.insert("track;outer;inner".to_string(), 40u64);
+        write_folded(&path, &stacks).expect("write .folded");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(text, "track;outer 90\ntrack;outer;inner 40\n");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -5,13 +5,23 @@
 use crate::time::{Dur, SimTime};
 
 /// Streaming mean/variance/min/max via Welford's algorithm.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Tally {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+/// Same as [`Tally::new`]. A derived `Default` would zero the min/max
+/// sentinels, so a default-constructed tally (e.g. via a map's
+/// `or_default`) would clamp `min()` at 0 and `max()` at 0 after real
+/// observations arrive.
+impl Default for Tally {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Tally {
@@ -277,6 +287,28 @@ mod tests {
         assert_eq!(t.variance(), 0.0);
         assert_eq!(t.min(), 0.0);
         assert_eq!(t.max(), 0.0);
+        assert!(
+            t.min().is_finite() && t.max().is_finite(),
+            "empty tally never leaks the ±INFINITY sentinels"
+        );
+    }
+
+    /// Regression: `#[derive(Default)]` used to zero the min/max
+    /// sentinels, so a default-constructed tally reported `min() == 0`
+    /// even after only positive observations (and `max() == 0` after only
+    /// negative ones).
+    #[test]
+    fn default_tally_behaves_like_new() {
+        let mut t = Tally::default();
+        t.add(5.0);
+        assert_eq!(t.min(), 5.0, "min is the smallest observation, not 0");
+        assert_eq!(t.max(), 5.0);
+        let mut neg = Tally::default();
+        neg.add(-3.0);
+        assert_eq!(neg.max(), -3.0, "max is the largest observation, not 0");
+        assert_eq!(neg.min(), -3.0);
+        assert_eq!(Tally::default().min(), 0.0, "empty default stays 0");
+        assert_eq!(Tally::default().max(), 0.0);
     }
 
     #[test]

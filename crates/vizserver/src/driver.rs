@@ -14,9 +14,45 @@
 use crate::pipeline::{QueryDesc, QueryKind, UowDone};
 use hpsock_datacutter::UowStartMsg;
 use hpsock_sim::stats::Histogram;
-use hpsock_sim::{Ctx, Dur, Message, ProbeEvent, Process, ProcessId, Sim, SimTime};
+use hpsock_sim::{Ctx, Dur, Message, ProbeEvent, Process, ProcessId, ResourceId, Sim, SimTime};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+
+/// What a probed run exposes about the simulation it ran, for trace
+/// export and time-breakdown reports: the run's extent plus the identity
+/// (name, server count) of every resource, indexed by `ResourceId` like
+/// the probe bus's events.
+///
+/// Every `*_probed` driver (the guarantee runner, the query-mix driver,
+/// the [`crate::hetero`] load balancers) returns one of these alongside
+/// its measurement, so the experiments layer can attribute server-time
+/// without re-deriving the topology.
+#[derive(Debug, Clone)]
+pub struct RunCapture {
+    /// Final virtual time.
+    pub end: SimTime,
+    /// Resource names indexed by `ResourceId` (the Chrome-trace track
+    /// table).
+    pub resource_names: Vec<String>,
+    /// Server count per resource, same indexing.
+    pub servers: Vec<usize>,
+}
+
+impl RunCapture {
+    /// Snapshot a finished simulation; `end` is the instant `Sim::run`
+    /// returned.
+    pub fn of(sim: &Sim, end: SimTime) -> RunCapture {
+        let resource_names = sim.resource_names();
+        let servers = (0..resource_names.len())
+            .map(|i| sim.resource(ResourceId(i)).servers())
+            .collect();
+        RunCapture {
+            end,
+            resource_names,
+            servers,
+        }
+    }
+}
 
 /// One completed query.
 #[derive(Debug, Clone, Copy)]

@@ -5,12 +5,13 @@
 //! slower. Communication cost is held constant while computation varies,
 //! exactly as the paper idealizes.
 
+use crate::driver::RunCapture;
 use crate::pipeline::QueryDesc;
 use hpsock_datacutter::{
     Action, DataBuffer, FilterCtx, FilterLogic, GroupBuilder, Policy, SpeedModel,
 };
 use hpsock_net::{Cluster, NodeId, TransportKind};
-use hpsock_sim::{Dur, Sim, SimTime};
+use hpsock_sim::{Dur, Probe, Sim, SimTime};
 use socketvia::Provider;
 use std::any::Any;
 use std::collections::VecDeque;
@@ -164,6 +165,23 @@ pub fn rr_reaction_time(
     blocks: u32,
     seed: u64,
 ) -> Option<Dur> {
+    rr_reaction_time_probed(setup, factor, slow_at, blocks, seed, |_| None).0
+}
+
+/// [`rr_reaction_time`] with the probe bus attached after the cluster
+/// exists (the factory receives the resource-name table, as in the
+/// guarantee runner's `run_guarantee_probed`), returning the run's
+/// [`RunCapture`] for trace export and time-breakdown reports. Probes are
+/// observational only, so the measurement is identical to the unprobed
+/// run (pinned by the determinism tests).
+pub fn rr_reaction_time_probed(
+    setup: &LbSetup,
+    factor: f64,
+    slow_at: SimTime,
+    blocks: u32,
+    seed: u64,
+    make_probe: impl FnOnce(&[String]) -> Option<Box<dyn Probe>>,
+) -> (Option<Dur>, RunCapture) {
     let mut sim = Sim::new(seed);
     let mut speeds = vec![SpeedModel::Uniform(1.0); setup.workers];
     speeds[0] = SpeedModel::StepAt {
@@ -172,14 +190,19 @@ pub fn rr_reaction_time(
         after: factor,
     };
     let (inst, lb, _workers) = build_lb(&mut sim, setup, Policy::RoundRobinAcked, &speeds, blocks);
-    sim.run();
+    if let Some(p) = make_probe(&sim.resource_names()) {
+        sim.attach_probe(p);
+    }
+    let end = sim.run();
+    let cap = RunCapture::of(&sim, end);
     let lb_proc = inst.copy(&sim, lb, 0);
-    lb_proc
+    let reaction = lb_proc
         .done_log
         .iter()
         .filter(|r| r.consumer == 0 && r.sent_at >= slow_at)
         .map(|r| r.acked_at.since(r.sent_at))
-        .next()
+        .next();
+    (reaction, cap)
 }
 
 /// Figure 11: demand-driven scheduling with workers that run `factor`×
@@ -192,13 +215,28 @@ pub fn dd_execution_time(
     blocks: u32,
     seed: u64,
 ) -> Dur {
-    run_lb_workload(
+    dd_execution_time_probed(setup, slow_prob, factor, blocks, seed, |_| None).0
+}
+
+/// [`dd_execution_time`] with the probe bus attached after the cluster
+/// exists, returning the run's [`RunCapture`] (see
+/// [`rr_reaction_time_probed`]).
+pub fn dd_execution_time_probed(
+    setup: &LbSetup,
+    slow_prob: f64,
+    factor: f64,
+    blocks: u32,
+    seed: u64,
+    make_probe: impl FnOnce(&[String]) -> Option<Box<dyn Probe>>,
+) -> (Dur, RunCapture) {
+    run_lb_workload_probed(
         setup,
         Policy::demand_driven(),
         slow_prob,
         factor,
         blocks,
         seed,
+        make_probe,
     )
 }
 
@@ -266,6 +304,18 @@ fn run_lb_workload(
     blocks: u32,
     seed: u64,
 ) -> Dur {
+    run_lb_workload_probed(setup, policy, slow_prob, factor, blocks, seed, |_| None).0
+}
+
+fn run_lb_workload_probed(
+    setup: &LbSetup,
+    policy: Policy,
+    slow_prob: f64,
+    factor: f64,
+    blocks: u32,
+    seed: u64,
+    make_probe: impl FnOnce(&[String]) -> Option<Box<dyn Probe>>,
+) -> (Dur, RunCapture) {
     let mut sim = Sim::new(seed);
     let speeds = vec![
         SpeedModel::RandomSlow {
@@ -275,8 +325,11 @@ fn run_lb_workload(
         setup.workers
     ];
     let (_inst, _lb, _workers) = build_lb(&mut sim, setup, policy, &speeds, blocks);
+    if let Some(p) = make_probe(&sim.resource_names()) {
+        sim.attach_probe(p);
+    }
     let end = sim.run();
-    end.since(SimTime::ZERO)
+    (end.since(SimTime::ZERO), RunCapture::of(&sim, end))
 }
 
 #[cfg(test)]

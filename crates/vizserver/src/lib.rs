@@ -27,13 +27,16 @@ pub mod pipeline;
 pub mod queries;
 
 pub use dataset::{declustered_share, BlockedImage, Rect};
-pub use driver::{Plan, QueryDriver, QueryResult, TargetSlot};
+pub use driver::{Plan, QueryDriver, QueryResult, RunCapture, TargetSlot};
 pub use guarantee::{block_size_for_partial_latency, block_size_for_update_rate, MIN_BLOCK};
-pub use hetero::{dd_execution_time, rr_execution_time, rr_reaction_time, LbSetup};
+pub use hetero::{
+    dd_execution_time, dd_execution_time_probed, rr_execution_time, rr_reaction_time,
+    rr_reaction_time_probed, LbSetup,
+};
 pub use pipeline::{
     ComputeModel, PipelineCfg, QueryDesc, QueryKind, UowDone, VizPipeline, PAPER_NS_PER_BYTE,
 };
-pub use queries::{complete_update, partial_update, zoom_query};
+pub use queries::{complete_update, partial_update, query_mix, zoom_query};
 
 #[cfg(test)]
 mod apptests;

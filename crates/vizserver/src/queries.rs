@@ -48,6 +48,25 @@ pub fn zoom_query(img: &BlockedImage) -> QueryDesc {
     }
 }
 
+/// The Figure 9 mixed stream: deterministically interleave `n` queries so
+/// a fraction `f` of them are complete updates, the rest zooms
+/// (Bresenham-style spacing — no RNG, so the mix is identical across
+/// seeds and probe configurations).
+pub fn query_mix(img: &BlockedImage, f: f64, n: u32) -> Vec<QueryDesc> {
+    let mut out = Vec::with_capacity(n as usize);
+    let mut acc = 0.0f64;
+    for _ in 0..n {
+        acc += f;
+        if acc >= 1.0 - 1e-9 {
+            acc -= 1.0;
+            out.push(complete_update(img));
+        } else {
+            out.push(zoom_query(img));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +95,18 @@ mod tests {
         let q = zoom_query(&img);
         assert_eq!(q.blocks.len(), 4, "blocks: {:?}", q.blocks);
         assert_eq!(q.kind, QueryKind::Zoom);
+    }
+
+    #[test]
+    fn query_mix_hits_the_exact_fraction() {
+        let img = BlockedImage::paper_image(262_144);
+        for (f, expect) in [(0.0, 0), (0.5, 5), (1.0, 10)] {
+            let completes = query_mix(&img, f, 10)
+                .iter()
+                .filter(|q| q.kind == QueryKind::Complete)
+                .count();
+            assert_eq!(completes, expect, "fraction {f}");
+        }
     }
 
     #[test]

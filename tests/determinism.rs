@@ -132,6 +132,89 @@ fn heterogeneous_runs_are_seed_reproducible_and_seed_sensitive() {
     assert_ne!(a1, b, "different seed draws different slowdowns");
 }
 
+/// The probed variants of the LB and query drivers are observational
+/// too: a probed fig10 sweep renders a byte-identical table to the
+/// unprobed one, and probed fig9/fig11 measurements match the unprobed
+/// runs to the bit — while the recorder demonstrably saw the run.
+#[test]
+fn probed_lb_runs_render_byte_identical_tables() {
+    use hpsock_experiments::runner::{FIG10_SEED, FIG11_SEED, FIG9_SEED};
+    use hpsock_experiments::{fig10, fig11, fig9};
+    use hpsock_sim::SimTime;
+
+    let factors = [4.0, 8.0];
+    let rows_of = |probed: bool| -> Vec<fig10::Row> {
+        factors
+            .iter()
+            .map(|&f| {
+                let measure = |kind: TransportKind| {
+                    if probed {
+                        let rec = Recorder::new();
+                        let (v, cap) =
+                            fig10::reaction_probed(kind, f, FIG10_SEED, |_| Some(rec.probe()));
+                        assert!(!rec.is_empty(), "recorder buffered LB probe events");
+                        assert!(cap.end > SimTime::ZERO, "capture records the end time");
+                        assert_eq!(
+                            cap.resource_names.len(),
+                            cap.servers.len(),
+                            "one server count per resource"
+                        );
+                        v
+                    } else {
+                        fig10::reaction_us(kind, f, FIG10_SEED)
+                    }
+                };
+                fig10::Row {
+                    factor: f,
+                    sv: vec![measure(TransportKind::SocketVia)],
+                    tcp: vec![measure(TransportKind::KTcp)],
+                }
+            })
+            .collect()
+    };
+    let bare = fig10::to_table(&rows_of(false)).to_csv();
+    let probed = fig10::to_table(&rows_of(true)).to_csv();
+    assert_eq!(bare, probed, "probing perturbed the fig10 table");
+
+    let rec = Recorder::new();
+    let (probed_us, cap) = fig11::exec_probed(TransportKind::KTcp, 0.5, 4.0, FIG11_SEED, |_| {
+        Some(rec.probe())
+    });
+    let bare_us = fig11::exec_us(TransportKind::KTcp, 0.5, 4.0, FIG11_SEED);
+    assert_eq!(
+        bare_us.to_bits(),
+        probed_us.to_bits(),
+        "probing perturbed fig11: {bare_us} vs {probed_us}"
+    );
+    assert!(!rec.is_empty(), "recorder buffered DD probe events");
+    assert!(cap.end > SimTime::ZERO);
+
+    let rec = Recorder::new();
+    let (probed_ms, _) = fig9::mean_response_probed(
+        TransportKind::SocketVia,
+        ComputeModel::None,
+        8,
+        0.5,
+        3,
+        FIG9_SEED,
+        |_| Some(rec.probe()),
+    );
+    let bare_ms = fig9::mean_response_ms(
+        TransportKind::SocketVia,
+        ComputeModel::None,
+        8,
+        0.5,
+        3,
+        FIG9_SEED,
+    );
+    assert_eq!(
+        bare_ms.to_bits(),
+        probed_ms.to_bits(),
+        "probing perturbed fig9: {bare_ms} vs {probed_ms}"
+    );
+    assert!(!rec.is_empty(), "recorder buffered query-mix probe events");
+}
+
 #[test]
 fn microbench_results_are_deterministic() {
     use socketvia::microbench;
