@@ -118,11 +118,102 @@ fn bench_transport_messages(c: &mut Criterion) {
     g.finish();
 }
 
+/// The sharded kernel on a 16-node cluster: 8 concurrent SocketVIA
+/// streams, each crossing the shard boundary, run sequentially and at
+/// 2/4 shards. The three variants are separate baselines so the gate
+/// pins each against itself: the sequential number guards the kernel's
+/// single-thread overhead, the sharded numbers guard the window
+/// protocol's barrier/merge cost. The cross-variant *ratio* is
+/// machine-class-bound — sharding pays off with ≥2 physical cores and a
+/// compute-dense sim (each window must dispatch enough events to
+/// amortize two barriers); on a single-core runner the sharded variants
+/// are expected to trail the sequential one.
+fn bench_sharded_cluster(c: &mut Criterion) {
+    use hpsock_net::{Cluster, ConnId, Delivery, NodeId, TransportKind};
+    use socketvia::Provider;
+
+    const NODES: usize = 16;
+    const CONNS: usize = 8;
+    const MSGS_PER_CONN: u32 = 100;
+    const BYTES: u64 = 16_384;
+
+    struct Burst {
+        net: hpsock_net::Network,
+        conn: ConnId,
+        count: u32,
+    }
+    impl Process for Burst {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for _ in 0..self.count {
+                self.net.send(ctx, self.conn, BYTES, Message::new(()));
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Message) {}
+    }
+    struct Drain {
+        net: hpsock_net::Network,
+    }
+    impl Process for Drain {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+            let d = msg
+                .downcast::<Delivery>()
+                .expect("drain expects deliveries");
+            self.net.consumed(ctx, d.conn, d.msg_id);
+        }
+    }
+
+    let run = |shards: usize| {
+        let mut sim = Sim::new(0x5AAD);
+        let cluster = Cluster::build(&mut sim, NODES);
+        let net = cluster.network();
+        let p = Provider::new(TransportKind::SocketVia);
+        for i in 0..CONNS {
+            let tx = sim.add_process(Box::new(Burst {
+                net: net.clone(),
+                conn: ConnId(i),
+                count: MSGS_PER_CONN,
+            }));
+            let rx = sim.add_process(Box::new(Drain { net: net.clone() }));
+            p.connect(
+                &net,
+                cluster.endpoint(NodeId(i), tx),
+                cluster.endpoint(NodeId(CONNS + i), rx),
+            );
+        }
+        if shards > 1 {
+            sim.set_shard_plan(cluster.even_shard_plan(shards));
+        }
+        sim.run()
+    };
+
+    // The variants must agree on the trace before their timings mean
+    // anything; run each once up-front and compare (outside the timing).
+    {
+        let end = run(1);
+        assert_eq!(end, run(2), "2-shard run diverged from sequential");
+        assert_eq!(end, run(4), "4-shard run diverged from sequential");
+    }
+
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.throughput(Throughput::Elements(
+        u64::from(MSGS_PER_CONN) * CONNS as u64,
+    ));
+    for shards in [1usize, 2, 4] {
+        g.bench_function(format!("sharded_cluster_{shards}"), |b| {
+            b.iter(|| black_box(run(shards)))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     engine,
     bench_event_dispatch,
     bench_resource_schedule,
     bench_scheduler_pick,
     bench_transport_messages,
+    bench_sharded_cluster,
 );
 criterion_main!(engine);

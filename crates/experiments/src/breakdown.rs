@@ -511,6 +511,7 @@ mod tests {
                 end: SimTime::ZERO + Dur::nanos(end_ns),
                 resource_names: names.iter().map(|s| s.to_string()).collect(),
                 servers: vec![1; names.len()],
+                digest: 0,
             };
             let b = compute(&rec, &cap, "synthetic");
             prop_assert_eq!(

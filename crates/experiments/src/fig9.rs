@@ -64,6 +64,7 @@ pub fn mean_response_probed(
     let (driver_pid, targets) = QueryDriver::install(&mut sim, Plan::ClosedLoop(queries));
     let pipe = VizPipeline::build(&mut sim, &cluster, &cfg, driver_pid);
     *targets.lock().expect("targets") = pipe.repo_pids();
+    crate::sharding::apply_pipeline_plan(&mut sim, &cluster, driver_pid, 3);
     if let Some(p) = make_probe(&sim.resource_names()) {
         sim.attach_probe(p);
     }

@@ -25,6 +25,7 @@ pub mod fig9;
 pub mod future;
 pub mod replicate;
 pub mod runner;
+pub mod sharding;
 pub mod sweep;
 pub mod table;
 

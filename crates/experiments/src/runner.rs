@@ -122,6 +122,7 @@ pub fn run_guarantee_probed(
     let (driver_pid, targets) = QueryDriver::install(&mut sim, Plan::OpenLoop(items));
     let pipe = VizPipeline::build(&mut sim, &cluster, &cfg, driver_pid);
     *targets.lock().expect("targets") = pipe.repo_pids();
+    crate::sharding::apply_pipeline_plan(&mut sim, &cluster, driver_pid, 3);
     if let Some(p) = make_probe(&sim.resource_names()) {
         sim.attach_probe(p);
     }
@@ -160,6 +161,7 @@ pub fn run_saturation_ups(
     let (driver_pid, targets) = QueryDriver::install(&mut sim, Plan::OpenLoop(items));
     let pipe = VizPipeline::build(&mut sim, &cluster, &cfg, driver_pid);
     *targets.lock().expect("targets") = pipe.repo_pids();
+    crate::sharding::apply_pipeline_plan(&mut sim, &cluster, driver_pid, 3);
     sim.run();
     let d: &QueryDriver = sim.process(driver_pid).expect("driver persists");
     assert_eq!(d.outstanding(), 0, "saturation run drained");
@@ -201,6 +203,7 @@ pub fn isolated_partial_us(
     let (driver_pid, targets) = QueryDriver::install(&mut sim, Plan::ClosedLoop(queries));
     let pipe = VizPipeline::build(&mut sim, &cluster, &cfg, driver_pid);
     *targets.lock().expect("targets") = pipe.repo_pids();
+    crate::sharding::apply_pipeline_plan(&mut sim, &cluster, driver_pid, 3);
     sim.run();
     let d: &QueryDriver = sim.process(driver_pid).expect("driver persists");
     d.mean_latency_us(QueryKind::Partial)

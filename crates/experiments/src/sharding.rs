@@ -1,0 +1,100 @@
+//! `HPSOCK_SHARDS` plumbing for the figure experiments: a topology-aware
+//! partition of the Figure 5 visualization pipeline onto the sharded
+//! kernel (`hpsock_sim::shard`).
+//!
+//! The pipeline has two kinds of inter-process edges:
+//!
+//! * **connection-borne** stage-to-stage streams (repository → clip →
+//!   subsample → viz and the reverse demand channels), which carry
+//!   positive network lookahead and may cross shards freely, and
+//! * **zero-delay control sends** — the query driver starting a unit of
+//!   work on the repository copies, and the viz logic notifying the
+//!   driver of completion — which must stay *within* a shard.
+//!
+//! So the partition pins the driver, the `c` repository nodes and the viz
+//! node on shard 0, and splits the `2c` stage nodes (clip + subsample)
+//! contiguously over the remaining shards. With the paper's `c = 3`
+//! copies that supports up to `1 + 2c = 7` useful shards; larger requests
+//! are clamped with a warning.
+
+use hpsock_net::Cluster;
+use hpsock_sim::shard::{clamp_shards, configured_shards};
+use hpsock_sim::{ProcessId, ShardPlan, Sim};
+
+/// Node-to-shard assignment for a [`hpsock_vizserver::VizPipeline`]
+/// cluster of `copies` stage copies (`3 * copies + 1` nodes): repository
+/// nodes and the viz node on shard 0, stage nodes contiguous over shards
+/// `1..shards`. Returns `None` when `shards <= 1` (sequential kernel).
+pub fn pipeline_node_map(copies: usize, shards: usize) -> Option<Vec<usize>> {
+    let shards = clamp_shards(
+        shards,
+        1 + 2 * copies,
+        &format!("the {copies}-copy pipeline partition"),
+    );
+    if shards <= 1 {
+        return None;
+    }
+    let mut map = vec![0usize; 3 * copies + 1];
+    let stage_nodes = 2 * copies;
+    let groups = shards - 1;
+    for i in 0..stage_nodes {
+        // Contiguous near-equal blocks over shards 1..shards.
+        map[copies + i] = 1 + i * groups / stage_nodes;
+    }
+    Some(map)
+}
+
+/// Build the pipeline [`ShardPlan`] for `shards` workers, or `None` when
+/// one shard (or fewer nodes than requested) makes the sequential kernel
+/// the right choice. Call after `VizPipeline::build` so every connection
+/// is registered.
+pub fn pipeline_plan(
+    cluster: &Cluster,
+    driver: ProcessId,
+    copies: usize,
+    shards: usize,
+) -> Option<ShardPlan> {
+    let map = pipeline_node_map(copies, shards)?;
+    let shards = map.iter().max().copied().unwrap_or(0) + 1;
+    Some(cluster.shard_plan(shards, map, vec![(driver, 0)]))
+}
+
+/// Install the `HPSOCK_SHARDS`-selected pipeline partition on `sim`; a
+/// no-op when the variable is unset or `1`.
+pub fn apply_pipeline_plan(sim: &mut Sim, cluster: &Cluster, driver: ProcessId, copies: usize) {
+    if let Some(plan) = pipeline_plan(cluster, driver, copies, configured_shards()) {
+        sim.set_shard_plan(plan);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_requests_build_no_plan() {
+        assert_eq!(pipeline_node_map(3, 0), None);
+        assert_eq!(pipeline_node_map(3, 1), None);
+    }
+
+    #[test]
+    fn two_shards_keep_control_edges_on_shard_zero() {
+        let map = pipeline_node_map(3, 2).expect("plan at 2 shards");
+        // repo nodes 0..2 and viz node 9 co-locate with the driver pin.
+        assert_eq!(map, vec![0, 0, 0, 1, 1, 1, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn stage_nodes_split_contiguously_and_evenly() {
+        let map = pipeline_node_map(3, 4).expect("plan at 4 shards");
+        assert_eq!(map, vec![0, 0, 0, 1, 1, 2, 2, 3, 3, 0]);
+    }
+
+    #[test]
+    fn oversized_requests_clamp_to_the_stage_count() {
+        // 6 stage nodes support at most 7 shards; 64 clamps down.
+        let map = pipeline_node_map(3, 64).expect("plan at clamp");
+        assert_eq!(map, vec![0, 0, 0, 1, 2, 3, 4, 5, 6, 0]);
+        assert_eq!(map.iter().max(), Some(&6));
+    }
+}

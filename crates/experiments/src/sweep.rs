@@ -24,14 +24,20 @@ fn parse_worker_count(raw: &str) -> Result<usize, String> {
 
 /// Number of sweep workers: the `HPSOCK_THREADS` environment variable if
 /// set (invalid values are rejected loudly), otherwise the machine's
-/// available parallelism. Worker count never affects results, only wall
-/// time.
+/// available parallelism divided by the `HPSOCK_SHARDS` shard count —
+/// every sweep point spawns that many kernel worker threads of its own,
+/// so the product, not the sweep width, is what should match the core
+/// count. An explicit `HPSOCK_THREADS` is taken literally. Worker count
+/// never affects results, only wall time.
 fn worker_count() -> usize {
     match std::env::var("HPSOCK_THREADS") {
         Ok(v) => parse_worker_count(&v).unwrap_or_else(|e| panic!("{e}")),
-        Err(_) => std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(4),
+        Err(_) => {
+            let cores = std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(4);
+            (cores / hpsock_sim::shard::configured_shards()).max(1)
+        }
     }
 }
 

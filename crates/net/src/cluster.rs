@@ -5,8 +5,10 @@
 //! 2 × 1 GHz Pentium III, cLAN 1000 adapter on 32-bit/33-MHz PCI, all nodes
 //! on one cLAN 5300 switch (non-blocking crossbar).
 
-use crate::engine::{Endpoint, NetEngine, Network, NodeResources};
-use hpsock_sim::{ProcessId, ResourceId, Sim};
+use crate::engine::{Endpoint, NetSwitch, Network, NodeResources};
+use hpsock_sim::{ProcessId, ResourceId, ShardPlan, Sim};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Per-node hardware description.
 #[derive(Debug, Clone, Copy)]
@@ -46,7 +48,7 @@ impl Cluster {
                 cpu: sim.add_resource(format!("node{i}.cpu"), spec.cores),
             })
             .collect();
-        let net = NetEngine::install(sim, nodes.clone());
+        let net = NetSwitch::install(sim, nodes.clone());
         Cluster { nodes, net }
     }
 
@@ -79,6 +81,167 @@ impl Cluster {
     pub fn endpoint(&self, node: crate::engine::NodeId, pid: ProcessId) -> Endpoint {
         assert!(node.0 < self.nodes.len(), "endpoint on unknown node");
         Endpoint { node, pid }
+    }
+
+    /// Build a [`ShardPlan`] that partitions the simulation by *node*:
+    /// `node_to_shard[i]` places node `i` — its engine core, its four
+    /// resources, and every application process with a connection endpoint
+    /// on it — onto that shard. Processes that are not connection
+    /// endpoints (drivers, collectors) must appear in `pins`
+    /// (`(pid, shard)`); resolution fails loudly otherwise.
+    ///
+    /// The lookahead matrix is derived from the registered connections:
+    /// data frames cross shard `a` → `b` no faster than the cheapest
+    /// `switch_latency + prop_delay` among `a`→`b` connections, and
+    /// acknowledgements/credits cross `a` → `b` no faster than the
+    /// cheapest `ack_latency` among connections *from* `b` *to* `a`.
+    /// Call after every `connect`; later connections would not be
+    /// accounted for.
+    ///
+    /// Zero-delay application sends (`ctx.send` between processes) are
+    /// only safe *within* a shard, so the caller must co-locate any pair
+    /// of processes that message each other directly.
+    pub fn shard_plan(
+        &self,
+        shards: usize,
+        node_to_shard: Vec<usize>,
+        pins: Vec<(ProcessId, usize)>,
+    ) -> ShardPlan {
+        assert!(shards >= 1, "a shard plan needs at least one shard");
+        assert_eq!(
+            node_to_shard.len(),
+            self.nodes.len(),
+            "node_to_shard must cover every node"
+        );
+        for (i, &s) in node_to_shard.iter().enumerate() {
+            assert!(
+                s < shards,
+                "node {i} assigned to shard {s}, but there are only {shards} shards"
+            );
+        }
+        // Lookahead and link naming from the sealed-to-be topology.
+        let mut lookahead = vec![vec![u64::MAX; shards]; shards];
+        let mut link_name = vec![vec![String::new(); shards]; shards];
+        {
+            let reg = self.net.registry.lock().expect("registry lock");
+            for (ci, c) in reg.conns.iter().enumerate() {
+                let (sa, sb) = (node_to_shard[c.src.node.0], node_to_shard[c.dst.node.0]);
+                if sa == sb {
+                    continue;
+                }
+                // Data path: frames src -> dst after switch + propagation.
+                let data = c.costs.switch_latency.as_nanos() + c.costs.prop_delay.as_nanos();
+                if data < lookahead[sa][sb] {
+                    lookahead[sa][sb] = data;
+                    link_name[sa][sb] = format!(
+                        "conn{ci} node{} -> node{} (data path)",
+                        c.src.node.0, c.dst.node.0
+                    );
+                }
+                // Ack/credit path: dst -> src after the ack latency.
+                let ack = c.costs.ack_latency.as_nanos();
+                if ack < lookahead[sb][sa] {
+                    lookahead[sb][sa] = ack;
+                    link_name[sb][sa] = format!(
+                        "conn{ci} node{} -> node{} (ack path)",
+                        c.src.node.0, c.dst.node.0
+                    );
+                }
+            }
+        }
+        let node_to_shard = Arc::new(node_to_shard);
+        let pins: Arc<HashMap<usize, usize>> =
+            Arc::new(pins.into_iter().map(|(p, s)| (p.0, s)).collect());
+        let resolve_net = self.net.clone();
+        let resolve_nodes = Arc::clone(&node_to_shard);
+        let resolve_pins = Arc::clone(&pins);
+        let res_nodes: Arc<Vec<NodeResources>> = Arc::new(self.nodes.clone());
+        let res_shards = Arc::clone(&node_to_shard);
+        let describe_names = Arc::new(link_name);
+        ShardPlan {
+            shards,
+            // Lazy: core pids exist only once the switch's `on_start` has
+            // run, which `run_sharded` guarantees before resolving.
+            resolve_pid: Arc::new(move |pid: ProcessId| {
+                if let Some(&s) = resolve_pins.get(&pid.0) {
+                    return s;
+                }
+                if pid == resolve_net.switch_pid {
+                    return 0; // handles no events; placement is moot
+                }
+                let route = resolve_net
+                    .route
+                    .get()
+                    .expect("shard plan resolved before the simulation started");
+                for (node, &core) in route.core_of_node.iter().enumerate() {
+                    if core == pid {
+                        return resolve_nodes[node];
+                    }
+                }
+                let reg = resolve_net.registry.lock().expect("registry lock");
+                for c in reg.conns.iter() {
+                    if c.src.pid == pid {
+                        return resolve_nodes[c.src.node.0];
+                    }
+                    if c.dst.pid == pid {
+                        return resolve_nodes[c.dst.node.0];
+                    }
+                }
+                panic!(
+                    "process {pid:?} is not a connection endpoint and has no pin \
+                     in the shard plan: add it to `pins`"
+                );
+            }),
+            resolve_rid: Arc::new(move |rid: ResourceId| {
+                for (node, r) in res_nodes.iter().enumerate() {
+                    if rid == r.host_tx || rid == r.nic_tx || rid == r.host_rx || rid == r.cpu {
+                        return res_shards[node];
+                    }
+                }
+                panic!(
+                    "resource {rid:?} does not belong to any cluster node; \
+                     shard plans cover only cluster-built resources"
+                );
+            }),
+            lookahead: Arc::new(lookahead),
+            describe_link: Arc::new(move |a, b| {
+                if describe_names[a][b].is_empty() {
+                    format!("no connection from shard {a} to shard {b}")
+                } else {
+                    describe_names[a][b].clone()
+                }
+            }),
+        }
+    }
+
+    /// [`Cluster::shard_plan`] with nodes split into `shards` contiguous
+    /// groups of near-equal size — the right partition whenever *all*
+    /// inter-process traffic flows through registered connections (e.g.
+    /// the two-node micro-benchmark topologies). Simulations with
+    /// zero-delay `ctx.send` edges between nodes need a hand-built
+    /// `node_to_shard` that co-locates those endpoints instead.
+    pub fn even_shard_plan(&self, shards: usize) -> ShardPlan {
+        let n = self.nodes.len();
+        let shards = shards.min(n).max(1);
+        let node_to_shard = (0..n).map(|i| i * shards / n).collect();
+        self.shard_plan(shards, node_to_shard, vec![])
+    }
+
+    /// Install the `HPSOCK_SHARDS`-selected even node split on `sim`
+    /// (clamped to the node count, with a warning when reduced). A no-op
+    /// when the variable is unset or `1`. Same caveat as
+    /// [`Cluster::even_shard_plan`]: call only on topologies whose
+    /// cross-node traffic is all connection-borne.
+    pub fn apply_env_shards(&self, sim: &mut Sim) {
+        let requested = hpsock_sim::shard::configured_shards();
+        if requested <= 1 {
+            return;
+        }
+        let n = self.nodes.len();
+        let shards = hpsock_sim::shard::clamp_shards(requested, n, &format!("a {n}-node cluster"));
+        if shards > 1 {
+            sim.set_shard_plan(self.even_shard_plan(shards));
+        }
     }
 }
 
@@ -256,5 +419,47 @@ mod tests {
         // Many small messages through a credit-limited path all arrive.
         let bw = streamed_bandwidth_mbps(TransportKind::SocketVia, 512, 500);
         assert!(bw > 0.0);
+    }
+
+    /// A node-partitioned sharded run of a streaming transfer reproduces
+    /// the sequential digest, byte counts and timings exactly.
+    #[test]
+    fn sharded_cluster_run_matches_sequential() {
+        let run = |shards: usize| {
+            let mut sim = hpsock_sim::Sim::new(7);
+            let cluster = Cluster::build(&mut sim, 2);
+            let net = cluster.network();
+            let sink = sim.add_process(Box::new(Sink {
+                net: net.clone(),
+                sender: None,
+                oneway_us: vec![],
+                last_delivery: SimTime::ZERO,
+                delivered: 0,
+            }));
+            let blaster = sim.add_process(Box::new(BurstBlaster {
+                net: net.clone(),
+                conn: ConnId(0),
+                bytes: 16_384,
+                count: 50,
+            }));
+            net.connect(
+                cluster.endpoint(NodeId(0), blaster),
+                cluster.endpoint(NodeId(1), sink),
+                TransportKind::SocketVia,
+            );
+            if shards > 1 {
+                sim.set_shard_plan(cluster.shard_plan(2, vec![0, 1], vec![]));
+            }
+            let end = sim.run();
+            let s: &Sink = sim.process(sink).unwrap();
+            (
+                end.as_nanos(),
+                sim.trace_digest(),
+                sim.events_dispatched(),
+                s.delivered,
+                s.last_delivery.as_nanos(),
+            )
+        };
+        assert_eq!(run(2), run(1));
     }
 }

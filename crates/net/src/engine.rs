@@ -1,5 +1,5 @@
-//! The network engine: a single simulation process that owns every
-//! connection's state and walks message frames through the stage pipeline
+//! The network engine: per-node core processes that walk message frames
+//! through the stage pipeline
 //!
 //! ```text
 //! host_tx (sender CPU protocol engine)
@@ -15,9 +15,27 @@
 //! emission; acknowledgments and credit returns travel back as delayed
 //! events with the transport's `ack_latency`.
 //!
+//! Engine state is owned per node by a [`NodeCore`] process: the core of a
+//! connection's source node owns the send side (flow-control window, send
+//! queue, stall accounting) and the destination node's core owns the
+//! receive side (frame reassembly, delivery, consumption tracking). All
+//! traffic between the two halves rides on delayed events — the
+//! switch/propagation hop towards the receiver and the `ack_latency` return
+//! path towards the sender — so no zero-delay event ever crosses a node
+//! boundary inside the engine. That property is what lets the sharded
+//! kernel (`hpsock_sim::shard`) place different nodes' cores on different
+//! worker threads with a positive lookahead on every cross-shard link.
+//!
+//! A single [`NetSwitch`] placeholder process (installed first, before any
+//! application process) seals the connection [`Registry`] at start and
+//! spawns the per-node cores; spawned cores take process ids *after* every
+//! application process, so application pids and their deterministic RNG
+//! streams are identical to what a monolithic engine produced.
+//!
 //! Application processes talk to the engine through [`Network`] (commands
-//! are zero-delay events) and receive [`Delivery`] messages when a whole
-//! application message has been reassembled at the receiver.
+//! are zero-delay events to the owning core, which lives on the same node
+//! as the commanding endpoint) and receive [`Delivery`] messages when a
+//! whole application message has been reassembled at the receiver.
 
 use crate::flow::Flow;
 use crate::frame::{frame_count, frame_len};
@@ -25,7 +43,7 @@ use crate::params::{PathCosts, TransportKind};
 use hpsock_sim::stats::{Tally, TimeWeighted};
 use hpsock_sim::{Ctx, Dur, Message, ProbeEvent, Process, ProcessId, ResourceId, Sim, SimTime};
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A node in the simulated cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -93,27 +111,44 @@ pub enum NetCmd {
     },
 }
 
-/// Engine-internal frame/stage events.
+/// Engine-internal frame/stage events. Frame length rides in the event so
+/// receive-side handlers never need the sender's per-message state.
 enum Ev {
     HostTxDone {
         conn: ConnId,
         msg: u64,
         frame: u32,
+        flen: u32,
     },
     WireDone {
         conn: ConnId,
         msg: u64,
         frame: u32,
+        flen: u32,
     },
+    /// Frame 0 arriving at the receiver, carrying the message metadata the
+    /// receive side needs (frames always traverse the FCFS stage chain in
+    /// order, so frame 0 arrives before any other frame of its message).
+    RxFirst {
+        conn: ConnId,
+        msg: u64,
+        flen: u32,
+        frames: u32,
+        bytes: u64,
+        sent_at: SimTime,
+        payload: Message,
+    },
+    /// A later frame (index ≥ 1) arriving at the receiver. Reassembly only
+    /// counts frames, so the frame index does not travel.
     RxArrive {
         conn: ConnId,
         msg: u64,
-        frame: u32,
+        flen: u32,
     },
     HostRxFrameDone {
         conn: ConnId,
         msg: u64,
-        frame: u32,
+        flen: u32,
     },
     MsgReady {
         conn: ConnId,
@@ -138,7 +173,11 @@ enum Ev {
     },
 }
 
-/// Counters and distributions per connection.
+/// Counters and distributions per connection. Send-side fields are filled
+/// by the source node's core, receive-side fields by the destination
+/// node's core; read them back via [`Network::core_of`] +
+/// [`hpsock_sim::Sim::process`] with [`NodeCore::tx_stats`] /
+/// [`NodeCore::rx_stats`].
 #[derive(Debug, Clone, Default)]
 pub struct ConnStats {
     /// Application messages submitted.
@@ -169,7 +208,17 @@ struct PendingMsg {
     frames: u32,
 }
 
-struct MsgState {
+/// Send-side per-message metadata, held until frame 0 leaves the wire and
+/// carries it to the receiver inside [`Ev::RxFirst`].
+struct TxMsgMeta {
+    bytes: u64,
+    frames: u32,
+    sent_at: SimTime,
+    payload: Message,
+}
+
+/// Receive-side reassembly state for one in-flight message.
+struct RxMsgState {
     bytes: u64,
     frames: u32,
     frames_arrived: u32,
@@ -177,38 +226,62 @@ struct MsgState {
     payload: Option<Message>,
 }
 
-struct ConnState {
-    src: Endpoint,
-    dst: Endpoint,
+/// Send half of a connection, owned by the source node's core.
+struct TxConn {
     costs: Arc<PathCosts>,
     flow: Flow,
     sendq: VecDeque<PendingMsg>,
-    msgs: HashMap<u64, MsgState>,
-    /// Delivered, not yet consumed: msg_id -> (bytes, frames).
-    unconsumed: HashMap<u64, (u64, u32)>,
+    pending_meta: HashMap<u64, TxMsgMeta>,
+    next_msg_id: u64,
     stats: ConnStats,
     /// When the sender last became credit-blocked with data queued.
     stall_since: Option<SimTime>,
 }
 
-/// Connection specification recorded before the run starts.
-struct ConnSpec {
-    src: Endpoint,
+/// Receive half of a connection, owned by the destination node's core.
+struct RxConn {
     dst: Endpoint,
     costs: Arc<PathCosts>,
+    /// Same flow model as the send side; the receive half only drives the
+    /// arrival path (descriptor reap/re-post in the credits model).
+    flow: Flow,
+    msgs: HashMap<u64, RxMsgState>,
+    /// Delivered, not yet consumed: msg_id -> (bytes, frames).
+    unconsumed: HashMap<u64, (u64, u32)>,
+    stats: ConnStats,
+}
+
+/// Connection specification recorded before the run starts.
+pub(crate) struct ConnSpec {
+    pub(crate) src: Endpoint,
+    pub(crate) dst: Endpoint,
+    pub(crate) costs: Arc<PathCosts>,
 }
 
 #[derive(Default)]
-struct Registry {
-    conns: Vec<ConnSpec>,
-    sealed: bool,
+pub(crate) struct Registry {
+    pub(crate) conns: Vec<ConnSpec>,
+    pub(crate) sealed: bool,
+}
+
+/// Where each connection's halves live, fixed once the simulation starts.
+pub(crate) struct Route {
+    /// Core owning the send half, per connection (the source node's core).
+    pub(crate) tx_core: Vec<ProcessId>,
+    /// Core owning the receive half, per connection.
+    pub(crate) rx_core: Vec<ProcessId>,
+    /// Core process of each node.
+    pub(crate) core_of_node: Vec<ProcessId>,
 }
 
 /// Cheap-to-clone application handle to the network engine.
 #[derive(Clone)]
 pub struct Network {
-    pid: ProcessId,
-    registry: Arc<Mutex<Registry>>,
+    pub(crate) registry: Arc<Mutex<Registry>>,
+    pub(crate) route: Arc<OnceLock<Route>>,
+    /// The [`NetSwitch`] placeholder's pid; it handles no messages after
+    /// `on_start`, so a shard plan may place it anywhere.
+    pub(crate) switch_pid: ProcessId,
 }
 
 impl Network {
@@ -231,10 +304,16 @@ impl Network {
         id
     }
 
+    fn route(&self) -> &Route {
+        self.route
+            .get()
+            .expect("network used before the simulation started")
+    }
+
     /// Submit a message (called from an application process handler).
     pub fn send(&self, ctx: &mut Ctx<'_>, conn: ConnId, bytes: u64, payload: Message) {
         ctx.send(
-            self.pid,
+            self.route().tx_core[conn.0],
             Message::new(NetCmd::Send {
                 conn,
                 bytes,
@@ -246,53 +325,137 @@ impl Network {
     /// Report consumption of a delivered message (frees flow-control
     /// resources at the sender after the transport's ack latency).
     pub fn consumed(&self, ctx: &mut Ctx<'_>, conn: ConnId, msg_id: u64) {
-        ctx.send(self.pid, Message::new(NetCmd::Consumed { conn, msg_id }));
+        ctx.send(
+            self.route().rx_core[conn.0],
+            Message::new(NetCmd::Consumed { conn, msg_id }),
+        );
     }
 
-    /// The engine's process id.
-    pub fn pid(&self) -> ProcessId {
-        self.pid
+    /// The engine core process serving `node` (valid once the simulation
+    /// has started). Useful to read back [`NodeCore`] statistics.
+    pub fn core_of(&self, node: NodeId) -> ProcessId {
+        self.route().core_of_node[node.0]
     }
 }
 
-/// The engine process. Construct via [`NetEngine::install`].
-pub struct NetEngine {
+/// Placeholder process that seals the registry and spawns the per-node
+/// cores when the simulation starts. Construct via [`NetSwitch::install`].
+pub struct NetSwitch {
     nodes: Vec<NodeResources>,
-    conns: Vec<ConnState>,
     registry: Arc<Mutex<Registry>>,
-    next_msg_id: u64,
+    route: Arc<OnceLock<Route>>,
 }
 
-impl NetEngine {
-    /// Create the engine process inside `sim` for a cluster with the given
-    /// per-node resources; returns the application handle.
+impl NetSwitch {
+    /// Create the engine inside `sim` for a cluster with the given per-node
+    /// resources; returns the application handle. Must be installed before
+    /// any application process so the connection routes exist by the time
+    /// application `on_start` hooks send.
     pub fn install(sim: &mut Sim, nodes: Vec<NodeResources>) -> Network {
         let registry = Arc::new(Mutex::new(Registry::default()));
-        let engine = NetEngine {
+        let route = Arc::new(OnceLock::new());
+        let switch = NetSwitch {
             nodes,
-            conns: Vec::new(),
             registry: Arc::clone(&registry),
-            next_msg_id: 0,
+            route: Arc::clone(&route),
         };
-        let pid = sim.add_process(Box::new(engine));
-        Network { pid, registry }
+        let switch_pid = sim.add_process(Box::new(switch));
+        Network {
+            registry,
+            route,
+            switch_pid,
+        }
+    }
+}
+
+impl Process for NetSwitch {
+    fn name(&self) -> String {
+        "net-switch".to_string()
     }
 
-    /// Statistics for a connection (valid after/during a run; read back via
-    /// [`Sim::process`]).
-    pub fn conn_stats(&self, conn: ConnId) -> &ConnStats {
-        &self.conns[conn.0].stats
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let mut reg = self.registry.lock().expect("registry lock");
+        reg.sealed = true;
+        // Spawned cores start after every process added before the run, so
+        // application pids (and with them RNG streams) are unaffected by
+        // how many cores exist.
+        let core_of_node: Vec<ProcessId> = (0..self.nodes.len())
+            .map(|i| {
+                ctx.spawn(Box::new(NodeCore {
+                    node: NodeId(i),
+                    res: self.nodes[i],
+                    registry: Arc::clone(&self.registry),
+                    route: Arc::clone(&self.route),
+                    tx: Vec::new(),
+                    rx: Vec::new(),
+                }))
+            })
+            .collect();
+        let route = Route {
+            tx_core: reg
+                .conns
+                .iter()
+                .map(|s| core_of_node[s.src.node.0])
+                .collect(),
+            rx_core: reg
+                .conns
+                .iter()
+                .map(|s| core_of_node[s.dst.node.0])
+                .collect(),
+            core_of_node,
+        };
+        if self.route.set(route).is_err() {
+            panic!("network route initialized twice");
+        }
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Message) {
+        panic!("net switch handles no messages");
+    }
+}
+
+/// The engine core of one node: owns the send half of every connection
+/// sourced at the node and the receive half of every connection terminating
+/// there, and drives the node's `host_tx`/`nic_tx`/`host_rx` resources.
+pub struct NodeCore {
+    node: NodeId,
+    res: NodeResources,
+    registry: Arc<Mutex<Registry>>,
+    route: Arc<OnceLock<Route>>,
+    /// Send halves, indexed by connection id (None when sourced elsewhere).
+    tx: Vec<Option<TxConn>>,
+    /// Receive halves, indexed by connection id.
+    rx: Vec<Option<RxConn>>,
+}
+
+impl NodeCore {
+    /// Send-side statistics of a connection sourced at this node.
+    pub fn tx_stats(&self, conn: ConnId) -> Option<&ConnStats> {
+        self.tx.get(conn.0)?.as_ref().map(|t| &t.stats)
+    }
+
+    /// Receive-side statistics of a connection terminating at this node.
+    pub fn rx_stats(&self, conn: ConnId) -> Option<&ConnStats> {
+        self.rx.get(conn.0)?.as_ref().map(|r| &r.stats)
+    }
+
+    fn rx_core(&self, conn: ConnId) -> ProcessId {
+        self.route.get().expect("route set at start").rx_core[conn.0]
+    }
+
+    fn tx_core(&self, conn: ConnId) -> ProcessId {
+        self.route.get().expect("route set at start").tx_core[conn.0]
     }
 
     fn pump(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
         loop {
-            let c = &mut self.conns[conn.0];
+            let c = self.tx[conn.0].as_mut().expect("send half owned here");
             let Some(head) = c.sendq.front_mut() else {
                 c.stats.queue_depth.set(ctx.now(), 0.0);
                 return;
             };
-            let flen = frame_len(head.bytes, c.costs.frame_payload, head.next_frame) as u64;
-            if !c.flow.can_send(flen) {
+            let flen = frame_len(head.bytes, c.costs.frame_payload, head.next_frame);
+            if !c.flow.can_send(flen as u64) {
                 let depth = c.sendq.len() as f64;
                 c.stats.queue_depth.set(ctx.now(), depth);
                 if c.stall_since.is_none() {
@@ -310,10 +473,10 @@ impl NetEngine {
             if let Some(from) = c.stall_since.take() {
                 let until = ctx.now();
                 c.stats.credit_stall += until.saturating_since(from);
-                let rid = self.nodes[c.src.node.0].host_tx;
+                let rid = self.res.host_tx;
                 ctx.probe_emit(|_| ProbeEvent::Stall { rid, from, until });
             }
-            c.flow.on_frame_sent(flen);
+            c.flow.on_frame_sent(flen as u64);
             let first = head.next_frame == 0;
             let msg = head.msg;
             let frame = head.next_frame;
@@ -324,7 +487,6 @@ impl NetEngine {
             if first {
                 service += c.costs.per_msg_send;
             }
-            let host_tx = self.nodes[c.src.node.0].host_tx;
             if finished {
                 c.sendq.pop_front();
             }
@@ -335,9 +497,14 @@ impl NetEngine {
                 delta: 1.0,
             });
             ctx.use_resource(
-                host_tx,
+                self.res.host_tx,
                 service,
-                Message::new(Ev::HostTxDone { conn, msg, frame }),
+                Message::new(Ev::HostTxDone {
+                    conn,
+                    msg,
+                    frame,
+                    flen,
+                }),
             );
         }
     }
@@ -349,18 +516,17 @@ impl NetEngine {
                 bytes,
                 payload,
             } => {
-                let msg_id = self.next_msg_id;
-                self.next_msg_id += 1;
-                let c = &mut self.conns[conn.0];
+                let c = self.tx[conn.0].as_mut().expect("send half owned here");
+                let msg_id = c.next_msg_id;
+                c.next_msg_id += 1;
                 let frames = frame_count(bytes, c.costs.frame_payload);
-                c.msgs.insert(
+                c.pending_meta.insert(
                     msg_id,
-                    MsgState {
+                    TxMsgMeta {
                         bytes,
                         frames,
-                        frames_arrived: 0,
                         sent_at: ctx.now(),
-                        payload: Some(payload),
+                        payload,
                     },
                 );
                 c.sendq.push_back(PendingMsg {
@@ -375,59 +541,114 @@ impl NetEngine {
                 self.pump(ctx, conn);
             }
             NetCmd::Consumed { conn, msg_id } => {
-                let c = &mut self.conns[conn.0];
+                let c = self.rx[conn.0].as_mut().expect("receive half owned here");
                 let (bytes, _frames) = c
                     .unconsumed
                     .remove(&msg_id)
                     .expect("consumed an unknown or already-consumed message");
                 // Credits were re-posted at frame arrival; only the window
-                // model needs a receive-buffer update.
+                // model needs a receive-buffer update at the sender.
                 if !c.flow.is_credits() {
                     let ack = c.costs.ack_latency;
-                    ctx.send_self_in(ack, Message::new(Ev::FlowReturn { conn, bytes }));
+                    let tx_core = self.tx_core(conn);
+                    ctx.send_in(ack, tx_core, Message::new(Ev::FlowReturn { conn, bytes }));
                 }
             }
         }
     }
 
+    /// Frame arrival at the receiving host: claim the receive protocol
+    /// engine for the per-frame service.
+    fn on_rx_frame(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msg: u64, flen: u32) {
+        let c = self.rx[conn.0].as_ref().expect("receive half owned here");
+        let service = c.costs.per_frame_recv
+            + Dur::nanos((flen as f64 * c.costs.per_byte_recv_ns).round() as u64);
+        ctx.use_resource(
+            self.res.host_rx,
+            service,
+            Message::new(Ev::HostRxFrameDone { conn, msg, flen }),
+        );
+    }
+
     fn on_ev(&mut self, ctx: &mut Ctx<'_>, ev: Ev) {
         match ev {
-            Ev::HostTxDone { conn, msg, frame } => {
-                let c = &self.conns[conn.0];
-                let st = &c.msgs[&msg];
-                let flen = frame_len(st.bytes, c.costs.frame_payload, frame) as u64;
-                let wire_bytes = flen + c.costs.frame_overhead as u64;
+            Ev::HostTxDone {
+                conn,
+                msg,
+                frame,
+                flen,
+            } => {
+                let c = self.tx[conn.0].as_ref().expect("send half owned here");
+                let wire_bytes = flen as u64 + c.costs.frame_overhead as u64;
                 let service = c.costs.nic_per_frame
                     + Dur::nanos((wire_bytes as f64 * c.costs.wire_ns_per_byte).round() as u64);
-                let nic = self.nodes[c.src.node.0].nic_tx;
                 ctx.use_resource(
-                    nic,
+                    self.res.nic_tx,
                     service,
-                    Message::new(Ev::WireDone { conn, msg, frame }),
+                    Message::new(Ev::WireDone {
+                        conn,
+                        msg,
+                        frame,
+                        flen,
+                    }),
                 );
             }
-            Ev::WireDone { conn, msg, frame } => {
-                let c = &self.conns[conn.0];
+            Ev::WireDone {
+                conn,
+                msg,
+                frame,
+                flen,
+            } => {
+                let c = self.tx[conn.0].as_mut().expect("send half owned here");
                 let delay = c.costs.switch_latency + c.costs.prop_delay;
-                ctx.send_self_in(delay, Message::new(Ev::RxArrive { conn, msg, frame }));
+                let arrive = if frame == 0 {
+                    let meta = c
+                        .pending_meta
+                        .remove(&msg)
+                        .expect("first frame of unknown message");
+                    Ev::RxFirst {
+                        conn,
+                        msg,
+                        flen,
+                        frames: meta.frames,
+                        bytes: meta.bytes,
+                        sent_at: meta.sent_at,
+                        payload: meta.payload,
+                    }
+                } else {
+                    Ev::RxArrive { conn, msg, flen }
+                };
+                let rx_core = self.rx_core(conn);
+                ctx.send_in(delay, rx_core, Message::new(arrive));
             }
-            Ev::RxArrive { conn, msg, frame } => {
-                let c = &self.conns[conn.0];
-                let st = &c.msgs[&msg];
-                let flen = frame_len(st.bytes, c.costs.frame_payload, frame) as u64;
-                let service = c.costs.per_frame_recv
-                    + Dur::nanos((flen as f64 * c.costs.per_byte_recv_ns).round() as u64);
-                let host_rx = self.nodes[c.dst.node.0].host_rx;
-                ctx.use_resource(
-                    host_rx,
-                    service,
-                    Message::new(Ev::HostRxFrameDone { conn, msg, frame }),
+            Ev::RxFirst {
+                conn,
+                msg,
+                flen,
+                frames,
+                bytes,
+                sent_at,
+                payload,
+            } => {
+                let c = self.rx[conn.0].as_mut().expect("receive half owned here");
+                c.msgs.insert(
+                    msg,
+                    RxMsgState {
+                        bytes,
+                        frames,
+                        frames_arrived: 0,
+                        sent_at,
+                        payload: Some(payload),
+                    },
                 );
+                self.on_rx_frame(ctx, conn, msg, flen);
             }
-            Ev::HostRxFrameDone { conn, msg, frame } => {
-                let c = &mut self.conns[conn.0];
+            Ev::RxArrive { conn, msg, flen } => {
+                self.on_rx_frame(ctx, conn, msg, flen);
+            }
+            Ev::HostRxFrameDone { conn, msg, flen } => {
+                let c = self.rx[conn.0].as_mut().expect("receive half owned here");
                 let st = c.msgs.get_mut(&msg).expect("frame for unknown message");
-                let flen = frame_len(st.bytes, c.costs.frame_payload, frame) as u64;
                 st.frames_arrived += 1;
                 c.stats.rx_interrupts += 1;
                 ctx.probe_emit(|t| ProbeEvent::Counter {
@@ -441,27 +662,34 @@ impl NetEngine {
                     // The sockets layer drains the eager buffer and
                     // re-posts the descriptor; the credit update reaches
                     // the sender after the return-path latency.
-                    let n = c.flow.on_frame_arrived(flen);
+                    let n = c.flow.on_frame_arrived(flen as u64);
                     if n > 0 {
-                        ctx.send_self_in(ack, Message::new(Ev::CreditArrive { conn, n }));
+                        let tx_core = self.tx_core(conn);
+                        ctx.send_in(ack, tx_core, Message::new(Ev::CreditArrive { conn, n }));
                     }
                 } else {
-                    ctx.send_self_in(
+                    let tx_core = self.tx_core(conn);
+                    ctx.send_in(
                         ack,
+                        tx_core,
                         Message::new(Ev::AckArrive {
                             conn,
-                            frame_bytes: flen,
+                            frame_bytes: flen as u64,
                         }),
                     );
                 }
                 if last {
+                    let c = self.rx[conn.0].as_ref().expect("receive half owned here");
                     let service = c.costs.per_msg_recv;
-                    let host_rx = self.nodes[c.dst.node.0].host_rx;
-                    ctx.use_resource(host_rx, service, Message::new(Ev::MsgReady { conn, msg }));
+                    ctx.use_resource(
+                        self.res.host_rx,
+                        service,
+                        Message::new(Ev::MsgReady { conn, msg }),
+                    );
                 }
             }
             Ev::MsgReady { conn, msg } => {
-                let c = &mut self.conns[conn.0];
+                let c = self.rx[conn.0].as_mut().expect("receive half owned here");
                 let mut st = c.msgs.remove(&msg).expect("ready for unknown message");
                 let payload = st.payload.take().expect("payload present until delivery");
                 c.unconsumed.insert(msg, (st.bytes, st.frames));
@@ -492,42 +720,70 @@ impl NetEngine {
                 ctx.send(c.dst.pid, Message::new(delivery));
             }
             Ev::AckArrive { conn, frame_bytes } => {
-                self.conns[conn.0].flow.on_frame_arrived(frame_bytes);
+                self.tx[conn.0]
+                    .as_mut()
+                    .expect("send half owned here")
+                    .flow
+                    .on_frame_arrived(frame_bytes);
                 self.pump(ctx, conn);
             }
             Ev::CreditArrive { conn, n } => {
-                self.conns[conn.0].flow.on_credits_returned(n);
+                self.tx[conn.0]
+                    .as_mut()
+                    .expect("send half owned here")
+                    .flow
+                    .on_credits_returned(n);
                 self.pump(ctx, conn);
             }
             Ev::FlowReturn { conn, bytes } => {
-                self.conns[conn.0].flow.on_consumed(bytes);
+                self.tx[conn.0]
+                    .as_mut()
+                    .expect("send half owned here")
+                    .flow
+                    .on_consumed(bytes);
                 self.pump(ctx, conn);
             }
         }
     }
 }
 
-impl Process for NetEngine {
+impl Process for NodeCore {
     fn name(&self) -> String {
-        "net-engine".to_string()
+        format!("net-core{}", self.node.0)
     }
 
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {
-        let mut reg = self.registry.lock().expect("registry lock");
-        reg.sealed = true;
-        self.conns = reg
+        // The switch's on_start (which seals the registry) always runs
+        // before spawned cores start.
+        let reg = self.registry.lock().expect("registry lock");
+        assert!(reg.sealed, "core started before the switch");
+        self.tx = reg
             .conns
             .iter()
-            .map(|spec| ConnState {
-                src: spec.src,
-                dst: spec.dst,
-                costs: Arc::clone(&spec.costs),
-                flow: Flow::new(spec.costs.flow, spec.costs.frame_payload),
-                sendq: VecDeque::new(),
-                msgs: HashMap::new(),
-                unconsumed: HashMap::new(),
-                stats: ConnStats::default(),
-                stall_since: None,
+            .map(|spec| {
+                (spec.src.node == self.node).then(|| TxConn {
+                    costs: Arc::clone(&spec.costs),
+                    flow: Flow::new(spec.costs.flow, spec.costs.frame_payload),
+                    sendq: VecDeque::new(),
+                    pending_meta: HashMap::new(),
+                    next_msg_id: 0,
+                    stats: ConnStats::default(),
+                    stall_since: None,
+                })
+            })
+            .collect();
+        self.rx = reg
+            .conns
+            .iter()
+            .map(|spec| {
+                (spec.dst.node == self.node).then(|| RxConn {
+                    dst: spec.dst,
+                    costs: Arc::clone(&spec.costs),
+                    flow: Flow::new(spec.costs.flow, spec.costs.frame_payload),
+                    msgs: HashMap::new(),
+                    unconsumed: HashMap::new(),
+                    stats: ConnStats::default(),
+                })
             })
             .collect();
     }
@@ -539,7 +795,7 @@ impl Process for NetEngine {
             Ok(ev) => self.on_ev(ctx, ev),
             Err(other) => match other.downcast::<NetCmd>() {
                 Ok(cmd) => self.on_cmd(ctx, cmd),
-                Err(_) => panic!("net engine received an unknown message type"),
+                Err(_) => panic!("net core received an unknown message type"),
             },
         }
     }

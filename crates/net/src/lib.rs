@@ -25,7 +25,10 @@ pub mod params;
 pub mod via;
 
 pub use cluster::{Cluster, NodeSpec};
-pub use engine::{ConnId, Delivery, Endpoint, NetCmd, NetEngine, Network, NodeId, NodeResources};
+pub use engine::{
+    ConnId, ConnStats, Delivery, Endpoint, NetCmd, NetSwitch, Network, NodeCore, NodeId,
+    NodeResources,
+};
 pub use flow::Flow;
 pub use params::{FlowModel, PathCosts, TransportKind};
 pub use via::{Completion, CreditRing, RecvDescriptor};

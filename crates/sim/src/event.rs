@@ -1,9 +1,13 @@
 //! The pending-event set: a total-ordered priority queue.
 //!
-//! Events are ordered by `(time, seq)` where `seq` is a monotonically
-//! increasing sequence number assigned at insertion. Ties in virtual time are
-//! therefore broken by insertion order, which makes the whole simulation a
-//! deterministic function of the initial seed and process construction order.
+//! Events are ordered by `(time, seq)` where `seq` is a caller-supplied
+//! ordering key, unique per pending event. The kernel derives it from the
+//! *sender* (`(source slot << 40) | per-source push count`), so ties in
+//! virtual time break by `(source, push order)` — a canonical order that
+//! does not depend on which thread merged the event into the queue, which
+//! is what lets the sharded executor reproduce the sequential schedule
+//! exactly. The whole simulation stays a deterministic function of the
+//! initial seed and process construction order.
 //!
 //! Internally this is a **calendar queue** tuned to the kernel's dominant
 //! pattern — short-delta `send_self_in` relative to the current time: a ring
@@ -31,7 +35,7 @@ use std::collections::{BinaryHeap, VecDeque};
 pub struct Event {
     /// Delivery time.
     pub time: SimTime,
-    /// Insertion sequence number; the deterministic tie-breaker.
+    /// Caller-supplied ordering key; the deterministic tie-breaker.
     pub seq: u64,
     /// Destination process.
     pub target: ProcessId,
@@ -98,7 +102,8 @@ pub struct EventQueue {
     overflow: BinaryHeap<Event>,
     /// Largest time popped so far; the window floor.
     last_time: SimTime,
-    next_seq: u64,
+    /// Total pushes since the last recycle (not an ordering input).
+    inserted: u64,
 }
 
 impl Default for EventQueue {
@@ -125,7 +130,7 @@ impl EventQueue {
             ring_len: 0,
             overflow: BinaryHeap::new(),
             last_time: SimTime::ZERO,
-            next_seq: 0,
+            inserted: 0,
         }
     }
 
@@ -139,7 +144,7 @@ impl EventQueue {
             ring_len: 0,
             overflow: BinaryHeap::new(),
             last_time: SimTime::ZERO,
-            next_seq: 0,
+            inserted: 0,
         }
     }
 
@@ -154,11 +159,12 @@ impl EventQueue {
         self.last_time.as_nanos() >> self.shift
     }
 
-    /// Insert a delivery of `msg` to `target` at `time`.
+    /// Insert a delivery of `msg` to `target` at `time`, tie-broken by
+    /// `seq`. The caller guarantees `(time, seq)` is unique among pending
+    /// events (the kernel's per-source keys are never reused).
     #[inline]
-    pub fn push(&mut self, time: SimTime, target: ProcessId, msg: Message) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
+    pub fn push(&mut self, time: SimTime, seq: u64, target: ProcessId, msg: Message) {
+        self.inserted += 1;
         // Decide placement from the key alone so the fast path constructs
         // the event directly in the register, with no intermediate move.
         match &self.next {
@@ -216,7 +222,7 @@ impl EventQueue {
             q.push_back(ev);
         } else {
             // Out-of-order arrival within the bucket: binary search for
-            // the insertion point (keys are unique — seq strictly grows).
+            // the insertion point (keys are unique by the push contract).
             let (mut lo, mut hi) = (0, q.len());
             while lo < hi {
                 let mid = (lo + hi) / 2;
@@ -368,13 +374,13 @@ impl EventQueue {
         self.len() == 0
     }
 
-    /// Total number of events ever inserted (the next sequence number).
+    /// Total number of events ever inserted since the last recycle.
     pub fn inserted(&self) -> u64 {
-        self.next_seq
+        self.inserted
     }
 
     /// Empty the queue for reuse, keeping bucket allocations and the shape
-    /// the previous run's workload tuned; sequence numbers restart at 0.
+    /// the previous run's workload tuned; the insertion count restarts at 0.
     pub fn recycle(&mut self) {
         self.next = None;
         for q in &mut self.buckets {
@@ -383,7 +389,7 @@ impl EventQueue {
         self.overflow.clear();
         self.ring_len = 0;
         self.last_time = SimTime::ZERO;
-        self.next_seq = 0;
+        self.inserted = 0;
     }
 }
 
@@ -399,9 +405,9 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(t(30), ProcessId(0), Message::new(3u32));
-        q.push(t(10), ProcessId(0), Message::new(1u32));
-        q.push(t(20), ProcessId(0), Message::new(2u32));
+        q.push(t(30), 0, ProcessId(0), Message::new(3u32));
+        q.push(t(10), 1, ProcessId(0), Message::new(1u32));
+        q.push(t(20), 2, ProcessId(0), Message::new(2u32));
         let order: Vec<u32> = std::iter::from_fn(|| q.pop())
             .map(|e| e.msg.downcast::<u32>().unwrap())
             .collect();
@@ -412,7 +418,7 @@ mod tests {
     fn equal_times_are_fifo() {
         let mut q = EventQueue::new();
         for i in 0..100u32 {
-            q.push(t(5), ProcessId(0), Message::new(i));
+            q.push(t(5), i as u64, ProcessId(0), Message::new(i));
         }
         let order: Vec<u32> = std::iter::from_fn(|| q.pop())
             .map(|e| e.msg.downcast::<u32>().unwrap())
@@ -425,7 +431,7 @@ mod tests {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
-        q.push(t(42), ProcessId(1), Message::new(()));
+        q.push(t(42), 0, ProcessId(1), Message::new(()));
         assert_eq!(q.peek_time(), Some(t(42)));
         assert_eq!(q.len(), 1);
         assert_eq!(q.inserted(), 1);
@@ -437,12 +443,12 @@ mod tests {
     #[test]
     fn interleaved_push_pop_keeps_order() {
         let mut q = EventQueue::new();
-        q.push(t(10), ProcessId(0), Message::new(1u32));
-        q.push(t(30), ProcessId(0), Message::new(4u32));
+        q.push(t(10), 0, ProcessId(0), Message::new(1u32));
+        q.push(t(30), 1, ProcessId(0), Message::new(4u32));
         let e = q.pop().unwrap();
         assert_eq!(e.msg.downcast::<u32>().unwrap(), 1);
-        q.push(t(20), ProcessId(0), Message::new(2u32));
-        q.push(t(20), ProcessId(0), Message::new(3u32));
+        q.push(t(20), 2, ProcessId(0), Message::new(2u32));
+        q.push(t(20), 3, ProcessId(0), Message::new(3u32));
         let got: Vec<u32> = std::iter::from_fn(|| q.pop())
             .map(|e| e.msg.downcast::<u32>().unwrap())
             .collect();
@@ -455,10 +461,10 @@ mod tests {
     fn far_future_events_order_with_near_ones() {
         let mut q = EventQueue::new();
         let horizon = (DEFAULT_BUCKETS as u64) << DEFAULT_SHIFT;
-        q.push(t(10 * horizon), ProcessId(0), Message::new(4u32));
-        q.push(t(3), ProcessId(0), Message::new(1u32));
-        q.push(t(2 * horizon), ProcessId(0), Message::new(3u32));
-        q.push(t(7), ProcessId(0), Message::new(2u32));
+        q.push(t(10 * horizon), 0, ProcessId(0), Message::new(4u32));
+        q.push(t(3), 1, ProcessId(0), Message::new(1u32));
+        q.push(t(2 * horizon), 2, ProcessId(0), Message::new(3u32));
+        q.push(t(7), 3, ProcessId(0), Message::new(2u32));
         let order: Vec<u32> = std::iter::from_fn(|| q.pop())
             .map(|e| e.msg.downcast::<u32>().unwrap())
             .collect();
@@ -471,12 +477,12 @@ mod tests {
     fn fifo_survives_overflow_migration() {
         let mut q = EventQueue::new();
         let far = (DEFAULT_BUCKETS as u64) << (DEFAULT_SHIFT + 1);
-        q.push(t(far), ProcessId(0), Message::new(0u32)); // overflow
-        q.push(t(1), ProcessId(1), Message::new(99u32));
+        q.push(t(far), 0, ProcessId(0), Message::new(0u32)); // overflow
+        q.push(t(1), 1, ProcessId(1), Message::new(99u32));
         assert_eq!(q.pop().unwrap().msg.downcast::<u32>().unwrap(), 99);
         // Window has advanced only to bucket of t=1; push more at `far`.
-        q.push(t(far), ProcessId(0), Message::new(1u32));
-        q.push(t(far), ProcessId(0), Message::new(2u32));
+        q.push(t(far), 2, ProcessId(0), Message::new(1u32));
+        q.push(t(far), 3, ProcessId(0), Message::new(2u32));
         let order: Vec<u32> = std::iter::from_fn(|| q.pop())
             .map(|e| e.msg.downcast::<u32>().unwrap())
             .collect();
@@ -491,7 +497,7 @@ mod tests {
         let n = (DEFAULT_BUCKETS * GROW_FACTOR * 2) as u64;
         // Reverse time order, all within a few buckets.
         for i in 0..n {
-            q.push(t(n - i), ProcessId(0), Message::new(n - i));
+            q.push(t(n - i), i, ProcessId(0), Message::new(n - i));
         }
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| e.msg.downcast::<u64>().unwrap())
@@ -503,14 +509,14 @@ mod tests {
     #[test]
     fn recycle_resets_but_keeps_working() {
         let mut q = EventQueue::new();
-        q.push(t(5), ProcessId(0), Message::new(1u32));
-        q.push(t(900_000_000), ProcessId(0), Message::new(2u32));
+        q.push(t(5), 0, ProcessId(0), Message::new(1u32));
+        q.push(t(900_000_000), 1, ProcessId(0), Message::new(2u32));
         q.pop();
         q.recycle();
         assert!(q.is_empty());
         assert_eq!(q.inserted(), 0);
         assert_eq!(q.peek_time(), None);
-        q.push(t(4), ProcessId(0), Message::new(7u32));
+        q.push(t(4), 0, ProcessId(0), Message::new(7u32));
         assert_eq!(q.peek_time(), Some(t(4)));
         assert_eq!(q.pop().unwrap().msg.downcast::<u32>().unwrap(), 7);
     }

@@ -4,14 +4,17 @@
 //! A [`Sim`] owns a set of [`Process`] actors. Each event delivers an opaque
 //! [`Message`] to one process, which handles it via [`Process::on_message`]
 //! with a [`Ctx`] granting access to the clock, the event queue, resources,
-//! its private RNG stream, and process spawning. Dispatch is strictly
-//! sequential in `(time, seq)` order, so runs are reproducible.
+//! its private RNG stream, and process spawning. Dispatch follows the
+//! canonical `(time, seq)` order, so runs are reproducible — whether the
+//! kernel executes sequentially or sharded across worker threads under a
+//! [`ShardPlan`] (see [`crate::shard`]).
 
 use crate::arena;
 use crate::event::EventQueue;
 use crate::payload::Payload;
 use crate::probe::{Probe, ProbeEvent};
 use crate::resource::{Resource, ResourceId};
+use crate::shard::{ShardPlan, ShardRoute};
 use crate::time::{Dur, SimTime};
 use crate::trace::TraceDigest;
 use rand::rngs::SmallRng;
@@ -51,25 +54,79 @@ pub trait Process: Any + Send {
 
 /// Shared kernel state reachable from handlers (everything except the
 /// process table, whose current entry is checked out during dispatch).
-struct Core {
-    now: SimTime,
-    queue: EventQueue,
-    resources: Vec<Resource>,
-    rngs: Vec<SmallRng>,
-    trace: TraceDigest,
-    master_seed: u64,
+pub(crate) struct Core {
+    pub(crate) now: SimTime,
+    pub(crate) queue: EventQueue,
+    pub(crate) resources: Vec<Resource>,
+    pub(crate) rngs: Vec<SmallRng>,
+    pub(crate) trace: TraceDigest,
+    pub(crate) master_seed: u64,
     /// Processes created from handlers; folded into the table after dispatch.
-    pending_spawns: Vec<Box<dyn Process>>,
+    pub(crate) pending_spawns: Vec<Box<dyn Process>>,
     /// Next pid, counting both live and pending processes.
-    next_pid: usize,
-    stop_requested: bool,
-    events_dispatched: u64,
+    pub(crate) next_pid: usize,
+    pub(crate) stop_requested: bool,
+    pub(crate) events_dispatched: u64,
+    /// Per-source push counters backing the canonical event ordering key:
+    /// slot 0 is the external [`Sim::schedule_at`] stream, slot `pid + 1`
+    /// the stream of pushes made from that process's handlers. The key of
+    /// a push is `(slot << 40) | count`, so equal-time events order by
+    /// `(source, push order)` — reproducible regardless of which worker
+    /// thread executes the source (see `shard.rs`).
+    pub(crate) push_counts: Vec<u64>,
     /// Observability sink; `None` (the default) makes every emission site
     /// a single branch with the event never constructed.
-    probe: Option<Box<dyn Probe>>,
+    pub(crate) probe: Option<Box<dyn Probe>>,
+    /// In a sharded run, the worker-local view of the partition: which
+    /// shard this core is, who owns each process/resource, and the
+    /// cross-shard mailboxes. `None` (the default) keeps the sequential
+    /// hot path to a single branch per push.
+    pub(crate) route: Option<Box<ShardRoute>>,
+}
+
+/// Width of the per-source count field in an ordering key; the source
+/// slot occupies the bits above. 2^40 pushes per source and 2^24 sources
+/// are both far beyond any simulated workload.
+pub(crate) const KEY_COUNT_BITS: u32 = 40;
+
+/// The canonical ordering key for the next push from `slot`, advancing
+/// its counter.
+#[inline]
+pub(crate) fn next_key(push_counts: &mut [u64], slot: usize) -> u64 {
+    let c = &mut push_counts[slot];
+    let key = ((slot as u64) << KEY_COUNT_BITS) | *c;
+    *c += 1;
+    key
 }
 
 impl Core {
+    /// Route one keyed push: locally onto the queue, or — in a sharded run
+    /// when `target` lives on another shard — into that shard's mailbox,
+    /// after checking the link's lookahead promise.
+    #[inline]
+    pub(crate) fn push(&mut self, time: SimTime, key: u64, target: ProcessId, msg: Message) {
+        match &self.route {
+            None => self.queue.push(time, key, target, msg),
+            Some(route) => {
+                let dest = route.owner_pid[target.0];
+                if dest == route.shard {
+                    self.queue.push(time, key, target, msg);
+                } else {
+                    route.check_lookahead(self.now, time, dest);
+                    route.outboxes[dest]
+                        .lock()
+                        .expect("shard mailbox lock")
+                        .push(crate::shard::SentEvent {
+                            time,
+                            key,
+                            target,
+                            msg,
+                        });
+                }
+            }
+        }
+    }
+
     fn rng_for(master_seed: u64, pid: usize) -> SmallRng {
         // SplitMix64-style mixing so neighbouring pids get unrelated streams.
         let mut z = master_seed ^ (pid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -81,12 +138,15 @@ impl Core {
 
 /// The discrete-event simulator.
 pub struct Sim {
-    core: Core,
-    procs: Vec<Option<Box<dyn Process>>>,
+    pub(crate) core: Core,
+    pub(crate) procs: Vec<Option<Box<dyn Process>>>,
     /// Number of processes whose `on_start` has already run.
-    started: usize,
+    pub(crate) started: usize,
     /// Safety valve against runaway simulations.
-    max_events: u64,
+    pub(crate) max_events: u64,
+    /// When set (and `shards > 1`), `run` executes under the sharded
+    /// conservative-parallel protocol (see [`crate::shard`]).
+    pub(crate) shard_plan: Option<ShardPlan>,
 }
 
 impl Sim {
@@ -109,12 +169,43 @@ impl Sim {
                 next_pid: 0,
                 stop_requested: false,
                 events_dispatched: 0,
+                push_counts: vec![0],
                 probe: None,
+                route: None,
             },
             procs: parts.procs,
             started: 0,
             max_events: u64::MAX,
+            shard_plan: None,
         }
+    }
+
+    /// Attach a shard plan: subsequent `run`/`run_until` calls execute the
+    /// simulation across `plan.shards` worker threads under the
+    /// conservative window protocol of [`crate::shard`], producing the
+    /// same trace digest and results as the sequential kernel. A plan with
+    /// `shards == 1` is ignored (the run stays on the sequential path).
+    pub fn set_shard_plan(&mut self, plan: ShardPlan) {
+        assert!(plan.shards >= 1, "a shard plan needs at least one shard");
+        assert_eq!(
+            plan.lookahead.len(),
+            plan.shards,
+            "lookahead matrix must be shards x shards"
+        );
+        for row in plan.lookahead.iter() {
+            assert_eq!(
+                row.len(),
+                plan.shards,
+                "lookahead matrix must be shards x shards"
+            );
+            for &l in row {
+                assert!(
+                    l > 0,
+                    "cross-shard links must have positive lookahead (got 0)"
+                );
+            }
+        }
+        self.shard_plan = Some(plan);
     }
 
     /// Cap the number of dispatched events; the run stops (without panicking)
@@ -131,6 +222,7 @@ impl Sim {
         self.core
             .rngs
             .push(Core::rng_for(self.core.master_seed, pid.0));
+        self.core.push_counts.push(0);
         self.procs.push(Some(p));
         pid
     }
@@ -144,7 +236,8 @@ impl Sim {
 
     /// Inject a message from outside the simulation at absolute time `at`.
     pub fn schedule_at(&mut self, at: SimTime, target: ProcessId, msg: Message) {
-        self.core.queue.push(at, target, msg);
+        let key = next_key(&mut self.core.push_counts, 0);
+        self.core.queue.push(at, key, target, msg);
     }
 
     /// Current virtual time.
@@ -202,6 +295,12 @@ impl Sim {
     }
 
     fn run_inner(&mut self, limit: Option<SimTime>) -> SimTime {
+        if let Some(plan) = &self.shard_plan {
+            if plan.shards > 1 {
+                let plan = plan.clone();
+                return crate::shard::run_sharded(self, &plan, limit);
+            }
+        }
         self.start_new_processes();
         // Flatten the optional limit into one compare on the hot path; an
         // unlimited run can never pass t > MAX.
@@ -262,7 +361,7 @@ impl Sim {
 
     /// Fold pending spawns into the table and run `on_start` for every
     /// process that has not started yet (in pid order).
-    fn start_new_processes(&mut self) {
+    pub(crate) fn start_new_processes(&mut self) {
         loop {
             let spawns: Vec<Box<dyn Process>> = std::mem::take(&mut self.core.pending_spawns);
             for p in spawns {
@@ -310,8 +409,8 @@ impl Drop for Sim {
 
 /// Handler-side view of the kernel: clock, event queue, resources, RNG.
 pub struct Ctx<'a> {
-    core: &'a mut Core,
-    pid: ProcessId,
+    pub(crate) core: &'a mut Core,
+    pub(crate) pid: ProcessId,
 }
 
 impl<'a> Ctx<'a> {
@@ -328,14 +427,18 @@ impl<'a> Ctx<'a> {
     }
 
     /// Deliver `msg` to `target` at the current instant (after all events
-    /// already queued for this instant).
+    /// already queued for this instant from this and earlier sources).
     pub fn send(&mut self, target: ProcessId, msg: Message) {
-        self.core.queue.push(self.core.now, target, msg);
+        let key = next_key(&mut self.core.push_counts, self.pid.0 + 1);
+        let now = self.core.now;
+        self.core.push(now, key, target, msg);
     }
 
     /// Deliver `msg` to `target` after `delay`.
     pub fn send_in(&mut self, delay: Dur, target: ProcessId, msg: Message) {
-        self.core.queue.push(self.core.now + delay, target, msg);
+        let key = next_key(&mut self.core.push_counts, self.pid.0 + 1);
+        let at = self.core.now + delay;
+        self.core.push(at, key, target, msg);
     }
 
     /// Deliver `msg` back to this process after `delay`.
@@ -355,12 +458,25 @@ impl<'a> Ctx<'a> {
         msg: Message,
     ) -> SimTime {
         let done = self.schedule_observed(rid, service);
-        self.core.queue.push(done, target, msg);
+        let key = next_key(&mut self.core.push_counts, self.pid.0 + 1);
+        self.core.push(done, key, target, msg);
         done
     }
 
     /// Schedule on the resource and report the acquisition to the probe.
     fn schedule_observed(&mut self, rid: ResourceId, service: Dur) -> SimTime {
+        if let Some(route) = &self.core.route {
+            let owner = route.owner_rid[rid.0];
+            assert!(
+                owner == route.shard,
+                "resource {:?} ({}) used from shard {} but owned by shard {}: \
+                 the shard plan must co-locate a resource with every process using it",
+                rid,
+                self.core.resources[rid.0].name(),
+                route.shard,
+                owner,
+            );
+        }
         let now = self.core.now;
         let busy_servers = self.core.resources[rid.0].busy_servers(now);
         let done = self.core.resources[rid.0].schedule(now, service);
@@ -404,8 +520,13 @@ impl<'a> Ctx<'a> {
     /// current handler returns. Returns the new process id (valid
     /// immediately as a message target).
     pub fn spawn(&mut self, p: Box<dyn Process>) -> ProcessId {
+        assert!(
+            self.core.route.is_none(),
+            "spawning processes mid-run is not supported under a sharded run"
+        );
         let pid = ProcessId(self.core.next_pid);
         self.core.next_pid += 1;
+        self.core.push_counts.push(0);
         self.core.pending_spawns.push(p);
         pid
     }

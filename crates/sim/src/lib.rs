@@ -18,11 +18,13 @@
 //!   with a buffering [`Recorder`], a [`MetricRegistry`], and Chrome
 //!   trace-event JSON export for Perfetto.
 //!
-//! The kernel is strictly sequential and deterministic: two runs with the
-//! same seed and the same process construction order produce bit-identical
-//! event traces. Parallelism in the workload (parameter sweeps) is achieved
-//! by running many independent `Sim` instances on different OS threads — see
-//! the `hpsock-experiments` crate.
+//! The kernel is deterministic: two runs with the same seed and the same
+//! process construction order produce bit-identical event traces — whether
+//! they execute sequentially (the default) or sharded across worker threads
+//! under a conservative-parallel window protocol ([`shard`],
+//! [`ShardPlan`]). Parallelism *between* simulations (parameter sweeps) is
+//! achieved by running many independent `Sim` instances on different OS
+//! threads — see the `hpsock-experiments` crate.
 //!
 //! ## Quick example
 //!
@@ -54,6 +56,7 @@ pub mod kernel;
 pub mod payload;
 pub mod probe;
 pub mod resource;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -66,6 +69,7 @@ pub use probe::{
     Tee,
 };
 pub use resource::{Resource, ResourceId};
+pub use shard::ShardPlan;
 pub use stats::Tally;
 pub use time::{Dur, SimTime};
 pub use trace::TraceDigest;

@@ -108,6 +108,13 @@ pub enum ProbeEvent {
 pub trait Probe: Send {
     /// Receive one event.
     fn record(&mut self, ev: ProbeEvent);
+
+    /// The kernel is about to dispatch the event with ordering key
+    /// `(time, key)`; every `record` until the next call belongs to that
+    /// dispatch. Only the sharded executor's buffering probe uses this (to
+    /// replay per-shard streams in the sequential order); ordinary sinks
+    /// can ignore it.
+    fn begin_dispatch(&mut self, _time: SimTime, _key: u64) {}
 }
 
 /// Named counters, gauges and histograms, keyed deterministically.
@@ -193,6 +200,11 @@ struct RecorderInner {
     events: Vec<ProbeEvent>,
     dispatches: u64,
     metrics: MetricRegistry,
+    /// Bounded-memory mode: when set, counter and gauge events fold into
+    /// `metrics` (one slot per metric name) and are forwarded here —
+    /// typically a [`StreamingTraceWriter`] probe writing to disk —
+    /// instead of accumulating in `events`.
+    spill: Option<Box<dyn Probe>>,
 }
 
 /// Shared-handle buffering sink.
@@ -221,6 +233,29 @@ impl Recorder {
                 events: Vec::new(),
                 dispatches: 0,
                 metrics: MetricRegistry::new(),
+                spill: None,
+            })),
+        }
+    }
+
+    /// A bounded-memory recorder for long runs: counter and gauge events
+    /// still fold into the [`MetricRegistry`] — whose size is bounded by
+    /// the number of distinct metric *names*, not the run length — but
+    /// the per-change event stream spills to `sink` (typically a
+    /// [`StreamingTraceWriter`] probe streaming to disk) instead of
+    /// growing the in-memory buffer. Gauges and counters dominate event
+    /// volume on long runs (one event per frame/credit/queue change), so
+    /// this caps the recorder's footprint while losing nothing: exact
+    /// totals and time-weighted means stay queryable via
+    /// [`Recorder::with_metrics`], and the full change history lives in
+    /// the spilled trace.
+    pub fn spilling_metrics(sink: Box<dyn Probe>) -> Self {
+        Recorder {
+            inner: Arc::new(Mutex::new(RecorderInner {
+                events: Vec::new(),
+                dispatches: 0,
+                metrics: MetricRegistry::new(),
+                spill: Some(sink),
             })),
         }
     }
@@ -605,10 +640,18 @@ impl Probe for RecorderProbe {
             ProbeEvent::Counter { name, delta, .. } => {
                 let (name, delta) = (name.clone(), *delta);
                 inner.metrics.counter_add(&name, delta);
+                if let Some(spill) = inner.spill.as_mut() {
+                    spill.record(ev);
+                    return;
+                }
             }
             ProbeEvent::Gauge { name, time, value } => {
                 let (name, time, value) = (name.clone(), *time, *value);
                 inner.metrics.gauge_set(&name, time, value);
+                if let Some(spill) = inner.spill.as_mut() {
+                    spill.record(ev);
+                    return;
+                }
             }
             _ => {}
         }
@@ -809,6 +852,58 @@ mod tests {
         assert_eq!(rec.with_metrics(|m| m.counter("c")), 2.0);
         assert_eq!(rec.with_metrics(|m| m.gauge_current("g")), 7.0);
         assert_eq!(rec.len(), 2, "counter/gauge events stay in the buffer");
+    }
+
+    /// Bounded-memory mode: counter/gauge events fold into the registry
+    /// and spill to the streaming writer, never touching the in-memory
+    /// buffer; everything else buffers as usual.
+    #[test]
+    fn spilling_recorder_keeps_metrics_but_not_metric_events() {
+        let writer = StreamingTraceWriter::new(Vec::new(), &[]);
+        let rec = Recorder::spilling_metrics(writer.probe());
+        let mut p = rec.probe();
+        for i in 0..1_000u64 {
+            p.record(ProbeEvent::Counter {
+                name: "net.frames".into(),
+                time: t(i),
+                delta: 1.0,
+            });
+            p.record(ProbeEvent::Gauge {
+                name: "q".into(),
+                time: t(i),
+                value: i as f64,
+            });
+        }
+        p.record(ProbeEvent::Dispatch {
+            time: t(5),
+            target: ProcessId(0),
+        });
+        p.record(ProbeEvent::SpanBegin {
+            track: "work".into(),
+            label: "x".into(),
+            time: t(0),
+            id: 1,
+        });
+        p.record(ProbeEvent::SpanEnd {
+            track: "work".into(),
+            time: t(10),
+            id: 1,
+        });
+        // 2000 metric events spilled; only the two span events buffer.
+        assert_eq!(rec.len(), 2, "metric events never reach the buffer");
+        assert_eq!(rec.dispatches(), 1);
+        assert_eq!(rec.with_metrics(|m| m.counter("net.frames")), 1_000.0);
+        assert_eq!(rec.with_metrics(|m| m.gauge_current("q")), 999.0);
+        assert_eq!(rec.folded_spans().get("work;x"), Some(&10));
+        drop(p);
+        drop(rec);
+        let json = String::from_utf8(writer.finish().unwrap()).unwrap();
+        assert_eq!(
+            json.matches("\"name\":\"net.frames\"").count(),
+            1_000,
+            "every counter change reached the spill sink"
+        );
+        assert!(json.contains("\"name\":\"q\""));
     }
 
     /// The streaming writer, fed the same events, produces the same JSON

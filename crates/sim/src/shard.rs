@@ -1,0 +1,990 @@
+//! Sharded conservative-parallel execution of a [`Sim`].
+//!
+//! A [`ShardPlan`] partitions the process and resource tables across
+//! `shards` worker threads and records, for every ordered shard pair, the
+//! minimum latency (**lookahead**) any cross-shard message must carry.
+//! `run_sharded` then executes the simulation in *rounds* of a classic
+//! conservative (Chandy–Misra–Bryant style) window protocol:
+//!
+//! 1. each shard folds its cross-shard mailbox into its local queue and
+//!    publishes the time of its earliest pending event;
+//! 2. a barrier; every shard then computes the same safe window bound
+//!    `W = min over shards s of (next(s) + Lmin_out(s))`, where
+//!    `Lmin_out(s)` is the smallest lookahead on any link out of `s`;
+//! 3. each shard dispatches its local events with `time < W` exactly as the
+//!    sequential kernel would, routing sends to remote processes into the
+//!    destination shard's mailbox (checked against the lookahead promise);
+//! 4. a second barrier; one worker folds the round's per-shard trace-digest
+//!    buckets and probe events into the master digest/probe.
+//!
+//! Safety: a message emitted by shard `s` during the round arrives no
+//! earlier than `next(s) + L(s, dest) >= W`, so nothing dispatched below
+//! `W` can be invalidated by a message still in flight. Progress: every
+//! link's lookahead is positive, so `W > min next(s)` and the shard holding
+//! the globally earliest event always dispatches at least one event per
+//! round.
+//!
+//! Determinism: event ordering keys are per-*source* (`kernel::next_key`),
+//! so an event's key does not depend on which worker executed the source,
+//! and the trace digest folds per-instant commutative buckets
+//! ([`TraceDigest::absorb`]). A sharded run therefore produces bit-for-bit
+//! the digest, statistics and probe stream of the sequential kernel; the
+//! only visible differences are coarser `stop`/`max_events` granularity
+//! (checked at round boundaries) and that [`Ctx::spawn`](crate::Ctx::spawn)
+//! is not available mid-run.
+
+use crate::event::EventQueue;
+use crate::kernel::{Core, Ctx, Message, Process, ProcessId, Sim};
+use crate::probe::{Probe, ProbeEvent};
+use crate::resource::ResourceId;
+use crate::time::SimTime;
+use crate::trace::{Bucket, TraceDigest};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// A partition of a simulation across worker threads, plus the lookahead
+/// promises that make conservative windows safe. Build one from topology
+/// (e.g. `hpsock-net`'s `Cluster::shard_plan`) and attach it with
+/// [`Sim::set_shard_plan`].
+#[derive(Clone)]
+pub struct ShardPlan {
+    /// Number of worker threads; `1` means the sequential kernel runs.
+    pub shards: usize,
+    /// Maps every process to its owning shard (must return `< shards`).
+    pub resolve_pid: Arc<dyn Fn(ProcessId) -> usize + Send + Sync>,
+    /// Maps every resource to its owning shard. A resource must land on
+    /// the same shard as every process that uses it (asserted at use).
+    pub resolve_rid: Arc<dyn Fn(ResourceId) -> usize + Send + Sync>,
+    /// `lookahead[a][b]` is the minimum delay, in nanoseconds, of any
+    /// message sent from a process on shard `a` to a process on shard `b`.
+    /// `u64::MAX` means "no link" (any such send panics); diagonal entries
+    /// are ignored. Every entry must be positive.
+    pub lookahead: Arc<Vec<Vec<u64>>>,
+    /// Names the physical link behind `lookahead[a][b]` for error messages.
+    pub describe_link: Arc<dyn Fn(usize, usize) -> String + Send + Sync>,
+}
+
+/// Strictly parse a shard count, following the same convention as
+/// `HPSOCK_THREADS`: zero, negative and non-numeric values are hard
+/// errors naming the variable, never silently defaulted.
+pub fn parse_shard_count(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => {
+            Err("HPSOCK_SHARDS must be >= 1, got 0 (unset it for the sequential kernel)".into())
+        }
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "HPSOCK_SHARDS must be a positive integer, got {raw:?}"
+        )),
+    }
+}
+
+/// The shard count requested via `HPSOCK_SHARDS` (default 1: the
+/// sequential kernel). Invalid values abort with a clear message rather
+/// than silently running sequentially.
+pub fn configured_shards() -> usize {
+    match std::env::var("HPSOCK_SHARDS") {
+        Ok(raw) => parse_shard_count(&raw).unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => 1,
+    }
+}
+
+/// Clamp a requested shard count to what a topology can use, warning on
+/// stderr when the request is reduced. `what` names the topology in the
+/// warning (e.g. "the 2-node microbenchmark cluster").
+pub fn clamp_shards(requested: usize, max: usize, what: &str) -> usize {
+    let max = max.max(1);
+    if requested > max {
+        eprintln!(
+            "warning: HPSOCK_SHARDS={requested} exceeds the {max} usable shard(s) of {what}; \
+             clamping to {max}"
+        );
+        max
+    } else {
+        requested
+    }
+}
+
+/// A cross-shard event in flight: the exact `(time, key, target, msg)`
+/// tuple the sender would have pushed locally.
+pub(crate) struct SentEvent {
+    pub(crate) time: SimTime,
+    pub(crate) key: u64,
+    pub(crate) target: ProcessId,
+    pub(crate) msg: Message,
+}
+
+/// Worker-local view of the partition, installed as `Core::route` for the
+/// duration of a sharded run. `Core::push` consults it to route each keyed
+/// push locally or into a destination mailbox.
+pub(crate) struct ShardRoute {
+    pub(crate) shard: usize,
+    pub(crate) owner_pid: Arc<Vec<usize>>,
+    pub(crate) owner_rid: Arc<Vec<usize>>,
+    pub(crate) lookahead: Arc<Vec<Vec<u64>>>,
+    pub(crate) describe: Arc<dyn Fn(usize, usize) -> String + Send + Sync>,
+    pub(crate) outboxes: Arc<Vec<Mutex<Vec<SentEvent>>>>,
+}
+
+impl ShardRoute {
+    /// Panic unless a send landing at `time` honours the lookahead this
+    /// shard promised toward `dest` — the invariant the whole window
+    /// protocol rests on.
+    pub(crate) fn check_lookahead(&self, now: SimTime, time: SimTime, dest: usize) {
+        let promised = self.lookahead[self.shard][dest];
+        if promised == u64::MAX {
+            panic!(
+                "cross-shard send from shard {} to shard {}, but the shard plan records \
+                 no network link between shards ({})",
+                self.shard,
+                dest,
+                (self.describe)(self.shard, dest),
+            );
+        }
+        let delay = time.as_nanos().saturating_sub(now.as_nanos());
+        if delay < promised {
+            panic!(
+                "lookahead violation on {}: shard {} sent an event to shard {} with \
+                 delay {} ns, below the link's promised minimum of {} ns",
+                (self.describe)(self.shard, dest),
+                self.shard,
+                dest,
+                delay,
+                promised,
+            );
+        }
+    }
+}
+
+/// One worker's probe buffer: every emission tagged with the `(time, key)`
+/// of the dispatch that produced it.
+type ProbeBuf = Arc<Mutex<Vec<(SimTime, u64, ProbeEvent)>>>;
+
+/// Probe shim installed in each worker core: tags every emission with the
+/// `(time, key)` of the dispatch that produced it, so the merge step can
+/// interleave the per-shard streams back into exact sequential order.
+struct BufferProbe {
+    buf: ProbeBuf,
+    time: SimTime,
+    key: u64,
+}
+
+impl Probe for BufferProbe {
+    fn record(&mut self, ev: ProbeEvent) {
+        self.buf
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push((self.time, self.key, ev));
+    }
+
+    fn begin_dispatch(&mut self, time: SimTime, key: u64) {
+        self.time = time;
+        self.key = key;
+    }
+}
+
+/// A barrier whose waiters can be released by a panicking peer. A plain
+/// `std::sync::Barrier` would leave the surviving workers blocked forever
+/// if one worker panicked (say, on a lookahead violation); this one lets
+/// the panicking worker `poison` it, after which every `wait` — current
+/// and future — returns `false` and the workers unwind.
+struct Barrier {
+    n: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+impl Barrier {
+    fn new(n: usize) -> Self {
+        Barrier {
+            n,
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until all `n` workers arrive. Returns `false` if the barrier
+    /// was poisoned instead.
+    fn wait(&self) -> bool {
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if s.poisoned {
+            return false;
+        }
+        s.arrived += 1;
+        if s.arrived == self.n {
+            s.arrived = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+            return true;
+        }
+        let gen = s.generation;
+        while s.generation == gen && !s.poisoned {
+            s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+        !s.poisoned
+    }
+
+    fn poison(&self) {
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        s.poisoned = true;
+        self.cv.notify_all();
+    }
+}
+
+/// One round's mergeable output from a shard.
+#[derive(Default)]
+struct Deposit {
+    buckets: Vec<Bucket>,
+    probes: Vec<(SimTime, u64, ProbeEvent)>,
+}
+
+/// State shared by all workers for one sharded run.
+struct Shared {
+    barrier: Barrier,
+    /// Per-shard earliest pending local time, in ns (`u64::MAX` = drained).
+    next: Vec<AtomicU64>,
+    stop: AtomicBool,
+    /// Global dispatched-event count, for the `max_events` valve.
+    events: AtomicU64,
+    deposits: Vec<Mutex<Deposit>>,
+    /// Per-shard minimum lookahead over outgoing links, in ns.
+    lmin_out: Vec<u64>,
+    /// Run limit in ns (`u64::MAX` when unbounded).
+    horizon: u64,
+    max_events: u64,
+}
+
+/// The master digest and probe, handed to worker 0 to merge deposits into.
+struct Sink {
+    trace: TraceDigest,
+    probe: Option<Box<dyn Probe>>,
+}
+
+/// One worker thread's simulator slice: a full-width [`Core`] (foreign
+/// rows of the resource/RNG tables are clones that are never touched —
+/// misuse is caught by the ownership asserts) plus the processes it owns.
+struct Worker {
+    my: usize,
+    core: Core,
+    procs: Vec<Option<Box<dyn Process>>>,
+    probe_buf: Option<ProbeBuf>,
+    /// Reused swap space for draining the mailbox without holding its lock.
+    scratch: Vec<SentEvent>,
+    sink: Option<Sink>,
+}
+
+/// Execute `sim` across `plan.shards` worker threads; semantics of
+/// [`Sim::run`] / [`Sim::run_until`] (with `limit`), same results.
+pub(crate) fn run_sharded(sim: &mut Sim, plan: &ShardPlan, limit: Option<SimTime>) -> SimTime {
+    sim.start_new_processes();
+    if sim.core.stop_requested {
+        return sim.core.now;
+    }
+    let shards = plan.shards;
+    let n_procs = sim.procs.len();
+    let n_res = sim.core.resources.len();
+    let owner_pid: Arc<Vec<usize>> = Arc::new(
+        (0..n_procs)
+            .map(|i| {
+                let s = (plan.resolve_pid)(ProcessId(i));
+                assert!(
+                    s < shards,
+                    "shard plan assigned process {i} to shard {s}, but there are only {shards} shards"
+                );
+                s
+            })
+            .collect(),
+    );
+    let owner_rid: Arc<Vec<usize>> = Arc::new(
+        (0..n_res)
+            .map(|i| {
+                let s = (plan.resolve_rid)(ResourceId(i));
+                assert!(
+                    s < shards,
+                    "shard plan assigned resource {i} to shard {s}, but there are only {shards} shards"
+                );
+                s
+            })
+            .collect(),
+    );
+    let lmin_out: Vec<u64> = (0..shards)
+        .map(|a| {
+            (0..shards)
+                .filter(|&b| b != a)
+                .map(|b| plan.lookahead[a][b])
+                .min()
+                .unwrap_or(u64::MAX)
+        })
+        .collect();
+    let outboxes: Arc<Vec<Mutex<Vec<SentEvent>>>> =
+        Arc::new((0..shards).map(|_| Mutex::new(Vec::new())).collect());
+    let probing = sim.core.probe.is_some();
+
+    let mut workers: Vec<Worker> = (0..shards)
+        .map(|s| {
+            let probe_buf = probing.then(|| Arc::new(Mutex::new(Vec::new())));
+            Worker {
+                my: s,
+                core: Core {
+                    now: sim.core.now,
+                    queue: EventQueue::new(),
+                    resources: sim.core.resources.clone(),
+                    rngs: sim.core.rngs.clone(),
+                    trace: TraceDigest::new_logged(),
+                    master_seed: sim.core.master_seed,
+                    pending_spawns: Vec::new(),
+                    next_pid: sim.core.next_pid,
+                    stop_requested: false,
+                    events_dispatched: 0,
+                    push_counts: sim.core.push_counts.clone(),
+                    probe: probe_buf.clone().map(|buf| {
+                        Box::new(BufferProbe {
+                            buf,
+                            time: SimTime::ZERO,
+                            key: 0,
+                        }) as Box<dyn Probe>
+                    }),
+                    route: Some(Box::new(ShardRoute {
+                        shard: s,
+                        owner_pid: owner_pid.clone(),
+                        owner_rid: owner_rid.clone(),
+                        lookahead: plan.lookahead.clone(),
+                        describe: plan.describe_link.clone(),
+                        outboxes: outboxes.clone(),
+                    })),
+                },
+                procs: (0..n_procs).map(|_| None).collect(),
+                probe_buf,
+                scratch: Vec::new(),
+                sink: None,
+            }
+        })
+        .collect();
+
+    // Move each owned process in; the master table keeps the `None` holes.
+    for i in 0..n_procs {
+        let s = owner_pid[i];
+        workers[s].procs[i] = Some(
+            sim.procs[i]
+                .take()
+                .expect("process checked in between runs"),
+        );
+    }
+    // Worker 0 merges every round's deposits into the real digest/probe.
+    workers[0].sink = Some(Sink {
+        trace: std::mem::take(&mut sim.core.trace),
+        probe: sim.core.probe.take(),
+    });
+    // Distribute the pending global queue by event target, keys intact.
+    while let Some(ev) = sim.core.queue.pop() {
+        let s = owner_pid[ev.target.0];
+        workers[s]
+            .core
+            .queue
+            .push(ev.time, ev.seq, ev.target, ev.msg);
+    }
+
+    let shared = Shared {
+        barrier: Barrier::new(shards),
+        next: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
+        stop: AtomicBool::new(false),
+        events: AtomicU64::new(sim.core.events_dispatched),
+        deposits: (0..shards)
+            .map(|_| Mutex::new(Deposit::default()))
+            .collect(),
+        lmin_out,
+        horizon: limit.map_or(u64::MAX, |t| t.as_nanos()),
+        max_events: sim.max_events,
+    };
+
+    // Run the round protocol. A panic in any worker poisons the barrier so
+    // the others unwind instead of deadlocking, then resurfaces here.
+    let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for w in workers.iter_mut() {
+            let shared = &shared;
+            let panic_slot = &panic_slot;
+            scope.spawn(move || {
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    worker_loop(w, shared)
+                }));
+                if let Err(payload) = run {
+                    *panic_slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(payload);
+                    shared.barrier.poison();
+                }
+            });
+        }
+    });
+    if let Some(payload) = panic_slot
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
+        std::panic::resume_unwind(payload);
+    }
+
+    // Reassemble the master simulator from the worker slices.
+    let mut stop = false;
+    let mut events = sim.core.events_dispatched;
+    let mut end = sim.core.now;
+    for w in workers.iter() {
+        end = end.max(w.core.now);
+    }
+    for mut w in workers {
+        stop |= w.core.stop_requested;
+        events += w.core.events_dispatched;
+        for i in 0..n_procs {
+            if owner_pid[i] == w.my {
+                sim.procs[i] = w.procs[i].take();
+                std::mem::swap(&mut sim.core.rngs[i], &mut w.core.rngs[i]);
+                sim.core.push_counts[i + 1] = w.core.push_counts[i + 1];
+            }
+        }
+        for j in 0..n_res {
+            if owner_rid[j] == w.my {
+                std::mem::swap(&mut sim.core.resources[j], &mut w.core.resources[j]);
+            }
+        }
+        // Events beyond the horizon stay pending, back on the global queue.
+        while let Some(ev) = w.core.queue.pop() {
+            sim.core.queue.push(ev.time, ev.seq, ev.target, ev.msg);
+        }
+        if let Some(sink) = w.sink.take() {
+            sim.core.trace = sink.trace;
+            sim.core.probe = sink.probe;
+        }
+    }
+    sim.core.stop_requested = stop;
+    sim.core.events_dispatched = events;
+    // Mirror the sequential return-time rules: a horizon break reports the
+    // horizon; `stop` and the event cap report the last dispatched instant.
+    if !stop {
+        if let Some(t) = sim.core.queue.peek_time() {
+            if t.as_nanos() > shared.horizon {
+                end = SimTime::from_nanos(shared.horizon);
+            }
+        }
+    }
+    sim.core.now = end;
+    sim.core.now
+}
+
+/// One worker's round loop; returns when the run is globally finished or
+/// the barrier is poisoned by a panicking peer.
+fn worker_loop(w: &mut Worker, sh: &Shared) {
+    let shards = sh.next.len();
+    loop {
+        // Phase A: fold the mailbox into the local queue and publish the
+        // earliest pending local time. Mailboxes only fill during dispatch,
+        // so after the barrier below these reads are round-consistent.
+        {
+            let route = w.core.route.as_ref().expect("sharded core has a route");
+            let mut inbox = route.outboxes[w.my]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            std::mem::swap(&mut *inbox, &mut w.scratch);
+        }
+        for ev in w.scratch.drain(..) {
+            w.core.queue.push(ev.time, ev.key, ev.target, ev.msg);
+        }
+        let next = w.core.queue.peek_time().map_or(u64::MAX, |t| t.as_nanos());
+        sh.next[w.my].store(next, Ordering::Relaxed);
+        if !sh.barrier.wait() {
+            return;
+        }
+        // Every worker computes the same window and the same exit decision
+        // from the same published values; they leave the loop together.
+        let mut min_next = u64::MAX;
+        let mut window = u64::MAX;
+        for s in 0..shards {
+            let n = sh.next[s].load(Ordering::Relaxed);
+            min_next = min_next.min(n);
+            window = window.min(n.saturating_add(sh.lmin_out[s]));
+        }
+        let stop = sh.stop.load(Ordering::Relaxed);
+        let capped = sh.events.load(Ordering::Relaxed) >= sh.max_events;
+        if stop || capped || min_next == u64::MAX || min_next > sh.horizon {
+            return;
+        }
+        let w_end = window.min(sh.horizon.saturating_add(1));
+        // Phase B: dispatch every local event strictly below the window,
+        // exactly as the sequential kernel would.
+        let before = w.core.events_dispatched;
+        while let Some(t) = w.core.queue.peek_time() {
+            if t.as_nanos() >= w_end {
+                break;
+            }
+            let ev = w.core.queue.pop().expect("peeked event exists");
+            debug_assert!(ev.time >= w.core.now, "time must not run backwards");
+            w.core.now = ev.time;
+            w.core.events_dispatched += 1;
+            w.core.trace.record(ev.time, ev.target);
+            if let Some(probe) = w.core.probe.as_mut() {
+                probe.begin_dispatch(ev.time, ev.seq);
+                probe.record(ProbeEvent::Dispatch {
+                    time: ev.time,
+                    target: ev.target,
+                });
+            }
+            let proc = w
+                .procs
+                .get_mut(ev.target.0)
+                .unwrap_or_else(|| panic!("message to unknown process {:?}", ev.target))
+                .as_deref_mut()
+                .expect("event routed to this shard targets a process it hosts");
+            let mut ctx = Ctx {
+                core: &mut w.core,
+                pid: ev.target,
+            };
+            proc.on_message(&mut ctx, ev.msg);
+            if w.core.stop_requested {
+                sh.stop.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+        sh.events
+            .fetch_add(w.core.events_dispatched - before, Ordering::Relaxed);
+        // Deposit the round's digest buckets and probe stream for merging.
+        {
+            let mut d = sh.deposits[w.my]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            d.buckets = w.core.trace.take_log();
+            if let Some(buf) = &w.probe_buf {
+                d.probes = std::mem::take(&mut *buf.lock().unwrap_or_else(PoisonError::into_inner));
+            }
+        }
+        if !sh.barrier.wait() {
+            return;
+        }
+        // Worker 0 merges between this barrier and its next arrival at the
+        // first one; nobody rewrites a deposit before then.
+        if w.my == 0 {
+            merge_round(sh, w.sink.as_mut().expect("worker 0 owns the sink"));
+        }
+    }
+}
+
+/// Fold one round of per-shard deposits into the master digest and probe.
+fn merge_round(sh: &Shared, sink: &mut Sink) {
+    let shards = sh.deposits.len();
+    let mut logs: Vec<Vec<Bucket>> = Vec::with_capacity(shards);
+    let mut probes: Vec<Vec<(SimTime, u64, ProbeEvent)>> = Vec::with_capacity(shards);
+    for d in sh.deposits.iter() {
+        let mut d = d.lock().unwrap_or_else(PoisonError::into_inner);
+        logs.push(std::mem::take(&mut d.buckets));
+        probes.push(std::mem::take(&mut d.probes));
+    }
+    // Digest buckets: k-way merge by time. Each shard's log is strictly
+    // increasing in time, so there is at most one bucket per shard per
+    // instant; `absorb` folds same-instant buckets from different shards
+    // into one, which is where the commutative bucket hash pays off.
+    let mut idx = vec![0usize; shards];
+    loop {
+        let mut t_min: Option<SimTime> = None;
+        for s in 0..shards {
+            if let Some(b) = logs[s].get(idx[s]) {
+                t_min = Some(t_min.map_or(b.time, |t| t.min(b.time)));
+            }
+        }
+        let Some(t) = t_min else { break };
+        for s in 0..shards {
+            if logs[s].get(idx[s]).is_some_and(|b| b.time == t) {
+                sink.trace.absorb(&logs[s][idx[s]]);
+                idx[s] += 1;
+            }
+        }
+    }
+    // Probe stream: k-way merge by dispatch key `(time, seq)` — globally
+    // unique and equal to the sequential dispatch order — so the master
+    // probe sees the exact event stream a sequential run would produce.
+    if let Some(probe) = sink.probe.as_mut() {
+        let mut streams: Vec<_> = probes
+            .into_iter()
+            .map(|v| v.into_iter().peekable())
+            .collect();
+        loop {
+            let mut best: Option<(SimTime, u64, usize)> = None;
+            for (s, stream) in streams.iter_mut().enumerate() {
+                if let Some((t, k, _)) = stream.peek() {
+                    if best.map_or(true, |(bt, bk, _)| (*t, *k) < (bt, bk)) {
+                        best = Some((*t, *k, s));
+                    }
+                }
+            }
+            let Some((t, k, s)) = best else { break };
+            while streams[s]
+                .peek()
+                .is_some_and(|(et, ek, _)| (*et, *ek) == (t, k))
+            {
+                let (_, _, ev) = streams[s].next().expect("peeked entry exists");
+                probe.record(ev);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    #[test]
+    fn shard_count_parsing_is_strict() {
+        assert_eq!(parse_shard_count("1"), Ok(1));
+        assert_eq!(parse_shard_count(" 4 "), Ok(4));
+        assert_eq!(
+            parse_shard_count("0"),
+            Err("HPSOCK_SHARDS must be >= 1, got 0 (unset it for the sequential kernel)".into())
+        );
+        assert_eq!(
+            parse_shard_count("-2"),
+            Err("HPSOCK_SHARDS must be a positive integer, got \"-2\"".into())
+        );
+        assert_eq!(
+            parse_shard_count("both"),
+            Err("HPSOCK_SHARDS must be a positive integer, got \"both\"".into())
+        );
+        assert_eq!(
+            parse_shard_count(""),
+            Err("HPSOCK_SHARDS must be a positive integer, got \"\"".into())
+        );
+    }
+
+    #[test]
+    fn shard_count_clamps_to_topology_capacity() {
+        assert_eq!(clamp_shards(4, 2, "a 2-node cluster"), 2);
+        assert_eq!(clamp_shards(2, 2, "a 2-node cluster"), 2);
+        assert_eq!(clamp_shards(1, 7, "the pipeline"), 1);
+        // A degenerate topology (no usable split) still yields a runnable
+        // count of one rather than zero.
+        assert_eq!(clamp_shards(3, 0, "an empty cluster"), 1);
+    }
+
+    /// An even split of pids across `shards` with a uniform `la`-ns
+    /// lookahead between every shard pair.
+    fn plan(
+        shards: usize,
+        la: u64,
+        pid_to_shard: impl Fn(usize) -> usize + Send + Sync + 'static,
+    ) -> ShardPlan {
+        let lookahead = (0..shards)
+            .map(|a| {
+                (0..shards)
+                    .map(|b| if a == b { u64::MAX } else { la })
+                    .collect()
+            })
+            .collect();
+        ShardPlan {
+            shards,
+            resolve_pid: Arc::new(move |pid: ProcessId| pid_to_shard(pid.0)),
+            resolve_rid: Arc::new(|_| 0),
+            lookahead: Arc::new(lookahead),
+            describe_link: Arc::new(|a, b| format!("test link {a}->{b}")),
+        }
+    }
+
+    /// A ring of processes, each forwarding with a fixed delay and using a
+    /// per-process resource, with RNG-perturbed payloads.
+    struct RingHop {
+        nextp: ProcessId,
+        cpu: ResourceId,
+        hops_left: u32,
+        heard: Vec<u64>,
+    }
+
+    impl Process for RingHop {
+        fn name(&self) -> String {
+            format!("ring-hop->{}", self.nextp.0)
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+            use rand::RngCore;
+            match msg.downcast::<u64>() {
+                Ok(v) => {
+                    self.heard.push(v);
+                    ctx.trace_tag(v);
+                    if self.hops_left > 0 {
+                        self.hops_left -= 1;
+                        let jitter: u64 = ctx.rng().next_u64() % 100;
+                        // Local work completes first, then the forward.
+                        ctx.use_resource(self.cpu, Dur::nanos(250 + jitter), Message::new(()));
+                        ctx.send_in(Dur::micros(10), self.nextp, Message::new(v + 1));
+                    }
+                }
+                Err(_) => ctx.trace_tag(0xC0FFEE), // resource completion
+            }
+        }
+    }
+
+    /// Build a 4-process ring over `shards` shards (pid i -> shard i %
+    /// shards), with one resource per process, and run it.
+    fn run_ring(shards: usize) -> (u64, u64, u64, Vec<Vec<u64>>) {
+        let mut sim = Sim::new(42);
+        let n = 4;
+        let cpus: Vec<ResourceId> = (0..n)
+            .map(|i| sim.add_resource(format!("cpu{i}"), 1))
+            .collect();
+        let pids: Vec<ProcessId> = (0..n)
+            .map(|i| {
+                sim.add_process(Box::new(RingHop {
+                    nextp: ProcessId((i + 1) % n),
+                    cpu: cpus[i],
+                    hops_left: 25,
+                    heard: Vec::new(),
+                }))
+            })
+            .collect();
+        if shards > 1 {
+            let k = shards;
+            let mut p = plan(k, 10_000, move |pid| pid % k);
+            // Resource i belongs with process i.
+            p.resolve_rid = Arc::new(move |rid: ResourceId| rid.0 % k);
+            sim.set_shard_plan(p);
+        }
+        sim.schedule_at(SimTime::ZERO, pids[0], Message::new(1u64));
+        let end = sim.run();
+        let heard = pids
+            .iter()
+            .map(|&p| sim.process::<RingHop>(p).unwrap().heard.clone())
+            .collect();
+        (
+            end.as_nanos(),
+            sim.trace_digest(),
+            sim.events_dispatched(),
+            heard,
+        )
+    }
+
+    #[test]
+    fn sharded_ring_matches_sequential() {
+        let seq = run_ring(1);
+        assert_eq!(run_ring(2), seq, "2 shards must replay the sequential run");
+        assert_eq!(run_ring(4), seq, "4 shards must replay the sequential run");
+    }
+
+    #[test]
+    fn sharded_resources_carry_stats_back() {
+        let stats = |shards: usize| {
+            let mut sim = Sim::new(7);
+            let cpus: Vec<ResourceId> = (0..2)
+                .map(|i| sim.add_resource(format!("cpu{i}"), 1))
+                .collect();
+            for (i, &cpu) in cpus.iter().enumerate() {
+                sim.add_process(Box::new(RingHop {
+                    nextp: ProcessId((i + 1) % 2),
+                    cpu,
+                    hops_left: 10,
+                    heard: Vec::new(),
+                }));
+            }
+            if shards > 1 {
+                let mut p = plan(2, 10_000, |pid| pid % 2);
+                p.resolve_rid = Arc::new(|rid: ResourceId| rid.0 % 2);
+                sim.set_shard_plan(p);
+            }
+            sim.schedule_at(SimTime::ZERO, ProcessId(0), Message::new(1u64));
+            sim.run();
+            (0..2)
+                .map(|i| sim.resource(cpus[i]).busy_time().as_nanos())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(stats(2), stats(1));
+    }
+
+    /// Every probe event, rendered to text, must come back in the exact
+    /// sequential order.
+    #[test]
+    fn sharded_probe_stream_is_byte_identical() {
+        struct TextProbe {
+            lines: Arc<Mutex<Vec<String>>>,
+        }
+        impl Probe for TextProbe {
+            fn record(&mut self, ev: ProbeEvent) {
+                self.lines.lock().unwrap().push(format!("{ev:?}"));
+            }
+        }
+        let run = |shards: usize| {
+            let lines = Arc::new(Mutex::new(Vec::new()));
+            let mut sim = Sim::new(3);
+            sim.attach_probe(Box::new(TextProbe {
+                lines: lines.clone(),
+            }));
+            let cpus: Vec<ResourceId> = (0..4)
+                .map(|i| sim.add_resource(format!("cpu{i}"), 1))
+                .collect();
+            for (i, &cpu) in cpus.iter().enumerate() {
+                sim.add_process(Box::new(RingHop {
+                    nextp: ProcessId((i + 1) % 4),
+                    cpu,
+                    hops_left: 15,
+                    heard: Vec::new(),
+                }));
+            }
+            if shards > 1 {
+                let k = shards;
+                let mut p = plan(k, 10_000, move |pid| pid % k);
+                p.resolve_rid = Arc::new(move |rid: ResourceId| rid.0 % k);
+                sim.set_shard_plan(p);
+            }
+            sim.schedule_at(SimTime::ZERO, ProcessId(0), Message::new(1u64));
+            sim.run();
+            drop(sim);
+            Arc::try_unwrap(lines).unwrap().into_inner().unwrap()
+        };
+        let seq = run(1);
+        assert!(!seq.is_empty());
+        assert_eq!(run(2), seq);
+        assert_eq!(run(4), seq);
+    }
+
+    #[test]
+    fn run_until_resumes_across_sharded_rounds() {
+        let run = |shards: usize| {
+            let mut sim = Sim::new(11);
+            let cpus: Vec<ResourceId> = (0..2)
+                .map(|i| sim.add_resource(format!("cpu{i}"), 1))
+                .collect();
+            for (i, &cpu) in cpus.iter().enumerate() {
+                sim.add_process(Box::new(RingHop {
+                    nextp: ProcessId((i + 1) % 2),
+                    cpu,
+                    hops_left: 20,
+                    heard: Vec::new(),
+                }));
+            }
+            if shards > 1 {
+                let mut p = plan(2, 10_000, |pid| pid % 2);
+                p.resolve_rid = Arc::new(|rid: ResourceId| rid.0 % 2);
+                sim.set_shard_plan(p);
+            }
+            sim.schedule_at(SimTime::ZERO, ProcessId(0), Message::new(1u64));
+            let mid = sim.run_until(SimTime::from_nanos(55_000));
+            let mid_events = sim.events_dispatched();
+            let end = sim.run();
+            (
+                mid.as_nanos(),
+                mid_events,
+                end.as_nanos(),
+                sim.trace_digest(),
+                sim.events_dispatched(),
+            )
+        };
+        let seq = run(1);
+        assert_eq!(seq.0, 55_000, "run_until reports the horizon");
+        assert_eq!(run(2), seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead violation")]
+    fn undersized_cross_shard_delay_panics() {
+        struct Eager {
+            peer: ProcessId,
+        }
+        impl Process for Eager {
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, _msg: Message) {
+                // 1 ns is far below the 10 us the plan promised.
+                ctx.send_in(Dur::nanos(1), self.peer, Message::new(()));
+            }
+        }
+        struct SinkProc;
+        impl Process for SinkProc {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Message) {}
+        }
+        let mut sim = Sim::new(0);
+        let b = ProcessId(1);
+        sim.add_process(Box::new(Eager { peer: b }));
+        sim.add_process(Box::new(SinkProc));
+        sim.set_shard_plan(plan(2, 10_000, |pid| pid % 2));
+        sim.schedule_at(SimTime::ZERO, ProcessId(0), Message::new(()));
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "no network link between shards")]
+    fn unlinked_shards_cannot_exchange_events() {
+        struct Eager {
+            peer: ProcessId,
+        }
+        impl Process for Eager {
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, _msg: Message) {
+                ctx.send_in(Dur::micros(50), self.peer, Message::new(()));
+            }
+        }
+        struct SinkProc;
+        impl Process for SinkProc {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Message) {}
+        }
+        let mut sim = Sim::new(0);
+        let b = ProcessId(1);
+        sim.add_process(Box::new(Eager { peer: b }));
+        sim.add_process(Box::new(SinkProc));
+        sim.set_shard_plan(plan(2, u64::MAX, |pid| pid % 2));
+        sim.schedule_at(SimTime::ZERO, ProcessId(0), Message::new(()));
+        sim.run();
+    }
+
+    #[test]
+    fn stop_halts_a_sharded_run() {
+        struct Stopper {
+            at: u32,
+            seen: u32,
+        }
+        impl Process for Stopper {
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, _msg: Message) {
+                self.seen += 1;
+                if self.seen >= self.at {
+                    ctx.stop();
+                } else {
+                    ctx.send_self_in(Dur::micros(20), Message::new(()));
+                }
+            }
+        }
+        struct Chatter;
+        impl Process for Chatter {
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, _msg: Message) {
+                ctx.send_self_in(Dur::micros(20), Message::new(()));
+            }
+        }
+        let mut sim = Sim::new(0);
+        sim.add_process(Box::new(Stopper { at: 5, seen: 0 }));
+        sim.add_process(Box::new(Chatter));
+        sim.set_shard_plan(plan(2, 10_000, |pid| pid % 2));
+        sim.schedule_at(SimTime::ZERO, ProcessId(0), Message::new(()));
+        sim.schedule_at(SimTime::ZERO, ProcessId(1), Message::new(()));
+        sim.run();
+        // Stop lands at round granularity: the run halted (Chatter would
+        // otherwise loop forever) shortly after the stopper's 5th message.
+        let s: &Stopper = sim.process(ProcessId(0)).unwrap();
+        assert_eq!(s.seen, 5);
+    }
+
+    #[test]
+    fn single_shard_plan_stays_on_the_sequential_path() {
+        let digest = |with_plan: bool| {
+            let mut sim = Sim::new(5);
+            let cpu = sim.add_resource("cpu", 1);
+            sim.add_process(Box::new(RingHop {
+                nextp: ProcessId(0),
+                cpu,
+                hops_left: 8,
+                heard: Vec::new(),
+            }));
+            if with_plan {
+                sim.set_shard_plan(plan(1, 10_000, |_| 0));
+            }
+            sim.schedule_at(SimTime::ZERO, ProcessId(0), Message::new(1u64));
+            sim.run();
+            (sim.trace_digest(), sim.events_dispatched())
+        };
+        assert_eq!(digest(true), digest(false));
+    }
+}

@@ -1,12 +1,21 @@
 //! Event-trace digest for determinism testing.
 //!
 //! Every dispatched event (time + target) and every application-supplied tag
-//! is folded into a running multiply-xorshift hash (splitmix-style rounds).
-//! Two runs are behaviourally identical iff their digests match — a cheap,
-//! order-sensitive fingerprint used by the `determinism` integration tests.
-//! The digest sits on the kernel's per-event critical path, so the fold is
-//! deliberately a short dependency chain (one multiply on the running
-//! state), not a byte-at-a-time hash.
+//! is hashed and folded into the digest. Records are grouped into
+//! per-timestamp *buckets*: within one virtual instant the per-record
+//! hashes are combined commutatively (a wrapping sum plus a count), and
+//! when time advances the closed bucket `(time, sum, count)` is folded
+//! serially into a running multiply-xorshift chain. Across timestamps the
+//! digest is therefore order-sensitive, while within a timestamp it is
+//! order-*insensitive* — exactly the freedom the sharded executor needs to
+//! merge equal-time buckets produced by different worker threads (see
+//! `shard.rs`) and still land on the sequential run's digest. Two runs are
+//! behaviourally identical iff their digests match.
+//!
+//! The digest sits on the kernel's per-event critical path, so the
+//! per-record work is one strong scramble (splitmix-style finalizer) and a
+//! wrapping add; the serial chain advances only once per distinct
+//! timestamp.
 
 use crate::kernel::ProcessId;
 use crate::time::SimTime;
@@ -14,12 +23,41 @@ use crate::time::SimTime;
 const SEED: u64 = 0xcbf2_9ce4_8422_2325;
 const MIX_IN: u64 = 0x9E37_79B9_7F4A_7C15;
 const MIX_STATE: u64 = 0xBF58_476D_1CE4_E5B9;
+/// Salt distinguishing application tags from dispatch records.
+const TAG_SALT: u64 = 0xA24B_AED4_963E_E407;
+
+/// One closed per-timestamp group of records: the commutative combination
+/// of every record hashed at `time`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Bucket {
+    pub time: SimTime,
+    /// Wrapping sum of the scrambled per-record hashes.
+    pub sum: u64,
+    pub count: u64,
+}
+
+/// Full-avalanche scramble (splitmix64 finalizer): each record must be
+/// strongly mixed *before* the commutative sum, so colliding sums require
+/// colliding hashes.
+#[inline]
+fn scramble(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Running order-sensitive hash over the event trace.
 #[derive(Debug, Clone)]
 pub struct TraceDigest {
+    /// Chain over closed buckets.
     state: u64,
     records: u64,
+    bucket_time: SimTime,
+    bucket_sum: u64,
+    bucket_count: u64,
+    /// Sharded ("logged") mode: closed buckets are appended here instead
+    /// of folded, for a later deterministic cross-shard merge.
+    log: Option<Vec<Bucket>>,
 }
 
 impl Default for TraceDigest {
@@ -34,44 +72,136 @@ impl TraceDigest {
         TraceDigest {
             state: SEED,
             records: 0,
+            bucket_time: SimTime::ZERO,
+            bucket_sum: 0,
+            bucket_count: 0,
+            log: None,
+        }
+    }
+
+    /// A digest that collects closed buckets instead of folding them,
+    /// for one shard of a sharded run. Its buckets are later merged and
+    /// absorbed into the master digest via [`TraceDigest::absorb`].
+    pub(crate) fn new_logged() -> Self {
+        TraceDigest {
+            log: Some(Vec::new()),
+            ..Self::new()
         }
     }
 
     #[inline]
-    fn fold(&mut self, word: u64) {
+    fn fold(state: &mut u64, word: u64) {
         // The word's own multiply is off the serial chain; the chain itself
         // is xor → xorshift → multiply per fold.
-        let mut z = self.state ^ word.wrapping_mul(MIX_IN);
+        let mut z = *state ^ word.wrapping_mul(MIX_IN);
         z ^= z >> 29;
-        self.state = z.wrapping_mul(MIX_STATE);
+        *state = z.wrapping_mul(MIX_STATE);
+    }
+
+    #[inline]
+    fn fold_bucket(state: &mut u64, b: &Bucket) {
+        Self::fold(state, b.time.as_nanos());
+        Self::fold(state, b.sum);
+        Self::fold(state, b.count);
+    }
+
+    /// Close the pending bucket (fold it, or log it in sharded mode).
+    fn close_bucket(&mut self) {
+        if self.bucket_count == 0 {
+            return;
+        }
+        let b = Bucket {
+            time: self.bucket_time,
+            sum: self.bucket_sum,
+            count: self.bucket_count,
+        };
+        match &mut self.log {
+            Some(log) => log.push(b),
+            None => Self::fold_bucket(&mut self.state, &b),
+        }
+        self.bucket_sum = 0;
+        self.bucket_count = 0;
+    }
+
+    /// Add one scrambled record hash to the bucket at `time`.
+    #[inline]
+    fn add(&mut self, time: SimTime, hash: u64) {
+        if time != self.bucket_time {
+            self.close_bucket();
+            self.bucket_time = time;
+        }
+        self.bucket_sum = self.bucket_sum.wrapping_add(hash);
+        self.bucket_count += 1;
+        self.records += 1;
     }
 
     /// Fold one event dispatch into the digest.
     ///
     /// Time and target are combined into a single word (the target gets its
-    /// own multiplier so `(t, p)` and `(p, t)` differ) and folded in one
-    /// round: this hash is on the critical path of every dispatched event.
+    /// own multiplier so `(t, p)` and `(p, t)` differ): this hash is on the
+    /// critical path of every dispatched event.
     #[inline]
     pub fn record(&mut self, time: SimTime, target: ProcessId) {
-        self.fold(time.as_nanos() ^ (target.0 as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
-        self.records += 1;
+        let word = time.as_nanos() ^ (target.0 as u64).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.add(time, scramble(word.wrapping_mul(MIX_IN)));
     }
 
-    /// Fold an application-level tag (e.g. a payload checksum).
+    /// Fold an application-level tag (e.g. a payload checksum) into the
+    /// bucket of the timestamp currently being dispatched.
     #[inline]
     pub fn record_tag(&mut self, tag: u64) {
-        self.fold(tag);
-        self.records += 1;
+        let time = self.bucket_time;
+        self.add(time, scramble(tag.wrapping_mul(MIX_IN) ^ TAG_SALT));
     }
 
-    /// The digest value so far.
+    /// The digest value so far. Idempotent: the pending bucket is folded
+    /// into a copy of the chain, never into the chain itself.
     pub fn value(&self) -> u64 {
-        self.state
+        let mut state = self.state;
+        if self.bucket_count > 0 {
+            Self::fold_bucket(
+                &mut state,
+                &Bucket {
+                    time: self.bucket_time,
+                    sum: self.bucket_sum,
+                    count: self.bucket_count,
+                },
+            );
+        }
+        state
     }
 
     /// Number of records folded so far.
     pub fn records(&self) -> u64 {
         self.records
+    }
+
+    /// Drain the closed buckets of a logged digest (closing the pending
+    /// one first). Buckets come out in nondecreasing time order because
+    /// kernel time never runs backwards within a shard.
+    pub(crate) fn take_log(&mut self) -> Vec<Bucket> {
+        self.close_bucket();
+        std::mem::take(self.log.as_mut().expect("take_log on a folding digest"))
+    }
+
+    /// Fold an externally produced bucket into this digest (master side of
+    /// a sharded run). Equivalent to having recorded the bucket's records
+    /// locally at `b.time`: a bucket at the pending bucket's time merges
+    /// into it commutatively, a later one closes the pending bucket first,
+    /// and the absorbed bucket itself stays pending — so the master's
+    /// state matches a sequential digest record-for-record at every
+    /// moment. Buckets must arrive in nondecreasing time order.
+    pub(crate) fn absorb(&mut self, b: &Bucket) {
+        debug_assert!(b.count > 0, "absorbing an empty bucket");
+        if self.bucket_count > 0 && self.bucket_time == b.time {
+            self.bucket_sum = self.bucket_sum.wrapping_add(b.sum);
+        } else {
+            self.close_bucket();
+            self.bucket_time = b.time;
+            self.bucket_sum = b.sum;
+        }
+        self.bucket_count += b.count;
+        self.records += b.count;
     }
 }
 
@@ -92,7 +222,7 @@ mod tests {
     }
 
     #[test]
-    fn order_matters() {
+    fn order_matters_across_timestamps() {
         let mut a = TraceDigest::new();
         a.record(SimTime::from_nanos(1), ProcessId(0));
         a.record(SimTime::from_nanos(2), ProcessId(0));
@@ -100,6 +230,20 @@ mod tests {
         b.record(SimTime::from_nanos(2), ProcessId(0));
         b.record(SimTime::from_nanos(1), ProcessId(0));
         assert_ne!(a.value(), b.value());
+    }
+
+    /// Within one virtual instant the digest is commutative — the property
+    /// the sharded merge relies on.
+    #[test]
+    fn equal_time_records_commute() {
+        let mut a = TraceDigest::new();
+        a.record(SimTime::from_nanos(5), ProcessId(0));
+        a.record(SimTime::from_nanos(5), ProcessId(1));
+        let mut b = TraceDigest::new();
+        b.record(SimTime::from_nanos(5), ProcessId(1));
+        b.record(SimTime::from_nanos(5), ProcessId(0));
+        assert_eq!(a.value(), b.value());
+        assert_eq!(a.records(), b.records());
     }
 
     #[test]
@@ -118,5 +262,85 @@ mod tests {
         let mut b = TraceDigest::new();
         b.record_tag(43);
         assert_ne!(a.value(), b.value());
+        // A tag is not mistakable for a dispatch hashing to the same word.
+        let mut c = TraceDigest::new();
+        c.record(SimTime::ZERO, ProcessId(0));
+        let mut d = TraceDigest::new();
+        d.record_tag(0);
+        assert_ne!(c.value(), d.value());
+    }
+
+    /// `value()` must not disturb the running state: reading the digest
+    /// mid-run and then continuing gives the same final value as never
+    /// reading it.
+    #[test]
+    fn value_is_idempotent() {
+        let mut a = TraceDigest::new();
+        a.record(SimTime::from_nanos(1), ProcessId(0));
+        let mid = a.value();
+        assert_eq!(mid, a.value());
+        a.record(SimTime::from_nanos(1), ProcessId(1));
+        let mut b = TraceDigest::new();
+        b.record(SimTime::from_nanos(1), ProcessId(0));
+        b.record(SimTime::from_nanos(1), ProcessId(1));
+        assert_eq!(a.value(), b.value());
+    }
+
+    /// Two shards' logs, two-pointer-merged by time and absorbed bucket by
+    /// bucket, reproduce the interleaved sequential digest — including at
+    /// instants where both shards recorded.
+    #[test]
+    fn split_logs_merge_to_the_sequential_value() {
+        let t = SimTime::from_nanos;
+        let mut seq = TraceDigest::new();
+        let mut a = TraceDigest::new_logged();
+        let mut b = TraceDigest::new_logged();
+        for (time, pid, shard) in [
+            (1u64, 0usize, 0u8),
+            (1, 9, 1),
+            (4, 1, 1),
+            (9, 2, 0),
+            (9, 3, 1),
+            (9, 4, 0),
+        ] {
+            seq.record(t(time), ProcessId(pid));
+            let d = if shard == 0 { &mut a } else { &mut b };
+            d.record(t(time), ProcessId(pid));
+        }
+        let (la, lb) = (a.take_log(), b.take_log());
+        let mut master = TraceDigest::new();
+        let (mut i, mut j) = (0, 0);
+        while i < la.len() || j < lb.len() {
+            let take_a = j >= lb.len() || (i < la.len() && la[i].time <= lb[j].time);
+            if take_a {
+                master.absorb(&la[i]);
+                i += 1;
+            } else {
+                master.absorb(&lb[j]);
+                j += 1;
+            }
+        }
+        assert_eq!(master.value(), seq.value());
+        assert_eq!(master.records(), seq.records());
+    }
+
+    /// A logged digest's buckets, absorbed in time order into a fresh
+    /// master, reproduce the folding digest exactly.
+    #[test]
+    fn logged_buckets_absorb_to_the_same_value() {
+        let mut seq = TraceDigest::new();
+        let mut logged = TraceDigest::new_logged();
+        for (t, p) in [(1u64, 0usize), (1, 1), (4, 0), (9, 2), (9, 0)] {
+            seq.record(SimTime::from_nanos(t), ProcessId(p));
+            logged.record(SimTime::from_nanos(t), ProcessId(p));
+        }
+        seq.record_tag(7);
+        logged.record_tag(7);
+        let mut master = TraceDigest::new();
+        for b in logged.take_log() {
+            master.absorb(&b);
+        }
+        assert_eq!(master.value(), seq.value());
+        assert_eq!(master.records(), seq.records());
     }
 }

@@ -1,9 +1,10 @@
 //! Model-based property test: the calendar [`EventQueue`] must produce
 //! byte-for-byte the same `(time, seq, target)` pop sequence as a plain
 //! binary-heap priority queue over the `(time, seq)` key — including FIFO
-//! order among equal times — for arbitrary interleavings of pushes and
-//! pops. This is the ordering contract the kernel's `TraceDigest`
-//! stability rests on.
+//! order among equal times when keys follow insertion order, as the
+//! kernel's per-source keys do within one source — for arbitrary
+//! interleavings of pushes and pops. This is the ordering contract the
+//! kernel's `TraceDigest` stability rests on.
 
 use hpsock_sim::event::EventQueue;
 use hpsock_sim::{Message, ProcessId, SimTime};
@@ -75,7 +76,12 @@ fn check_script(script: Vec<(u64, u64)>) {
                 let t = now + hpsock_sim::Dur::nanos(dt);
                 // The payload carries the model's expected seq so payload
                 // identity is checked too, not just the key.
-                real.push(t, ProcessId(target), Message::new(model.next_seq));
+                real.push(
+                    t,
+                    model.next_seq,
+                    ProcessId(target),
+                    Message::new(model.next_seq),
+                );
                 model.push(t, ProcessId(target));
             }
             Op::Pop => {

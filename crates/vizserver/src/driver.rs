@@ -36,6 +36,10 @@ pub struct RunCapture {
     pub resource_names: Vec<String>,
     /// Server count per resource, same indexing.
     pub servers: Vec<usize>,
+    /// The run's event-trace digest — the determinism tests' witness that
+    /// two runs (e.g. sequential vs `HPSOCK_SHARDS=n`) dispatched the
+    /// same events in the same order.
+    pub digest: u64,
 }
 
 impl RunCapture {
@@ -50,6 +54,7 @@ impl RunCapture {
             end,
             resource_names,
             servers,
+            digest: sim.trace_digest(),
         }
     }
 }

@@ -226,3 +226,88 @@ fn microbench_results_are_deterministic() {
     let bw2 = microbench::streaming_mbps(&p, 8_192, 64);
     assert_eq!(bw1.to_bits(), bw2.to_bits());
 }
+
+// ---------------------------------------------------------------------
+// Sharded-kernel determinism: `HPSOCK_SHARDS=2` and `=4` must produce
+// trace digests and rendered tables byte-identical to the sequential
+// run for the figure smoke configurations. Any divergence in event
+// order, float accumulation order, or RNG stream shows up here.
+// `HPSOCK_SHARDS` is process-global, so these tests serialize on one
+// lock while they flip the variable.
+
+static SHARD_ENV: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Run `f` once per shard count in `counts` with `HPSOCK_SHARDS` set
+/// accordingly (unset for 1), returning the outputs in order.
+fn per_shard_count<T>(counts: &[usize], mut f: impl FnMut() -> T) -> Vec<T> {
+    let _guard = SHARD_ENV.lock().unwrap_or_else(|p| p.into_inner());
+    let out = counts
+        .iter()
+        .map(|&n| {
+            if n <= 1 {
+                std::env::remove_var("HPSOCK_SHARDS");
+            } else {
+                std::env::set_var("HPSOCK_SHARDS", n.to_string());
+            }
+            f()
+        })
+        .collect();
+    std::env::remove_var("HPSOCK_SHARDS");
+    out
+}
+
+#[test]
+fn fig4_tables_are_shard_count_invariant() {
+    use hpsock_experiments::fig4;
+    // The micro-benchmarks run 2-node sims, so 4 requested shards also
+    // exercise the clamp path (down to 2) on the way.
+    let runs = per_shard_count(&[1, 2, 4], || {
+        format!(
+            "{}\n{}",
+            fig4::latency_table(4),
+            fig4::bandwidth_table(1 << 20)
+        )
+    });
+    assert_eq!(runs[0], runs[1], "2 shards must render identical tables");
+    assert_eq!(runs[0], runs[2], "4 shards must render identical tables");
+}
+
+#[test]
+fn fig7_guarantee_run_is_shard_count_invariant() {
+    use hpsock_experiments::runner::{run_guarantee_traced, GuaranteeRun, FIG7_SEED};
+    let run = GuaranteeRun {
+        kind: TransportKind::SocketVia,
+        block_bytes: 65_536,
+        compute: ComputeModel::None,
+        target_ups: 2.0,
+        n_complete: 5,
+        n_partial: 3,
+        seed: FIG7_SEED,
+    };
+    let runs = per_shard_count(&[1, 2, 4], || {
+        let (result, cap) = run_guarantee_traced(&run, None);
+        (format!("{result:?}"), cap.digest, cap.end)
+    });
+    assert_eq!(runs[0], runs[1], "2 shards: digest and result identical");
+    assert_eq!(runs[0], runs[2], "4 shards: digest and result identical");
+}
+
+#[test]
+fn fig9_mixed_stream_is_shard_count_invariant() {
+    use hpsock_experiments::fig9;
+    use hpsock_experiments::runner::FIG9_SEED;
+    let runs = per_shard_count(&[1, 2, 4], || {
+        let (ms, cap) = fig9::mean_response_probed(
+            TransportKind::KTcp,
+            ComputeModel::None,
+            8,
+            0.5,
+            6,
+            FIG9_SEED,
+            |_| None,
+        );
+        (ms.to_bits(), cap.digest, cap.end)
+    });
+    assert_eq!(runs[0], runs[1], "2 shards: digest and response identical");
+    assert_eq!(runs[0], runs[2], "4 shards: digest and response identical");
+}
