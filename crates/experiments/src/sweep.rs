@@ -78,17 +78,27 @@ where
     // shared write safe.
     let jobs: Mutex<Vec<(usize, I)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
     let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // A scoped shard-count override (`with_shard_count`) is thread-local;
+    // re-install the submitting thread's override in every pool worker so
+    // sweep points run under the same shard count as the caller.
+    let shards = hpsock_sim::shard::shard_override();
     std::thread::scope(|s| {
         for _ in 0..workers {
             let jobs = &jobs;
             let slots = &slots;
             let f = &f;
-            s.spawn(move || loop {
-                let Some((idx, item)) = jobs.lock().expect("job queue lock").pop() else {
-                    return;
+            s.spawn(move || {
+                let drain = || loop {
+                    let Some((idx, item)) = jobs.lock().expect("job queue lock").pop() else {
+                        return;
+                    };
+                    let out = f(item);
+                    *slots[idx].lock().expect("slot lock") = Some(out);
                 };
-                let out = f(item);
-                *slots[idx].lock().expect("slot lock") = Some(out);
+                match shards {
+                    Some(k) => hpsock_sim::shard::with_shard_count(k, drain),
+                    None => drain(),
+                }
             });
         }
     });

@@ -91,9 +91,31 @@ pub(crate) const KEY_COUNT_BITS: u32 = 40;
 
 /// The canonical ordering key for the next push from `slot`, advancing
 /// its counter.
+///
+/// Keys must stay unique — `EventQueue::push` and the sharded probe merge
+/// both rely on it — so debug builds fail loudly if either field would
+/// overflow its bit range and silently collide.
 #[inline]
 pub(crate) fn next_key(push_counts: &mut [u64], slot: usize) -> u64 {
-    let c = &mut push_counts[slot];
+    debug_assert!(
+        slot < (1 << (64 - KEY_COUNT_BITS)),
+        "ordering-key slot field overflow: slot {slot}"
+    );
+    debug_assert!(
+        slot < push_counts.len(),
+        "push count slot {slot} out of range"
+    );
+    // SAFETY: every caller passes slot 0 (always present — `Sim::new`
+    // seeds the table with one entry) or `pid + 1` for a registered pid,
+    // and both `add_process` and `Ctx::spawn` grow the table in lockstep
+    // with the pid space, so `slot < push_counts.len()` always holds (and
+    // is asserted above in debug builds). This sits on the per-event hot
+    // path; the checked index measurably slows dispatch.
+    let c = unsafe { push_counts.get_unchecked_mut(slot) };
+    debug_assert!(
+        *c < (1 << KEY_COUNT_BITS),
+        "ordering-key count field overflow: 2^{KEY_COUNT_BITS} pushes from slot {slot}"
+    );
     let key = ((slot as u64) << KEY_COUNT_BITS) | *c;
     *c += 1;
     key
@@ -102,28 +124,39 @@ pub(crate) fn next_key(push_counts: &mut [u64], slot: usize) -> u64 {
 impl Core {
     /// Route one keyed push: locally onto the queue, or — in a sharded run
     /// when `target` lives on another shard — into that shard's mailbox,
-    /// after checking the link's lookahead promise.
+    /// after checking the link's lookahead promise. The sharded case is
+    /// outlined (`#[cold]`): keeping the mailbox machinery out of this
+    /// function lets the sequential path inline `EventQueue::push` cleanly,
+    /// which is worth several ns on every dispatched event.
     #[inline]
     pub(crate) fn push(&mut self, time: SimTime, key: u64, target: ProcessId, msg: Message) {
-        match &self.route {
-            None => self.queue.push(time, key, target, msg),
-            Some(route) => {
-                let dest = route.owner_pid[target.0];
-                if dest == route.shard {
-                    self.queue.push(time, key, target, msg);
-                } else {
-                    route.check_lookahead(self.now, time, dest);
-                    route.outboxes[dest]
-                        .lock()
-                        .expect("shard mailbox lock")
-                        .push(crate::shard::SentEvent {
-                            time,
-                            key,
-                            target,
-                            msg,
-                        });
-                }
-            }
+        if self.route.is_none() {
+            self.queue.push(time, key, target, msg);
+        } else {
+            self.push_routed(time, key, target, msg);
+        }
+    }
+
+    /// The sharded-run push path (see [`Core::push`]). Cold from the
+    /// sequential kernel's perspective; in a sharded run the extra call is
+    /// noise next to the window protocol's barriers.
+    #[cold]
+    fn push_routed(&mut self, time: SimTime, key: u64, target: ProcessId, msg: Message) {
+        let route = self.route.as_ref().expect("routed push has a route");
+        let dest = route.owner_pid[target.0];
+        if dest == route.shard {
+            self.queue.push(time, key, target, msg);
+        } else {
+            route.check_lookahead(self.now, time, dest);
+            route.outboxes[dest]
+                .lock()
+                .expect("shard mailbox lock")
+                .push(crate::shard::SentEvent {
+                    time,
+                    key,
+                    target,
+                    msg,
+                });
         }
     }
 
@@ -192,16 +225,18 @@ impl Sim {
             plan.shards,
             "lookahead matrix must be shards x shards"
         );
-        for row in plan.lookahead.iter() {
+        for (a, row) in plan.lookahead.iter().enumerate() {
             assert_eq!(
                 row.len(),
                 plan.shards,
                 "lookahead matrix must be shards x shards"
             );
-            for &l in row {
+            for (b, &l) in row.iter().enumerate() {
+                // Diagonal entries are documented as ignored, so any value
+                // (including 0) is fine there.
                 assert!(
-                    l > 0,
-                    "cross-shard links must have positive lookahead (got 0)"
+                    a == b || l > 0,
+                    "cross-shard links must have positive lookahead (got 0 for {a}->{b})"
                 );
             }
         }

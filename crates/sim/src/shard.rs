@@ -79,10 +79,48 @@ pub fn parse_shard_count(raw: &str) -> Result<usize, String> {
     }
 }
 
-/// The shard count requested via `HPSOCK_SHARDS` (default 1: the
+thread_local! {
+    /// Per-thread override consulted by [`configured_shards`] before the
+    /// `HPSOCK_SHARDS` environment variable (see [`with_shard_count`]).
+    static SHARD_OVERRIDE: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// The shard-count override active on this thread, if any. Thread pools
+/// that fan simulation work out to worker threads (e.g. the experiment
+/// sweeps) should capture this on the submitting thread and re-install it
+/// in each worker via [`with_shard_count`], so an override behaves like a
+/// process-wide setting for the work it scopes.
+pub fn shard_override() -> Option<usize> {
+    SHARD_OVERRIDE.with(std::cell::Cell::get)
+}
+
+/// Run `f` with [`configured_shards`] returning `count` on this thread,
+/// regardless of the `HPSOCK_SHARDS` environment variable; the previous
+/// override (if any) is restored afterwards, including on unwind.
+///
+/// This is how tests vary the shard count: calling `std::env::set_var`
+/// mid-run is undefined behaviour on glibc while any other thread may
+/// call `getenv`, and it leaks the setting to concurrently running tests.
+pub fn with_shard_count<T>(count: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SHARD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(SHARD_OVERRIDE.with(|c| c.replace(Some(count))));
+    f()
+}
+
+/// The shard count requested via [`with_shard_count`] or, absent an
+/// override, the `HPSOCK_SHARDS` environment variable (default 1: the
 /// sequential kernel). Invalid values abort with a clear message rather
 /// than silently running sequentially.
 pub fn configured_shards() -> usize {
+    if let Some(n) = shard_override() {
+        return n;
+    }
     match std::env::var("HPSOCK_SHARDS") {
         Ok(raw) => parse_shard_count(&raw).unwrap_or_else(|e| panic!("{e}")),
         Err(_) => 1,
@@ -498,11 +536,22 @@ fn worker_loop(w: &mut Worker, sh: &Shared) {
         }
         let next = w.core.queue.peek_time().map_or(u64::MAX, |t| t.as_nanos());
         sh.next[w.my].store(next, Ordering::Relaxed);
+        // Snapshot the stop/cap flags BEFORE the barrier. Both are only
+        // stored during a round's phase B, which no worker can enter until
+        // every worker has passed the barrier below — so at this point the
+        // flags hold exactly the stores of completed rounds, the same on
+        // every worker. Reading them after the barrier instead would race
+        // with a fast peer already dispatching this round, and workers
+        // could then split on the exit decision, deadlocking the rest at
+        // the second barrier.
+        let stop = sh.stop.load(Ordering::Relaxed);
+        let capped = sh.events.load(Ordering::Relaxed) >= sh.max_events;
         if !sh.barrier.wait() {
             return;
         }
         // Every worker computes the same window and the same exit decision
-        // from the same published values; they leave the loop together.
+        // from the same published values and pre-barrier flag snapshots;
+        // they leave the loop together.
         let mut min_next = u64::MAX;
         let mut window = u64::MAX;
         for s in 0..shards {
@@ -510,8 +559,6 @@ fn worker_loop(w: &mut Worker, sh: &Shared) {
             min_next = min_next.min(n);
             window = window.min(n.saturating_add(sh.lmin_out[s]));
         }
-        let stop = sh.stop.load(Ordering::Relaxed);
-        let capped = sh.events.load(Ordering::Relaxed) >= sh.max_events;
         if stop || capped || min_next == u64::MAX || min_next > sh.horizon {
             return;
         }
@@ -658,6 +705,24 @@ mod tests {
             parse_shard_count(""),
             Err("HPSOCK_SHARDS must be a positive integer, got \"\"".into())
         );
+    }
+
+    #[test]
+    fn with_shard_count_overrides_and_restores() {
+        // Runs on this test's own thread: no env mutation, no cross-test
+        // interference.
+        assert_eq!(shard_override(), None);
+        let n = with_shard_count(3, || {
+            assert_eq!(shard_override(), Some(3));
+            // Nesting wins over the outer override and restores it.
+            with_shard_count(2, configured_shards)
+        });
+        assert_eq!(n, 2);
+        assert_eq!(shard_override(), None);
+        // Restored on unwind too.
+        let r = std::panic::catch_unwind(|| with_shard_count(5, || panic!("boom")));
+        assert!(r.is_err());
+        assert_eq!(shard_override(), None);
     }
 
     #[test]
@@ -930,6 +995,41 @@ mod tests {
         sim.set_shard_plan(plan(2, u64::MAX, |pid| pid % 2));
         sim.schedule_at(SimTime::ZERO, ProcessId(0), Message::new(()));
         sim.run();
+    }
+
+    #[test]
+    fn zero_diagonal_lookahead_is_accepted() {
+        // The diagonal is documented as ignored, so a plan that fills it
+        // with 0 (a natural encoding of same-shard "links") must pass the
+        // positivity check that guards real cross-shard entries — and run
+        // to the same result as the sequential kernel.
+        let run = |with_plan: bool| {
+            let mut sim = Sim::new(42);
+            let cpus: Vec<ResourceId> = (0..2)
+                .map(|i| sim.add_resource(format!("cpu{i}"), 1))
+                .collect();
+            for (i, &cpu) in cpus.iter().enumerate() {
+                sim.add_process(Box::new(RingHop {
+                    nextp: ProcessId((i + 1) % 2),
+                    cpu,
+                    hops_left: 5,
+                    heard: Vec::new(),
+                }));
+            }
+            if with_plan {
+                let mut p = plan(2, 10_000, |pid| pid % 2);
+                let mut la = (*p.lookahead).clone();
+                la[0][0] = 0;
+                la[1][1] = 0;
+                p.lookahead = Arc::new(la);
+                p.resolve_rid = Arc::new(|rid: ResourceId| rid.0 % 2);
+                sim.set_shard_plan(p);
+            }
+            sim.schedule_at(SimTime::ZERO, ProcessId(0), Message::new(1u64));
+            sim.run();
+            (sim.trace_digest(), sim.events_dispatched())
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

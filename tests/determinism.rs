@@ -232,28 +232,18 @@ fn microbench_results_are_deterministic() {
 // trace digests and rendered tables byte-identical to the sequential
 // run for the figure smoke configurations. Any divergence in event
 // order, float accumulation order, or RNG stream shows up here.
-// `HPSOCK_SHARDS` is process-global, so these tests serialize on one
-// lock while they flip the variable.
+// The count is injected with `with_shard_count` — a scoped thread-local
+// override of `HPSOCK_SHARDS` — never `std::env::set_var`, which is
+// undefined behaviour on glibc while sibling tests on other threads call
+// `getenv`, and which would leak the setting to concurrent tests.
 
-static SHARD_ENV: std::sync::Mutex<()> = std::sync::Mutex::new(());
-
-/// Run `f` once per shard count in `counts` with `HPSOCK_SHARDS` set
-/// accordingly (unset for 1), returning the outputs in order.
+/// Run `f` once per shard count in `counts`, returning the outputs in
+/// order.
 fn per_shard_count<T>(counts: &[usize], mut f: impl FnMut() -> T) -> Vec<T> {
-    let _guard = SHARD_ENV.lock().unwrap_or_else(|p| p.into_inner());
-    let out = counts
+    counts
         .iter()
-        .map(|&n| {
-            if n <= 1 {
-                std::env::remove_var("HPSOCK_SHARDS");
-            } else {
-                std::env::set_var("HPSOCK_SHARDS", n.to_string());
-            }
-            f()
-        })
-        .collect();
-    std::env::remove_var("HPSOCK_SHARDS");
-    out
+        .map(|&n| hpsock_sim::shard::with_shard_count(n, &mut f))
+        .collect()
 }
 
 #[test]
