@@ -206,6 +206,29 @@ fn bench_sharded_cluster(c: &mut Criterion) {
         });
     }
     g.finish();
+
+    // Wall-clock companion to the criterion numbers: one telemetered run
+    // per variant, reporting the kernel's own events/sec and utilization
+    // from `run_report.json` (criterion times the whole closure, the
+    // report isolates the dispatch loop).
+    let tel_dir = std::env::temp_dir().join(format!("hpsock_bench_tel_{}", std::process::id()));
+    for shards in [1usize, 2, 4] {
+        hpsock_sim::telemetry::with_telemetry_dir(Some(&tel_dir), || run(shards));
+        match hpsock_sim::telemetry::last_report() {
+            Some(r) => println!(
+                "run_report.json: sharded_cluster_{shards} ({} mode, {} shards): \
+                 {} events in {:.2} ms wall = {:.0} events/sec, {} rounds",
+                r.mode,
+                r.shards,
+                r.events,
+                r.wall_ns as f64 / 1e6,
+                r.events_per_sec,
+                r.rounds,
+            ),
+            None => println!("run_report.json: no telemetry report for {shards} shards"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&tel_dir);
 }
 
 criterion_group!(

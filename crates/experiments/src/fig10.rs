@@ -101,13 +101,17 @@ pub fn sweep_seeded(seeds: &[u64]) -> Vec<Row> {
 /// (NA) cell** — the row is never skipped and `NaN` never printed
 /// (pinned by the `no_reaction_*` tests); the ratio column goes NA
 /// whenever either side has no mean. Replicated batches add
-/// `_ci95_lo`/`_ci95_hi` columns and a trailing `n_seeds`.
+/// `_ci95_lo`/`_ci95_hi` columns and a trailing `n_seeds`;
+/// `HPSOCK_TAILS=1` appends `_p50`/`_p99`/`_p999` after each series.
 pub fn to_table(rows: &[Row]) -> Table {
     let n_seeds = rows.first().map_or(1, |r| r.sv.len());
     let replicated = n_seeds > 1;
+    let tails = replicate::tails_enabled();
     let mut headers = vec!["factor".to_string()];
-    replicate::value_headers(&mut headers, "SocketVIA", replicated);
-    replicate::value_headers(&mut headers, "TCP", replicated);
+    for name in ["SocketVIA", "TCP"] {
+        replicate::value_headers(&mut headers, name, replicated);
+        replicate::tail_headers(&mut headers, name, tails);
+    }
     headers.push("TCP/SocketVIA".into());
     if replicated {
         headers.push("n_seeds".into());
@@ -125,7 +129,9 @@ pub fn to_table(rows: &[Row]) -> Table {
         };
         let mut row = vec![format!("{:.0}", r.factor)];
         replicate::value_cells(&mut row, &sv, 1, replicated);
+        replicate::tail_cells(&mut row, &sv, 1, tails);
         replicate::value_cells(&mut row, &tcp, 1, replicated);
+        replicate::tail_cells(&mut row, &tcp, 1, tails);
         row.push(fmt_opt(ratio, 1));
         if replicated {
             row.push(n_seeds.to_string());

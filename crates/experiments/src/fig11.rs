@@ -79,7 +79,8 @@ pub fn run() -> Vec<Table> {
 
 /// [`run`] with an explicit seed batch (see [`crate::replicate`]):
 /// replicated batches add per-column `_ci95_lo`/`_ci95_hi` plus a
-/// trailing `n_seeds`.
+/// trailing `n_seeds`; `HPSOCK_TAILS=1` appends `_p50`/`_p99`/`_p999`
+/// tail columns after each series.
 pub fn run_seeded(seeds: &[u64]) -> Vec<Table> {
     const COLS: [&str; 6] = [
         "SocketVIA(2)",
@@ -100,9 +101,11 @@ pub fn run_seeded(seeds: &[u64]) -> Vec<Table> {
     }
     let results = parallel_map_seeded(jobs, seeds, |&(kind, p, f), seed| exec_us(kind, p, f, seed));
     let replicated = seeds.len() > 1;
+    let tails = replicate::tails_enabled();
     let mut headers = vec!["prob_%".to_string()];
     for name in COLS {
         replicate::value_headers(&mut headers, name, replicated);
+        replicate::tail_headers(&mut headers, name, tails);
     }
     if replicated {
         headers.push("n_seeds".into());
@@ -117,6 +120,7 @@ pub fn run_seeded(seeds: &[u64]) -> Vec<Table> {
         for j in 0..COLS.len() {
             let s = Series::collect(results[base + j].iter().map(|&v| Some(v)));
             replicate::value_cells(&mut row, &s, 0, replicated);
+            replicate::tail_cells(&mut row, &s, 0, tails);
         }
         if replicated {
             row.push(seeds.len().to_string());

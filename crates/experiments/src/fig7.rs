@@ -149,13 +149,17 @@ pub fn sweep_seeded(
 /// Single-seed batches reproduce the historical columns exactly;
 /// replicated batches add per-series `_ci95_lo`/`_ci95_hi` columns (the
 /// bare column becomes the across-seed mean) plus a trailing `n_seeds`.
+/// `HPSOCK_TAILS=1` additionally appends `_p50`/`_p99`/`_p999` tail
+/// columns after each series (see [`replicate::tails_enabled`]).
 pub fn to_table(title: &str, points: &[Vec<Point>]) -> Table {
     let n_seeds = points.first().map_or(1, Vec::len);
     let replicated = n_seeds > 1;
+    let tails = replicate::tails_enabled();
     let mut headers = vec!["updates_per_sec".to_string()];
-    replicate::value_headers(&mut headers, "TCP", replicated);
-    replicate::value_headers(&mut headers, "SocketVIA", replicated);
-    replicate::value_headers(&mut headers, "SocketVIA(DR)", replicated);
+    for name in ["TCP", "SocketVIA", "SocketVIA(DR)"] {
+        replicate::value_headers(&mut headers, name, replicated);
+        replicate::tail_headers(&mut headers, name, tails);
+    }
     headers.extend(["tcp_block", "dr_block", "tcp_sustained"].map(String::from));
     if replicated {
         headers.push("n_seeds".into());
@@ -164,8 +168,10 @@ pub fn to_table(title: &str, points: &[Vec<Point>]) -> Table {
     for reps in points {
         let p0 = &reps[0];
         let mut row = vec![format!("{:.2}", p0.ups)];
-        let cells =
-            |row: &mut Vec<String>, s: Series| replicate::value_cells(row, &s, 1, replicated);
+        let cells = |row: &mut Vec<String>, s: Series| {
+            replicate::value_cells(row, &s, 1, replicated);
+            replicate::tail_cells(row, &s, 1, tails);
+        };
         cells(&mut row, Series::collect(reps.iter().map(|p| p.tcp_us)));
         cells(
             &mut row,
@@ -345,6 +351,46 @@ mod tests {
             ]
         );
         assert_eq!(single.rows[0][6], "true");
+    }
+
+    #[test]
+    fn tail_columns_are_opt_in_and_compose_with_ci95() {
+        let scale = Scale {
+            n_complete: 3,
+            n_partial: 2,
+        };
+        let seeds = replicate::seed_batch(FIG7_SEED, 3);
+        let reps = sweep_seeded(ComputeModel::None, &[3.0], scale, &seeds);
+        // Tails off (scoped, not the ambient env) is byte-identical to the
+        // default rendering — the flag must never leak into base tables.
+        let base = to_table("t", &reps);
+        let off = replicate::with_tails(false, || to_table("t", &reps));
+        assert_eq!(
+            base.to_csv(),
+            off.to_csv(),
+            "tails-off table is the base table"
+        );
+        // Tails on: each series gains p50/p99/p999 right after its ci95
+        // block, and the trailing columns stay in place.
+        let on = replicate::with_tails(true, || to_table("t", &reps));
+        assert_eq!(
+            on.headers[1..9],
+            [
+                "TCP",
+                "TCP_ci95_lo",
+                "TCP_ci95_hi",
+                "TCP_p50",
+                "TCP_p99",
+                "TCP_p999",
+                "SocketVIA",
+                "SocketVIA_ci95_lo",
+            ]
+        );
+        assert_eq!(on.headers.last().map(String::as_str), Some("n_seeds"));
+        assert_eq!(on.rows[0].len(), on.headers.len());
+        let p50: f64 = on.rows[0][4].parse().expect("TCP_p50 is numeric");
+        let p999: f64 = on.rows[0][6].parse().expect("TCP_p999 is numeric");
+        assert!(p50 > 0.0 && p50 <= p999, "quantiles ordered: {p50} {p999}");
     }
 
     #[test]

@@ -90,14 +90,17 @@ pub fn sweep_seeded(
 /// Render a panel as the paper's series. Replicated batches add
 /// per-series `_ci95_lo`/`_ci95_hi` columns (the bare column is the
 /// across-seed mean) and a trailing `n_seeds`; single-seed batches keep
-/// the historical columns bit-for-bit.
+/// the historical columns bit-for-bit. `HPSOCK_TAILS=1` appends
+/// `_p50`/`_p99`/`_p999` tail columns after each series.
 pub fn to_table(title: &str, points: &[Vec<Point>]) -> Table {
     let n_seeds = points.first().map_or(1, Vec::len);
     let replicated = n_seeds > 1;
+    let tails = replicate::tails_enabled();
     let mut headers = vec!["latency_us".to_string()];
-    replicate::value_headers(&mut headers, "TCP", replicated);
-    replicate::value_headers(&mut headers, "SocketVIA", replicated);
-    replicate::value_headers(&mut headers, "SocketVIA(DR)", replicated);
+    for name in ["TCP", "SocketVIA", "SocketVIA(DR)"] {
+        replicate::value_headers(&mut headers, name, replicated);
+        replicate::tail_headers(&mut headers, name, tails);
+    }
     headers.extend(["tcp_block", "dr_block"].map(String::from));
     if replicated {
         headers.push("n_seeds".into());
@@ -106,8 +109,10 @@ pub fn to_table(title: &str, points: &[Vec<Point>]) -> Table {
     for reps in points {
         let p0 = &reps[0];
         let mut row = vec![format!("{:.0}", p0.limit_us)];
-        let cells =
-            |row: &mut Vec<String>, s: Series| replicate::value_cells(row, &s, 2, replicated);
+        let cells = |row: &mut Vec<String>, s: Series| {
+            replicate::value_cells(row, &s, 2, replicated);
+            replicate::tail_cells(row, &s, 2, tails);
+        };
         cells(&mut row, Series::collect(reps.iter().map(|p| p.tcp_ups)));
         cells(&mut row, Series::collect(reps.iter().map(|p| p.sv_ups)));
         cells(

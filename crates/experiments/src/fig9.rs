@@ -110,7 +110,8 @@ pub fn panel(compute: ComputeModel, n: u32) -> Table {
 
 /// [`panel`], one replicate per seed in `seeds` (see
 /// [`crate::replicate`]): replicated batches add per-column
-/// `_ci95_lo`/`_ci95_hi` plus a trailing `n_seeds`.
+/// `_ci95_lo`/`_ci95_hi` plus a trailing `n_seeds`; `HPSOCK_TAILS=1`
+/// appends `_p50`/`_p99`/`_p999` tail columns after each series.
 pub fn panel_seeded(compute: ComputeModel, n: u32, seeds: &[u64]) -> Table {
     const COLS: [&str; 6] = [
         "NoPart(SV)",
@@ -133,9 +134,11 @@ pub fn panel_seeded(compute: ComputeModel, n: u32, seeds: &[u64]) -> Table {
         mean_response_ms(kind, compute, parts, f, n, seed)
     });
     let replicated = seeds.len() > 1;
+    let tails = replicate::tails_enabled();
     let mut headers = vec!["fraction".to_string()];
     for name in COLS {
         replicate::value_headers(&mut headers, name, replicated);
+        replicate::tail_headers(&mut headers, name, tails);
     }
     if replicated {
         headers.push("n_seeds".into());
@@ -153,6 +156,7 @@ pub fn panel_seeded(compute: ComputeModel, n: u32, seeds: &[u64]) -> Table {
         for j in 0..COLS.len() {
             let s = Series::collect(results[base + j].iter().map(|&v| Some(v)));
             replicate::value_cells(&mut row, &s, 1, replicated);
+            replicate::tail_cells(&mut row, &s, 1, tails);
         }
         if replicated {
             row.push(seeds.len().to_string());

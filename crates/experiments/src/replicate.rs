@@ -10,6 +10,7 @@
 //! scheduling — so a batch's aggregate is reproducible under any
 //! `HPSOCK_THREADS` (pinned by `tests/replication.rs`).
 
+use hpsock_sim::stats::Histogram;
 use hpsock_sim::Tally;
 
 /// One splitmix64 step (Steele et al., "Fast splittable pseudorandom
@@ -57,6 +58,54 @@ pub fn seed_count() -> usize {
     }
 }
 
+/// Parse an `HPSOCK_TAILS` value: strictly `0` (off) or `1` (on),
+/// anything else is an error naming the variable — the `HPSOCK_SHARDS`
+/// convention.
+pub fn parse_tail_flag(raw: &str) -> Result<bool, String> {
+    match raw.trim() {
+        "0" => Ok(false),
+        "1" => Ok(true),
+        _ => Err(format!(
+            "HPSOCK_TAILS must be 0 or 1, got {raw:?} (1 adds p50/p99/p999 columns)"
+        )),
+    }
+}
+
+thread_local! {
+    /// Per-thread override consulted by [`tails_enabled`] before the
+    /// `HPSOCK_TAILS` environment variable (see [`with_tails`]).
+    static TAILS_OVERRIDE: std::cell::Cell<Option<bool>> = const { std::cell::Cell::new(None) };
+}
+
+/// Run `f` with [`tails_enabled`] returning `on` on this thread,
+/// regardless of the `HPSOCK_TAILS` environment variable; the previous
+/// override is restored afterwards, including on unwind. Tests toggle the
+/// tail columns this way — `std::env::set_var` is undefined behaviour on
+/// glibc while other threads may call `getenv`.
+pub fn with_tails<T>(on: bool, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<bool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            TAILS_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(TAILS_OVERRIDE.with(|c| c.replace(Some(on))));
+    f()
+}
+
+/// Whether the figure tables should add `p50`/`p99`/`p999` tail columns:
+/// the [`with_tails`] override if scoped, else `HPSOCK_TAILS` (default
+/// off, keeping the base tables byte-identical to the historical output).
+pub fn tails_enabled() -> bool {
+    if let Some(on) = TAILS_OVERRIDE.with(std::cell::Cell::get) {
+        return on;
+    }
+    match std::env::var("HPSOCK_TAILS") {
+        Ok(v) => parse_tail_flag(&v).unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => false,
+    }
+}
+
 /// Aggregate of one value column across a point's seed batch. `None`
 /// observations (transport dropouts) are skipped; a column where no seed
 /// produced a value renders as the dash marker, like the single-seed
@@ -64,16 +113,21 @@ pub fn seed_count() -> usize {
 #[derive(Debug, Clone)]
 pub struct Series {
     tally: Tally,
+    /// The raw observations, kept for the tail-quantile columns (seed
+    /// batches are small, so this costs a few floats per cell).
+    samples: Vec<f64>,
 }
 
 impl Series {
     /// Collect the per-seed observations of one point.
     pub fn collect(vals: impl IntoIterator<Item = Option<f64>>) -> Series {
         let mut tally = Tally::new();
+        let mut samples = Vec::new();
         for v in vals.into_iter().flatten() {
             tally.add(v);
+            samples.push(v);
         }
-        Series { tally }
+        Series { tally, samples }
     }
 
     /// Across-seed mean, `None` when every seed dropped out.
@@ -115,6 +169,34 @@ pub fn value_cells(out: &mut Vec<String>, s: &Series, decimals: usize, replicate
         };
         out.push(crate::table::fmt_opt(lo, decimals));
         out.push(crate::table::fmt_opt(hi, decimals));
+    }
+}
+
+/// Append the tail-quantile header(s) of one value column:
+/// `name_p50`,`name_p99`,`name_p999` when `tails` is on (see
+/// [`tails_enabled`]), nothing otherwise. Separate from [`value_headers`]
+/// so the base and ci95 layouts stay byte-identical with tails off.
+pub fn tail_headers(out: &mut Vec<String>, name: &str, tails: bool) {
+    if tails {
+        out.push(format!("{name}_p50"));
+        out.push(format!("{name}_p99"));
+        out.push(format!("{name}_p999"));
+    }
+}
+
+/// Append the tail-quantile cell(s) of one value column, matching
+/// [`tail_headers`]: log-spaced-histogram quantiles over the raw seed
+/// observations (see [`Histogram::summarize`]), dashes when every seed
+/// dropped out.
+pub fn tail_cells(out: &mut Vec<String>, s: &Series, decimals: usize, tails: bool) {
+    if tails {
+        let h = Histogram::summarize(&s.samples);
+        for q in [0.5, 0.99, 0.999] {
+            out.push(crate::table::fmt_opt(
+                (s.n() > 0).then(|| h.quantile(q)),
+                decimals,
+            ));
+        }
     }
 }
 
@@ -183,5 +265,54 @@ mod tests {
         let mut cells = Vec::new();
         value_cells(&mut cells, &dropout, 1, true);
         assert_eq!(cells, vec!["-", "-", "-"], "dropouts stay explicit dashes");
+    }
+
+    #[test]
+    fn parse_tail_flag_is_strict() {
+        assert_eq!(parse_tail_flag("0"), Ok(false));
+        assert_eq!(parse_tail_flag("1"), Ok(true));
+        assert_eq!(parse_tail_flag(" 1 "), Ok(true), "whitespace trimmed");
+        for bad in ["2", "true", "yes", "", "on", "-1"] {
+            let err = parse_tail_flag(bad).unwrap_err();
+            assert!(err.contains("HPSOCK_TAILS"), "names the variable: {err}");
+        }
+    }
+
+    #[test]
+    fn with_tails_overrides_and_restores() {
+        assert!(!tails_enabled(), "default is off");
+        let inner = with_tails(true, || {
+            assert!(tails_enabled());
+            with_tails(false, tails_enabled)
+        });
+        assert!(!inner, "nested override wins inside its scope");
+        assert!(!tails_enabled(), "override restored after the scope");
+    }
+
+    #[test]
+    fn tail_cells_match_tail_headers() {
+        let s = Series::collect((1..=100).map(|v| Some(v as f64)));
+        let (mut h, mut c) = (Vec::new(), Vec::new());
+        tail_headers(&mut h, "TCP", false);
+        tail_cells(&mut c, &s, 1, false);
+        assert!(h.is_empty() && c.is_empty(), "tails off adds nothing");
+        tail_headers(&mut h, "TCP", true);
+        tail_cells(&mut c, &s, 1, true);
+        assert_eq!(h, vec!["TCP_p50", "TCP_p99", "TCP_p999"]);
+        assert_eq!(c.len(), 3);
+        let p50: f64 = c[0].parse().unwrap();
+        let p99: f64 = c[1].parse().unwrap();
+        let p999: f64 = c[2].parse().unwrap();
+        assert!((45.0..=56.0).contains(&p50), "p50 near the median: {p50}");
+        assert!(p50 <= p99 && p99 <= p999, "quantiles are monotone");
+        assert!(p999 <= 100.0, "p999 capped at the observed max: {p999}");
+    }
+
+    #[test]
+    fn tail_cells_render_dropouts_as_dashes() {
+        let dropout = Series::collect([None, None]);
+        let mut cells = Vec::new();
+        tail_cells(&mut cells, &dropout, 1, true);
+        assert_eq!(cells, vec!["-", "-", "-"]);
     }
 }

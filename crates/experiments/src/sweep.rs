@@ -78,15 +78,18 @@ where
     // shared write safe.
     let jobs: Mutex<Vec<(usize, I)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
     let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    // A scoped shard-count override (`with_shard_count`) is thread-local;
-    // re-install the submitting thread's override in every pool worker so
-    // sweep points run under the same shard count as the caller.
+    // Scoped overrides (`with_shard_count`, `with_telemetry_dir`) are
+    // thread-local; re-install the submitting thread's overrides in every
+    // pool worker so sweep points run under the same shard count and
+    // telemetry setting as the caller.
     let shards = hpsock_sim::shard::shard_override();
+    let telemetry = hpsock_sim::telemetry::telemetry_override();
     std::thread::scope(|s| {
         for _ in 0..workers {
             let jobs = &jobs;
             let slots = &slots;
             let f = &f;
+            let telemetry = telemetry.clone();
             s.spawn(move || {
                 let drain = || loop {
                     let Some((idx, item)) = jobs.lock().expect("job queue lock").pop() else {
@@ -95,9 +98,13 @@ where
                     let out = f(item);
                     *slots[idx].lock().expect("slot lock") = Some(out);
                 };
-                match shards {
+                let sharded = || match shards {
                     Some(k) => hpsock_sim::shard::with_shard_count(k, drain),
                     None => drain(),
+                };
+                match telemetry {
+                    Some(dir) => hpsock_sim::telemetry::with_telemetry_dir(dir.as_deref(), sharded),
+                    None => sharded(),
                 }
             });
         }
@@ -203,6 +210,22 @@ mod tests {
             parallel_map_workers(flat, w, |(i, s)| i.wrapping_mul(s))
         };
         assert_eq!(jobs(1), jobs(8));
+    }
+
+    /// A scoped telemetry override on the submitting thread must be
+    /// visible inside every pool worker, like the shard-count override.
+    #[test]
+    fn telemetry_override_propagates_to_pool_workers() {
+        let dir = std::path::PathBuf::from("tel-sweep-scope");
+        let seen = hpsock_sim::telemetry::with_telemetry_dir(Some(&dir), || {
+            parallel_map_workers((0..8).collect::<Vec<u32>>(), 4, |_| {
+                hpsock_sim::telemetry::configured_telemetry()
+            })
+        });
+        assert!(
+            seen.iter().all(|d| d.as_deref() == Some(dir.as_path())),
+            "pool workers saw {seen:?}"
+        );
     }
 
     #[test]

@@ -148,6 +148,9 @@ impl Core {
             self.queue.push(time, key, target, msg);
         } else {
             route.check_lookahead(self.now, time, dest);
+            // Telemetry counter, not protocol state: worker-local, read
+            // back per round by the shard worker loop.
+            route.sent.set(route.sent.get() + 1);
             route.outboxes[dest]
                 .lock()
                 .expect("shard mailbox lock")
@@ -337,45 +340,60 @@ impl Sim {
             }
         }
         self.start_new_processes();
+        // Wall-clock telemetry (off the dispatch path entirely): resolved
+        // once per run, timed around the whole loop, flushed at exit.
+        let tel_dir = crate::telemetry::configured_telemetry();
+        let run_start = std::time::Instant::now();
+        let events_before = self.core.events_dispatched;
         // Flatten the optional limit into one compare on the hot path; an
         // unlimited run can never pass t > MAX.
         let horizon = limit.unwrap_or(SimTime::from_nanos(u64::MAX));
-        // `stop` can only flip inside a handler, so it is re-checked after
-        // dispatch (below) rather than on every loop entry.
-        if self.core.stop_requested {
-            return self.core.now;
-        }
-        while let Some(t) = self.core.queue.peek_time() {
-            if t > horizon {
-                self.core.now = horizon;
-                return self.core.now;
-            }
-            if self.core.events_dispatched >= self.max_events {
-                break;
-            }
-            // SAFETY: peek_time just returned Some and nothing between the
-            // peek and here touches the queue. Skipping the unwrap branch
-            // lets the event be popped straight into this frame.
-            let (time, target, msg) = unsafe { self.core.queue.pop_parts().unwrap_unchecked() };
-            debug_assert!(time >= self.core.now, "time must not run backwards");
-            self.core.now = time;
-            self.core.events_dispatched += 1;
-            self.core.trace.record(time, target);
-            if let Some(probe) = self.core.probe.as_mut() {
-                probe.record(ProbeEvent::Dispatch { time, target });
-            }
-            self.dispatch(target, msg);
-            // Mid-run the table only grows through `Ctx::spawn`, which
-            // stages into `pending_spawns`; anything added before the run
-            // was started by the `start_new_processes` call at entry.
-            if !self.core.pending_spawns.is_empty() {
-                self.start_new_processes();
-            }
+        let end = 'run: {
+            // `stop` can only flip inside a handler, so it is re-checked
+            // after dispatch (below) rather than on every loop entry.
             if self.core.stop_requested {
-                break;
+                break 'run self.core.now;
             }
+            while let Some(t) = self.core.queue.peek_time() {
+                if t > horizon {
+                    self.core.now = horizon;
+                    break 'run self.core.now;
+                }
+                if self.core.events_dispatched >= self.max_events {
+                    break;
+                }
+                // SAFETY: peek_time just returned Some and nothing between the
+                // peek and here touches the queue. Skipping the unwrap branch
+                // lets the event be popped straight into this frame.
+                let (time, target, msg) = unsafe { self.core.queue.pop_parts().unwrap_unchecked() };
+                debug_assert!(time >= self.core.now, "time must not run backwards");
+                self.core.now = time;
+                self.core.events_dispatched += 1;
+                self.core.trace.record(time, target);
+                if let Some(probe) = self.core.probe.as_mut() {
+                    probe.record(ProbeEvent::Dispatch { time, target });
+                }
+                self.dispatch(target, msg);
+                // Mid-run the table only grows through `Ctx::spawn`, which
+                // stages into `pending_spawns`; anything added before the run
+                // was started by the `start_new_processes` call at entry.
+                if !self.core.pending_spawns.is_empty() {
+                    self.start_new_processes();
+                }
+                if self.core.stop_requested {
+                    break;
+                }
+            }
+            self.core.now
+        };
+        if let Some(dir) = tel_dir {
+            crate::telemetry::flush_sequential(
+                &dir,
+                run_start.elapsed().as_nanos() as u64,
+                self.core.events_dispatched - events_before,
+            );
         }
-        self.core.now
+        end
     }
 
     fn dispatch(&mut self, target: ProcessId, msg: Message) {

@@ -16,7 +16,11 @@
 //! * an event-trace digest used by determinism tests,
 //! * a typed observability bus ([`probe`]) — zero overhead when disabled,
 //!   with a buffering [`Recorder`], a [`MetricRegistry`], and Chrome
-//!   trace-event JSON export for Perfetto.
+//!   trace-event JSON export for Perfetto,
+//! * wall-clock self-profiling of the engine itself ([`telemetry`]) —
+//!   per-round shard/barrier accounting, Chrome-trace worker lanes and
+//!   `run_report.json` throughput summaries under `HPSOCK_TELEMETRY`,
+//!   digest-neutral by construction.
 //!
 //! The kernel is deterministic: two runs with the same seed and the same
 //! process construction order produce bit-identical event traces — whether
@@ -58,6 +62,7 @@ pub mod probe;
 pub mod resource;
 pub mod shard;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -71,5 +76,6 @@ pub use probe::{
 pub use resource::{Resource, ResourceId};
 pub use shard::ShardPlan;
 pub use stats::Tally;
+pub use telemetry::{RunReport, TailSummary};
 pub use time::{Dur, SimTime};
 pub use trace::TraceDigest;

@@ -335,7 +335,9 @@ impl Recorder {
 /// `resource_names`), and stall/span tracks are assigned — with their
 /// `thread_name` metadata emitted inline — the first time each appears.
 /// Timestamps are virtual µs. [`ProbeEvent::Dispatch`] is counted, never
-/// written.
+/// written. The timebase is whatever the span times encode: the
+/// `telemetry` module reuses this writer with *wall-clock* nanoseconds
+/// smuggled through `SimTime` to render per-worker shard lanes.
 ///
 /// Call [`finish`](Self::finish) to write the JSON trailer and recover the
 /// writer (and the first I/O error, if any). Dropping the handle without

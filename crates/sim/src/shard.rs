@@ -162,6 +162,10 @@ pub(crate) struct ShardRoute {
     pub(crate) lookahead: Arc<Vec<Vec<u64>>>,
     pub(crate) describe: Arc<dyn Fn(usize, usize) -> String + Send + Sync>,
     pub(crate) outboxes: Arc<Vec<Mutex<Vec<SentEvent>>>>,
+    /// Cross-shard sends routed by this worker, for telemetry. A `Cell`
+    /// because the route is worker-local (each `Core` owns its own boxed
+    /// route), so the count needs no synchronization.
+    pub(crate) sent: std::cell::Cell<u64>,
 }
 
 impl ShardRoute {
@@ -319,6 +323,9 @@ struct Worker {
     /// Reused swap space for draining the mailbox without holding its lock.
     scratch: Vec<SentEvent>,
     sink: Option<Sink>,
+    /// Wall-clock round samples, worker-local (see [`crate::telemetry`]);
+    /// `None` unless `HPSOCK_TELEMETRY` (or its scoped override) is set.
+    tel: Option<crate::telemetry::WorkerTelemetry>,
 }
 
 /// Execute `sim` across `plan.shards` worker threads; semantics of
@@ -367,6 +374,11 @@ pub(crate) fn run_sharded(sim: &mut Sim, plan: &ShardPlan, limit: Option<SimTime
     let outboxes: Arc<Vec<Mutex<Vec<SentEvent>>>> =
         Arc::new((0..shards).map(|_| Mutex::new(Vec::new())).collect());
     let probing = sim.core.probe.is_some();
+    // Telemetry is resolved once per run; when enabled, each worker gets a
+    // private sample buffer stamped against a common epoch so the flush
+    // can lay every lane on one wall-clock timeline.
+    let tel_dir = crate::telemetry::configured_telemetry();
+    let run_start = std::time::Instant::now();
 
     let mut workers: Vec<Worker> = (0..shards)
         .map(|s| {
@@ -399,12 +411,16 @@ pub(crate) fn run_sharded(sim: &mut Sim, plan: &ShardPlan, limit: Option<SimTime
                         lookahead: plan.lookahead.clone(),
                         describe: plan.describe_link.clone(),
                         outboxes: outboxes.clone(),
+                        sent: std::cell::Cell::new(0),
                     })),
                 },
                 procs: (0..n_procs).map(|_| None).collect(),
                 probe_buf,
                 scratch: Vec::new(),
                 sink: None,
+                tel: tel_dir
+                    .as_ref()
+                    .map(|_| crate::telemetry::WorkerTelemetry::new(s, run_start)),
             }
         })
         .collect();
@@ -470,6 +486,17 @@ pub(crate) fn run_sharded(sim: &mut Sim, plan: &ShardPlan, limit: Option<SimTime
         std::panic::resume_unwind(payload);
     }
 
+    // Flush telemetry now that the worker threads have joined: the wall
+    // clock stops here, and every sample buffer is back in this frame —
+    // nothing touched shared state on the dispatch path.
+    if let Some(dir) = tel_dir {
+        let wall_ns = run_start.elapsed().as_nanos() as u64;
+        let run_events: u64 = workers.iter().map(|w| w.core.events_dispatched).sum();
+        let bufs: Vec<crate::telemetry::WorkerTelemetry> =
+            workers.iter_mut().filter_map(|w| w.tel.take()).collect();
+        crate::telemetry::flush_sharded(&dir, wall_ns, run_events, &bufs);
+    }
+
     // Reassemble the master simulator from the worker slices.
     let mut stop = false;
     let mut events = sim.core.events_dispatched;
@@ -521,6 +548,13 @@ pub(crate) fn run_sharded(sim: &mut Sim, plan: &ShardPlan, limit: Option<SimTime
 fn worker_loop(w: &mut Worker, sh: &Shared) {
     let shards = sh.next.len();
     loop {
+        // Telemetry stopwatch for this round, off the hot path: one
+        // `Instant::now` per protocol step, only when telemetry is on,
+        // recorded into this worker's private buffer.
+        let mut clock = w
+            .tel
+            .as_ref()
+            .map(|t| crate::telemetry::RoundClock::start(t.epoch));
         // Phase A: fold the mailbox into the local queue and publish the
         // earliest pending local time. Mailboxes only fill during dispatch,
         // so after the barrier below these reads are round-consistent.
@@ -531,11 +565,15 @@ fn worker_loop(w: &mut Worker, sh: &Shared) {
                 .unwrap_or_else(PoisonError::into_inner);
             std::mem::swap(&mut *inbox, &mut w.scratch);
         }
+        let recv = w.scratch.len() as u64;
         for ev in w.scratch.drain(..) {
             w.core.queue.push(ev.time, ev.key, ev.target, ev.msg);
         }
         let next = w.core.queue.peek_time().map_or(u64::MAX, |t| t.as_nanos());
         sh.next[w.my].store(next, Ordering::Relaxed);
+        if let Some(c) = clock.as_mut() {
+            c.drained();
+        }
         // Snapshot the stop/cap flags BEFORE the barrier. Both are only
         // stored during a round's phase B, which no worker can enter until
         // every worker has passed the barrier below — so at this point the
@@ -548,6 +586,9 @@ fn worker_loop(w: &mut Worker, sh: &Shared) {
         let capped = sh.events.load(Ordering::Relaxed) >= sh.max_events;
         if !sh.barrier.wait() {
             return;
+        }
+        if let Some(c) = clock.as_mut() {
+            c.window_barrier();
         }
         // Every worker computes the same window and the same exit decision
         // from the same published values and pre-barrier flag snapshots;
@@ -563,6 +604,9 @@ fn worker_loop(w: &mut Worker, sh: &Shared) {
             return;
         }
         let w_end = window.min(sh.horizon.saturating_add(1));
+        let sent_before = clock
+            .as_ref()
+            .map_or(0, |_| w.core.route.as_ref().map_or(0, |r| r.sent.get()));
         // Phase B: dispatch every local event strictly below the window,
         // exactly as the sequential kernel would.
         let before = w.core.events_dispatched;
@@ -610,13 +654,29 @@ fn worker_loop(w: &mut Worker, sh: &Shared) {
                 d.probes = std::mem::take(&mut *buf.lock().unwrap_or_else(PoisonError::into_inner));
             }
         }
+        if let Some(c) = clock.as_mut() {
+            c.dispatched();
+        }
         if !sh.barrier.wait() {
             return;
+        }
+        if let Some(c) = clock.as_mut() {
+            c.merge_barrier();
         }
         // Worker 0 merges between this barrier and its next arrival at the
         // first one; nobody rewrites a deposit before then.
         if w.my == 0 {
             merge_round(sh, w.sink.as_mut().expect("worker 0 owns the sink"));
+        }
+        if let Some(c) = clock.take() {
+            let sent = w.core.route.as_ref().map_or(0, |r| r.sent.get()) - sent_before;
+            let events = w.core.events_dispatched - before;
+            let sample = c.finish(w_end.saturating_sub(min_next), events, sent, recv);
+            w.tel
+                .as_mut()
+                .expect("clock implies a telemetry buffer")
+                .rounds
+                .push(sample);
         }
     }
 }
@@ -834,6 +894,116 @@ mod tests {
         let seq = run_ring(1);
         assert_eq!(run_ring(2), seq, "2 shards must replay the sequential run");
         assert_eq!(run_ring(4), seq, "4 shards must replay the sequential run");
+    }
+
+    /// A scratch telemetry directory unique to this test, cleaned on drop.
+    struct TelDir(std::path::PathBuf);
+    impl TelDir {
+        fn new(name: &str) -> Self {
+            let dir = std::env::temp_dir()
+                .join(format!("hpsock_shard_tel_{}_{name}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            TelDir(dir)
+        }
+        fn read(&self, file: &str) -> String {
+            std::fs::read_to_string(self.0.join(file))
+                .unwrap_or_else(|e| panic!("telemetry file {file} missing: {e}"))
+        }
+    }
+    impl Drop for TelDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// First `"key": <integer>` in a hand-written run_report.json (the
+    /// top-level fields precede the per-worker array, so the first match
+    /// is the run-level value).
+    fn json_u64(json: &str, key: &str) -> u64 {
+        let pat = format!("\"{key}\": ");
+        let at = json
+            .find(&pat)
+            .unwrap_or_else(|| panic!("no {key} in {json}"));
+        json[at + pat.len()..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .expect("integer field")
+    }
+
+    /// Exactness of the telemetry accounting: the per-round `events`
+    /// column of `shard_rounds.csv` sums to the run's dispatched-event
+    /// count, every worker reports the same number of rounds, and
+    /// cross-shard traffic is visible in the sent/recv columns.
+    #[test]
+    fn telemetry_round_events_sum_to_dispatched_events() {
+        let tel = TelDir::new("sum");
+        let (_, _, events, _) = crate::telemetry::with_telemetry_dir(Some(&tel.0), || run_ring(2));
+        let csv = tel.read("shard_rounds.csv");
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some("round,worker,window_ns,events,sent,recv,barrier_wait_ns,busy_ns,idle_frac"),
+            "pinned CSV header"
+        );
+        let mut summed = 0u64;
+        let (mut sent, mut recv) = (0u64, 0u64);
+        let mut rounds_per_worker = std::collections::BTreeMap::<u64, u64>::new();
+        for line in lines {
+            let cols: Vec<&str> = line.split(',').collect();
+            assert_eq!(cols.len(), 9, "malformed row: {line}");
+            *rounds_per_worker
+                .entry(cols[1].parse().unwrap())
+                .or_default() += 1;
+            summed += cols[3].parse::<u64>().unwrap();
+            sent += cols[4].parse::<u64>().unwrap();
+            recv += cols[5].parse::<u64>().unwrap();
+        }
+        assert_eq!(summed, events, "CSV events sum to the dispatched total");
+        assert!(sent > 0, "the ring routes cross-shard messages");
+        assert!(recv > 0, "workers fold cross-shard messages back in");
+        let counts: Vec<u64> = rounds_per_worker.values().copied().collect();
+        assert_eq!(rounds_per_worker.len(), 2, "one lane per worker");
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "workers exit together, so they log the same round count: {counts:?}"
+        );
+        let report = tel.read("run_report.json");
+        assert_eq!(json_u64(&report, "events"), events);
+        assert_eq!(json_u64(&report, "shards"), 2);
+        assert_eq!(json_u64(&report, "rounds"), counts[0]);
+        assert!(!tel.read("shard_lanes.json").is_empty(), "lanes emitted");
+    }
+
+    /// Digest-identical runs agree on the run-report accounting: the same
+    /// events total at 1/2/4 shards, and — because the ring's uniform
+    /// lookahead makes the window sequence partition-independent — the
+    /// same round count at 2 and 4 shards. The sequential report has no
+    /// rounds to count and says so.
+    #[test]
+    fn telemetry_reports_agree_across_shard_counts() {
+        let with_tel = |name: &str, shards: usize| {
+            let tel = TelDir::new(name);
+            let out = crate::telemetry::with_telemetry_dir(Some(&tel.0), || run_ring(shards));
+            (out, tel.read("run_report.json"))
+        };
+        let (seq, seq_rep) = with_tel("seq", 1);
+        let (two, two_rep) = with_tel("two", 2);
+        let (four, four_rep) = with_tel("four", 4);
+        assert_eq!(two, seq, "telemetry-on sharded run replays sequential");
+        assert_eq!(four, seq);
+        for rep in [&seq_rep, &two_rep, &four_rep] {
+            assert_eq!(json_u64(rep, "events"), seq.2, "events agree: {rep}");
+        }
+        assert!(seq_rep.contains("\"mode\": \"sequential\""));
+        assert_eq!(json_u64(&seq_rep, "rounds"), 0);
+        assert_eq!(
+            json_u64(&two_rep, "rounds"),
+            json_u64(&four_rep, "rounds"),
+            "uniform lookahead: same window sequence, same round count"
+        );
+        assert!(json_u64(&two_rep, "rounds") > 0);
     }
 
     #[test]

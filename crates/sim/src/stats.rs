@@ -156,6 +156,11 @@ pub struct Histogram {
     under: u64,
     over: u64,
     total: u64,
+    /// Exact extrema of the observations; they bound the quantile
+    /// estimates so under/overflow-only populations report real values
+    /// instead of bin sentinels.
+    min: f64,
+    max: f64,
 }
 
 impl Histogram {
@@ -169,12 +174,16 @@ impl Histogram {
             under: 0,
             over: 0,
             total: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
         }
     }
 
     /// Record one observation.
     pub fn add(&mut self, x: f64) {
         self.total += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
         if x < self.lo {
             self.under += 1;
         } else {
@@ -192,24 +201,92 @@ impl Histogram {
         self.total
     }
 
-    /// Approximate quantile (`q` in `[0,1]`) using bin upper edges.
-    /// Returns 0 for an empty histogram.
+    /// Smallest observation (0 if empty) — exact, not a bin edge.
+    pub fn min(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 if empty) — exact, not a bin edge.
+    pub fn max(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`). Returns 0 for an empty
+    /// histogram.
+    ///
+    /// The estimate is the upper edge of the bin holding the observation
+    /// of rank `ceil(q·total)` — clamped to at least rank 1, so `q = 0`
+    /// asks for the smallest observation's bin rather than degenerating
+    /// into the underflow bound — and capped at the largest observation
+    /// actually recorded.
+    ///
+    /// **Error bound.** Within `[lo, hi)` the true quantile lies inside
+    /// the reported bin, so the estimate overshoots by at most one bin
+    /// width: a relative error of `ratio − 1 = (hi/lo)^(1/bins) − 1`
+    /// (≈ 12 % for the 160-bin `[1, 1e8)` latency histograms the probe
+    /// layer uses; narrow the span or add bins for tighter tails).
+    ///
+    /// **Boundary bins.** A rank landing in the underflow bin reports
+    /// `min(lo, max)` — the tightest upper bound the histogram can still
+    /// prove — and a rank landing in the overflow bin reports the largest
+    /// observation rather than the bin's unbounded upper edge (which
+    /// historically surfaced as `+∞`).
     pub fn quantile(&self, q: f64) -> f64 {
         if self.total == 0 {
             return 0.0;
         }
-        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let target = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
         let mut seen = self.under;
         if seen >= target {
-            return self.lo;
+            return self.lo.min(self.max);
         }
         for (i, c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return self.lo * self.ratio.powi(i as i32 + 1);
+                return (self.lo * self.ratio.powi(i as i32 + 1)).min(self.max);
             }
         }
-        f64::INFINITY
+        self.max
+    }
+
+    /// Build a histogram sized to `values`: bins span the positive
+    /// observations at ≈ 0.1 % spacing (capped at 4096 bins, which keeps
+    /// the relative error ≈ 1 % even across a 10¹⁹ dynamic range), so
+    /// [`Histogram::quantile`] answers with sub-bin error everywhere.
+    /// This is the plumbing behind the telemetry run reports and the
+    /// figure tables' tail (`p50/p99/p999`) columns. Non-positive
+    /// observations land in the underflow bin (quantiles there report the
+    /// underflow bound `min(lo, max)`); an empty or zero-spread series
+    /// degenerates to a single bin whose quantiles are the exact extrema.
+    pub fn summarize(values: &[f64]) -> Histogram {
+        let lo = values
+            .iter()
+            .copied()
+            .filter(|v| *v > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(0.0_f64, f64::max);
+        let mut h = if lo.is_finite() && hi > lo {
+            // Nudge the top edge so the maximum itself stays in range.
+            let hi = hi * (1.0 + 1e-9);
+            let bins = (((hi / lo).ln() / 1.001_f64.ln()).ceil() as usize).clamp(1, 4096);
+            Histogram::log_spaced(lo, hi, bins)
+        } else {
+            // No positive spread: any span works, every quantile collapses
+            // to the min/max clamps.
+            Histogram::log_spaced(1.0, 2.0, 1)
+        };
+        for &v in values {
+            h.add(v);
+        }
+        h
     }
 
     /// Iterate `(bin_lower_edge, count)` for the regular bins.
@@ -395,8 +472,104 @@ mod tests {
         h.add(1.0);
         h.add(1e6);
         assert_eq!(h.total(), 2);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 1e6);
         assert!(h.quantile(0.25) <= 10.0);
-        assert_eq!(h.quantile(1.0), f64::INFINITY);
+        // A rank in the overflow bin reports the largest observation, not
+        // the bin's unbounded edge (this used to return +INFINITY).
+        assert_eq!(h.quantile(1.0), 1e6);
+    }
+
+    /// Populations that never leave the underflow bin must report the
+    /// exact extrema, not the `lo` sentinel.
+    #[test]
+    fn histogram_underflow_only_population() {
+        let mut h = Histogram::log_spaced(10.0, 100.0, 4);
+        h.add(0.5);
+        h.add(0.7);
+        assert_eq!(h.quantile(0.0), 0.7, "bounded by the largest observation");
+        assert_eq!(h.quantile(0.5), 0.7);
+        assert_eq!(h.quantile(1.0), 0.7);
+    }
+
+    /// Populations that land entirely in the overflow bin report the
+    /// largest observation at every quantile (the histogram cannot rank
+    /// within the bin, but it can bound it exactly).
+    #[test]
+    fn histogram_overflow_only_population() {
+        let mut h = Histogram::log_spaced(10.0, 100.0, 4);
+        h.add(500.0);
+        h.add(900.0);
+        assert_eq!(h.quantile(0.5), 900.0);
+        assert_eq!(h.quantile(1.0), 900.0);
+        assert!(h.quantile(1.0).is_finite());
+    }
+
+    /// Bucket-boundary behaviour: `q = 0` targets rank 1 (the smallest
+    /// observation's bin) instead of short-circuiting to the underflow
+    /// bound, and in-range estimates are capped at the observed maximum
+    /// so a lone observation on a bin's lower edge is not reported as
+    /// the bin's upper edge overshooting every sample.
+    #[test]
+    fn histogram_quantile_bucket_boundaries() {
+        // ratio = 2: bins [1,2) [2,4) [4,8) [8,16).
+        let mut h = Histogram::log_spaced(1.0, 16.0, 4);
+        for x in [1.0, 2.0, 4.0, 8.0] {
+            h.add(x);
+        }
+        let q0 = h.quantile(0.0);
+        assert!(
+            (1.0..=2.0).contains(&q0),
+            "q=0 reports the first bin, got {q0}"
+        );
+        assert_eq!(h.quantile(1.0), 8.0, "capped at the observed max");
+        assert_eq!(Histogram::log_spaced(1.0, 16.0, 4).quantile(0.5), 0.0);
+    }
+
+    /// `summarize` sizes bins to the data so quantiles are near-exact,
+    /// and degenerates gracefully on empty / constant / zero-heavy series.
+    #[test]
+    fn histogram_summarize_fits_the_data() {
+        let xs: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let h = Histogram::summarize(&xs);
+        assert_eq!(h.total(), 1000);
+        let p50 = h.quantile(0.5);
+        assert!((p50 - 500.0).abs() / 500.0 < 0.01, "p50 ≈ 500, got {p50}");
+        let p999 = h.quantile(0.999);
+        assert!(
+            (p999 - 999.0).abs() / 999.0 < 0.01,
+            "p999 ≈ 999, got {p999}"
+        );
+        // Degenerate series still answer exactly.
+        assert_eq!(Histogram::summarize(&[]).quantile(0.5), 0.0);
+        let constant = Histogram::summarize(&[5.0, 5.0, 5.0]);
+        assert_eq!(constant.quantile(0.5), 5.0);
+        assert_eq!(constant.quantile(0.999), 5.0);
+        let zeros = Histogram::summarize(&[0.0, 0.0]);
+        assert_eq!(zeros.quantile(0.999), 0.0);
+    }
+
+    /// The documented error bound: an in-range quantile overshoots by at
+    /// most one bin width (relative error `ratio - 1`).
+    #[test]
+    fn histogram_quantile_error_bound() {
+        let bins = 30;
+        let (lo, hi) = (1.0_f64, 1000.0_f64);
+        let ratio = (hi / lo).powf(1.0 / bins as f64);
+        let mut h = Histogram::log_spaced(lo, hi, bins);
+        let xs: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        for &x in &xs {
+            h.add(x);
+        }
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let exact = xs[((q * xs.len() as f64).ceil() as usize).max(1) - 1];
+            let est = h.quantile(q);
+            assert!(est >= exact, "q={q}: estimate {est} below exact {exact}");
+            assert!(
+                est <= exact * ratio,
+                "q={q}: estimate {est} overshoots {exact} by more than one bin"
+            );
+        }
     }
 
     #[test]

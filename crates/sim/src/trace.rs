@@ -10,7 +10,10 @@
 //! order-*insensitive* — exactly the freedom the sharded executor needs to
 //! merge equal-time buckets produced by different worker threads (see
 //! `shard.rs`) and still land on the sequential run's digest. Two runs are
-//! behaviourally identical iff their digests match.
+//! behaviourally identical iff their digests match. Only *simulated*
+//! behaviour is folded — wall-clock readings (the `telemetry` module)
+//! never enter a digest, which is what lets `HPSOCK_TELEMETRY` profile a
+//! run without perturbing its identity.
 //!
 //! The digest sits on the kernel's per-event critical path, so the
 //! per-record work is one strong scramble (splitmix-style finalizer) and a

@@ -301,3 +301,55 @@ fn fig9_mixed_stream_is_shard_count_invariant() {
     assert_eq!(runs[0], runs[1], "2 shards: digest and response identical");
     assert_eq!(runs[0], runs[2], "4 shards: digest and response identical");
 }
+
+// ---------------------------------------------------------------------
+// Telemetry neutrality: `HPSOCK_TELEMETRY` measures wall-clock behaviour
+// but must never touch simulated behaviour — digests, dispatch counts
+// and rendered tables are byte-identical with telemetry on and off, for
+// sequential and sharded runs alike. The directory is injected with
+// `with_telemetry_dir` (scoped thread-local, like `with_shard_count`).
+
+#[test]
+fn telemetry_is_digest_and_table_neutral() {
+    use hpsock_experiments::fig4;
+    use hpsock_experiments::runner::{run_guarantee_traced, GuaranteeRun, FIG7_SEED};
+    use hpsock_sim::telemetry::with_telemetry_dir;
+
+    let dir = std::env::temp_dir().join(format!("hpsock_det_tel_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let run = GuaranteeRun {
+        kind: TransportKind::SocketVia,
+        block_bytes: 65_536,
+        compute: ComputeModel::None,
+        target_ups: 2.0,
+        n_complete: 5,
+        n_partial: 3,
+        seed: FIG7_SEED,
+    };
+    let observe = || {
+        per_shard_count(&[1, 2], || {
+            let (result, cap) = run_guarantee_traced(&run, None);
+            let tables = format!(
+                "{}\n{}",
+                fig4::latency_table(3),
+                fig4::bandwidth_table(1 << 18)
+            );
+            (format!("{result:?}"), cap.digest, cap.end, tables)
+        })
+    };
+    let bare = observe();
+    let telemetered = with_telemetry_dir(Some(&dir), observe);
+    assert_eq!(
+        bare, telemetered,
+        "telemetry changed a digest or a rendered table"
+    );
+
+    // The sharded leg of the telemetered pass wrote real output files.
+    for file in ["shard_rounds.csv", "run_report.json", "shard_lanes.json"] {
+        let meta = std::fs::metadata(dir.join(file))
+            .unwrap_or_else(|e| panic!("{file} missing under HPSOCK_TELEMETRY: {e}"));
+        assert!(meta.len() > 0, "{file} is empty");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
