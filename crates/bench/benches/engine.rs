@@ -231,6 +231,59 @@ fn bench_sharded_cluster(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&tel_dir);
 }
 
+/// The sharded kernel on the big rack topology (8 racks × 16 nodes, 64
+/// concurrent SocketVIA streams — `hpsock_experiments::bigtopo`): the
+/// workload the sharding work is supposed to *win* on. Sequential and
+/// 2/4-shard variants are separate baselines, like `sharded_cluster_*`;
+/// the cross-variant ratio is machine-class-bound (sharding needs ≥2
+/// physical cores to pay off — CI's shard-smoke job gates the 2-shard
+/// speedup on a multi-core runner).
+fn bench_sharded_big(c: &mut Criterion) {
+    const MSGS_PER_CONN: u32 = 40;
+    let run = |shards: usize| hpsock_experiments::bigtopo::run_big(shards, MSGS_PER_CONN);
+
+    // The variants must agree on the trace before their timings mean
+    // anything; run each once up-front and compare (outside the timing).
+    {
+        let seq = run(1);
+        assert_eq!(seq, run(2), "2-shard big run diverged from sequential");
+        assert_eq!(seq, run(4), "4-shard big run diverged from sequential");
+    }
+
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.throughput(Throughput::Elements(
+        u64::from(MSGS_PER_CONN) * hpsock_experiments::bigtopo::CONNS as u64,
+    ));
+    for shards in [1usize, 2, 4] {
+        g.bench_function(format!("sharded_big_{shards}"), |b| {
+            b.iter(|| black_box(run(shards)))
+        });
+    }
+    g.finish();
+
+    // Wall-clock companion: the kernel's own events/sec per variant.
+    let tel_dir = std::env::temp_dir().join(format!("hpsock_bench_bigtel_{}", std::process::id()));
+    for shards in [1usize, 2, 4] {
+        hpsock_sim::telemetry::with_telemetry_dir(Some(&tel_dir), || run(shards));
+        match hpsock_sim::telemetry::last_report() {
+            Some(r) => println!(
+                "run_report.json: sharded_big_{shards} ({} mode, {} shards): \
+                 {} events in {:.2} ms wall = {:.0} events/sec, {} rounds",
+                r.mode,
+                r.shards,
+                r.events,
+                r.wall_ns as f64 / 1e6,
+                r.events_per_sec,
+                r.rounds,
+            ),
+            None => println!("run_report.json: no telemetry report for {shards} shards"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&tel_dir);
+}
+
 criterion_group!(
     engine,
     bench_event_dispatch,
@@ -238,5 +291,6 @@ criterion_group!(
     bench_scheduler_pick,
     bench_transport_messages,
     bench_sharded_cluster,
+    bench_sharded_big,
 );
 criterion_main!(engine);

@@ -1,0 +1,105 @@
+//! The big rack topology: a cluster large enough that the sharded
+//! kernel's conservative windows hold real work.
+//!
+//! [`RACKS`] racks of [`PER_RACK`] nodes (128 total). The senders live in
+//! the first half of the racks, the receivers in the second half, and
+//! connection `i` streams [`BYTES`]-byte messages from node `i` to node
+//! `64 + i` over SocketVIA. All streams are unidirectional, so the
+//! cross-shard lookahead under a rack partition
+//! ([`Cluster::rack_shard_plan`]) is the ~600 ns data path one way and
+//! the 9.5 µs credit/ack path the other — wide enough windows, with 64
+//! concurrent flow-controlled streams inside them, that 2–4 shards
+//! amortize the round protocol and beat the sequential kernel on
+//! multi-core hosts. The `engine/sharded_big_{1,2,4}` criterion benches
+//! and the CI shard-smoke speedup gate both drive [`run_big`].
+
+use hpsock_net::{Cluster, ConnId, Delivery, NodeId, TransportKind};
+use hpsock_sim::{Ctx, Message, Process, Sim, SimTime};
+
+/// Racks in the big topology.
+pub const RACKS: usize = 8;
+/// Nodes per rack.
+pub const PER_RACK: usize = 16;
+/// Concurrent sender→receiver streams (one per sender node).
+pub const CONNS: usize = RACKS * PER_RACK / 2;
+/// Message size per send; flow control paces the stream.
+pub const BYTES: u64 = 16_384;
+
+/// Submits `count` messages up front; flow control paces the stream.
+struct Burst {
+    net: hpsock_net::Network,
+    conn: ConnId,
+    count: u32,
+}
+impl Process for Burst {
+    fn name(&self) -> String {
+        format!("bigtopo-burst-{}", self.conn.0)
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for _ in 0..self.count {
+            self.net.send(ctx, self.conn, BYTES, Message::new(()));
+        }
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Message) {}
+}
+
+/// Consumes every delivery immediately, returning credits.
+struct Drain {
+    net: hpsock_net::Network,
+}
+impl Process for Drain {
+    fn name(&self) -> String {
+        "bigtopo-drain".to_string()
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let d = msg
+            .downcast::<Delivery>()
+            .expect("drain expects deliveries");
+        self.net.consumed(ctx, d.conn, d.msg_id);
+    }
+}
+
+/// Run the big topology with `msgs_per_conn` messages on each of the
+/// [`CONNS`] streams, under a whole-rack shard partition when
+/// `shards > 1`. Returns `(end time, trace digest, events dispatched)` —
+/// all three are shard-count invariant, which the determinism suite and
+/// the CI smoke gate both pin.
+pub fn run_big(shards: usize, msgs_per_conn: u32) -> (SimTime, u64, u64) {
+    let mut sim = Sim::new(0xB16);
+    let cluster = Cluster::build_racks(&mut sim, RACKS, PER_RACK);
+    let net = cluster.network();
+    for i in 0..CONNS {
+        let tx = sim.add_process(Box::new(Burst {
+            net: net.clone(),
+            conn: ConnId(i),
+            count: msgs_per_conn,
+        }));
+        let rx = sim.add_process(Box::new(Drain { net: net.clone() }));
+        net.connect(
+            cluster.endpoint(NodeId(i), tx),
+            cluster.endpoint(NodeId(CONNS + i), rx),
+            TransportKind::SocketVia,
+        );
+    }
+    if shards > 1 {
+        sim.set_shard_plan(cluster.rack_shard_plan(shards, PER_RACK));
+    }
+    let end = sim.run();
+    (end, sim.trace_digest(), sim.events_dispatched())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The big-topology run is shard-count invariant — the property the
+    /// criterion benches assert before timing and CI gates on speed.
+    /// Scaled down here (few messages) to stay test-suite friendly.
+    #[test]
+    fn big_topology_is_shard_invariant() {
+        let seq = run_big(1, 3);
+        assert!(seq.2 > 0, "the run dispatches events");
+        assert_eq!(run_big(2, 3), seq, "2 shards replay sequential");
+        assert_eq!(run_big(4, 3), seq, "4 shards replay sequential");
+    }
+}

@@ -1,0 +1,26 @@
+//! Run the big rack topology once and print a one-line summary.
+//!
+//! Shard count comes from `HPSOCK_SHARDS` (clamped to the rack count);
+//! `--quick` / `HPSOCK_QUICK=1` shrinks the message count for smoke runs.
+//! With `HPSOCK_TELEMETRY=<dir>` the kernel writes `run_report.json`
+//! (and, sharded, `shard_rounds.csv` + `shard_lanes.json`) there — the CI
+//! shard-smoke job compares the printed digests across shard counts and
+//! gates on the reports' events/sec ratio.
+
+use hpsock_experiments::bigtopo;
+use hpsock_sim::shard::{clamp_shards, configured_shards};
+
+fn main() {
+    let msgs: u32 = if hpsock_experiments::quick_mode() {
+        30
+    } else {
+        100
+    };
+    let shards = clamp_shards(configured_shards(), bigtopo::RACKS, "the big rack topology");
+    let (end, digest, events) = bigtopo::run_big(shards, msgs);
+    println!(
+        "bigsim shards={shards} msgs_per_conn={msgs} events={events} \
+         digest={digest:016x} end_us={:.1}",
+        end.as_nanos() as f64 / 1e3
+    );
+}

@@ -14,6 +14,7 @@
 //! | [`fig11`] | Figure 11: demand-driven execution under random slowdowns |
 //! | [`future`] | beyond the paper: the conclusion's RDMA future work, quantified |
 
+pub mod bigtopo;
 pub mod breakdown;
 pub mod extra;
 pub mod fig10;

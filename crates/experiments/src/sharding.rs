@@ -16,6 +16,13 @@
 //! contiguously over the remaining shards. With the paper's `c = 3`
 //! copies that supports up to `1 + 2c = 7` useful shards; larger requests
 //! are clamped with a warning.
+//!
+//! The kernel derives *ragged per-pair windows* from the plan's per-link
+//! lookahead matrix (`W(d) = min_s next(s) + reach(s, d)`, see
+//! `hpsock_sim::shard`), so asymmetric links — the ~600 ns data paths
+//! versus the 9.5 µs demand/ack channels here — each widen exactly the
+//! windows they bound instead of collapsing the whole fleet to the
+//! tightest link.
 
 use hpsock_net::Cluster;
 use hpsock_sim::shard::{clamp_shards, configured_shards};

@@ -227,6 +227,35 @@ impl Cluster {
         self.shard_plan(shards, node_to_shard, vec![])
     }
 
+    /// Build a rack-structured cluster: `racks × per_rack` default nodes,
+    /// numbered rack-major (rack `r` holds nodes `r*per_rack ..
+    /// (r+1)*per_rack`). The big-topology experiments use this shape —
+    /// enough nodes that the sharded kernel's safe windows hold real work.
+    pub fn build_racks(sim: &mut Sim, racks: usize, per_rack: usize) -> Cluster {
+        assert!(
+            racks >= 1 && per_rack >= 1,
+            "a rack cluster needs at least one rack of at least one node"
+        );
+        Cluster::build(sim, racks * per_rack)
+    }
+
+    /// [`Cluster::shard_plan`] that splits *whole racks* across shards:
+    /// nodes of one rack always land on the same shard, and racks are
+    /// assigned contiguously in near-equal groups. `shards` is clamped to
+    /// the rack count. Same caveat as [`Cluster::even_shard_plan`]: all
+    /// cross-node traffic must be connection-borne.
+    pub fn rack_shard_plan(&self, shards: usize, per_rack: usize) -> ShardPlan {
+        let n = self.nodes.len();
+        assert!(
+            per_rack >= 1 && n % per_rack == 0,
+            "rack_shard_plan: {n} nodes do not divide into racks of {per_rack}"
+        );
+        let racks = n / per_rack;
+        let shards = shards.min(racks).max(1);
+        let node_to_shard = (0..n).map(|i| (i / per_rack) * shards / racks).collect();
+        self.shard_plan(shards, node_to_shard, vec![])
+    }
+
     /// Install the `HPSOCK_SHARDS`-selected even node split on `sim`
     /// (clamped to the node count, with a warning when reduced). A no-op
     /// when the variable is unset or `1`. Same caveat as
@@ -461,5 +490,49 @@ mod tests {
             )
         };
         assert_eq!(run(2), run(1));
+    }
+
+    /// A rack-partitioned sharded run (whole racks per shard) reproduces
+    /// the sequential digest exactly, and the rack plan keeps every rack's
+    /// nodes on one shard.
+    #[test]
+    fn rack_shard_plan_matches_sequential() {
+        let run = |shards: usize| {
+            let mut sim = hpsock_sim::Sim::new(7);
+            // 2 racks × 2 nodes; senders in rack 0, receivers in rack 1.
+            let cluster = Cluster::build_racks(&mut sim, 2, 2);
+            let net = cluster.network();
+            for i in 0..2usize {
+                let sink = sim.add_process(Box::new(Sink {
+                    net: net.clone(),
+                    sender: None,
+                    oneway_us: vec![],
+                    last_delivery: SimTime::ZERO,
+                    delivered: 0,
+                }));
+                let blaster = sim.add_process(Box::new(BurstBlaster {
+                    net: net.clone(),
+                    conn: ConnId(i),
+                    bytes: 16_384,
+                    count: 20,
+                }));
+                net.connect(
+                    cluster.endpoint(NodeId(i), blaster),
+                    cluster.endpoint(NodeId(2 + i), sink),
+                    TransportKind::SocketVia,
+                );
+            }
+            if shards > 1 {
+                let plan = cluster.rack_shard_plan(shards, 2);
+                assert_eq!(plan.shards, 2, "clamped to the rack count");
+                sim.set_shard_plan(plan);
+            }
+            let end = sim.run();
+            (end.as_nanos(), sim.trace_digest(), sim.events_dispatched())
+        };
+        let seq = run(1);
+        assert_eq!(run(2), seq);
+        // Requesting more shards than racks clamps to whole racks.
+        assert_eq!(run(4), seq);
     }
 }

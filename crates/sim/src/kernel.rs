@@ -138,28 +138,29 @@ impl Core {
     }
 
     /// The sharded-run push path (see [`Core::push`]). Cold from the
-    /// sequential kernel's perspective; in a sharded run the extra call is
-    /// noise next to the window protocol's barriers.
+    /// sequential kernel's perspective. Cross-shard sends are *staged*
+    /// into a worker-local per-destination batch — no locks, no shared
+    /// state — and flushed by the shard worker loop once per round.
     #[cold]
     fn push_routed(&mut self, time: SimTime, key: u64, target: ProcessId, msg: Message) {
-        let route = self.route.as_ref().expect("routed push has a route");
+        let now = self.now;
+        let route = self.route.as_mut().expect("routed push has a route");
         let dest = route.owner_pid[target.0];
         if dest == route.shard {
             self.queue.push(time, key, target, msg);
         } else {
-            route.check_lookahead(self.now, time, dest);
-            // Telemetry counter, not protocol state: worker-local, read
-            // back per round by the shard worker loop.
-            route.sent.set(route.sent.get() + 1);
-            route.outboxes[dest]
-                .lock()
-                .expect("shard mailbox lock")
-                .push(crate::shard::SentEvent {
-                    time,
-                    key,
-                    target,
-                    msg,
-                });
+            route.check_lookahead(now, time, dest);
+            route.sent += 1;
+            let t = time.as_nanos();
+            if t < route.staged_min[dest] {
+                route.staged_min[dest] = t;
+            }
+            route.staged[dest].push(crate::shard::SentEvent {
+                time,
+                key,
+                target,
+                msg,
+            });
         }
     }
 
@@ -572,11 +573,25 @@ impl<'a> Ctx<'a> {
     /// Create a new process mid-run. Its `on_start` runs as soon as the
     /// current handler returns. Returns the new process id (valid
     /// immediately as a message target).
+    ///
+    /// # Panics
+    ///
+    /// Under a sharded run: worker process tables cannot grow
+    /// deterministically (the new pid's owner is not in the plan), so
+    /// mid-run spawning is a documented limitation of the sharded kernel.
+    /// Register all processes before `run`, or run sequentially.
     pub fn spawn(&mut self, p: Box<dyn Process>) -> ProcessId {
-        assert!(
-            self.core.route.is_none(),
-            "spawning processes mid-run is not supported under a sharded run"
-        );
+        if let Some(route) = &self.core.route {
+            panic!(
+                "process {:?} (pid {}) called Ctx::spawn during a sharded run \
+                 (on shard {}): the shard plan cannot place processes created \
+                 mid-run, so spawns would be silently dropped. Register all \
+                 processes before run(), or run without a shard plan.",
+                p.name(),
+                self.pid.0,
+                route.shard,
+            );
+        }
         let pid = ProcessId(self.core.next_pid);
         self.core.next_pid += 1;
         self.core.push_counts.push(0);

@@ -31,8 +31,8 @@
 //!   routed/received, barrier-wait nanoseconds, busy nanoseconds and the
 //!   idle fraction.
 //! * `shard_lanes.json` — per-worker Chrome-trace lanes (one `shard N`
-//!   track each, reusing [`StreamingTraceWriter`]) with drain / barrier /
-//!   dispatch / merge spans on the wall-clock timeline; load it in
+//!   track each, reusing [`StreamingTraceWriter`]) with barrier / merge /
+//!   drain / dispatch spans on the wall-clock timeline; load it in
 //!   Perfetto to *see* where a slow sharded run spends its time.
 //!
 //! Telemetry output never lands in `HPSOCK_RESULTS` or `HPSOCK_TRACE`
@@ -140,15 +140,16 @@ pub struct RoundSample {
     pub sent: u64,
     /// Cross-shard messages this worker folded in from its mailbox.
     pub recv: u64,
-    /// Phase A wall time: mailbox drain + earliest-time publish.
+    /// Window computation + pair-slot drain wall time.
     pub drain_ns: u64,
-    /// Wall time blocked on the window barrier.
+    /// Wall time blocked on the round barrier (the protocol's only one).
     pub b1_wait_ns: u64,
-    /// Phase B wall time: dispatch loop + deposit.
+    /// Dispatch-loop wall time, including the publish/flush/deposit tail.
     pub dispatch_ns: u64,
-    /// Wall time blocked on the merge barrier.
+    /// Always 0 since the merge barrier was fused into the round barrier;
+    /// kept so the pinned `shard_rounds.csv` schema is stable across PRs.
     pub b2_wait_ns: u64,
-    /// Digest/probe merge wall time (worker 0; ≈ 0 elsewhere).
+    /// Deferred digest/probe cutoff-merge wall time (worker 0; 0 elsewhere).
     pub merge_ns: u64,
 }
 
@@ -226,20 +227,24 @@ impl RoundClock {
         d
     }
 
+    /// The round barrier released.
+    pub(crate) fn barrier(&mut self) {
+        self.sample.b1_wait_ns = self.lap();
+    }
+
+    /// The (worker-0) deferred cutoff merge finished; 0-lap elsewhere.
+    pub(crate) fn merged(&mut self) {
+        self.sample.merge_ns = self.lap();
+    }
+
+    /// Window computed and pair slots drained into the local queue.
     pub(crate) fn drained(&mut self) {
         self.sample.drain_ns = self.lap();
     }
 
-    pub(crate) fn window_barrier(&mut self) {
-        self.sample.b1_wait_ns = self.lap();
-    }
-
+    /// The dispatch loop finished.
     pub(crate) fn dispatched(&mut self) {
         self.sample.dispatch_ns = self.lap();
-    }
-
-    pub(crate) fn merge_barrier(&mut self) {
-        self.sample.b2_wait_ns = self.lap();
     }
 
     pub(crate) fn finish(
@@ -249,7 +254,8 @@ impl RoundClock {
         sent: u64,
         recv: u64,
     ) -> RoundSample {
-        self.sample.merge_ns = self.lap();
+        // Publish/flush/deposit tail, folded into the dispatch span.
+        self.sample.dispatch_ns += self.lap();
         self.sample.window_ns = window_ns;
         self.sample.events = events;
         self.sample.sent = sent;
@@ -499,12 +505,12 @@ pub(crate) fn flush_sharded(dir: &Path, wall_ns: u64, events: u64, workers: &[Wo
             }
         })
         .collect();
-    // The safe window is a global per-round quantity (every worker computes
-    // the same bound), so one worker's view of it suffices.
+    // Windows are ragged per destination shard, so every worker's view is
+    // a distinct observation.
     let window_vals: Vec<f64> = workers
-        .first()
-        .map(|w| w.rounds.iter().map(|s| s.window_ns as f64).collect())
-        .unwrap_or_default();
+        .iter()
+        .flat_map(|w| w.rounds.iter().map(|s| s.window_ns as f64))
+        .collect();
     let round_event_vals: Vec<f64> = workers
         .iter()
         .flat_map(|w| w.rounds.iter().map(|s| s.events as f64))
@@ -545,7 +551,7 @@ fn rate(events: u64, wall_ns: u64) -> f64 {
 const MAX_LANE_ROUNDS: usize = 20_000;
 
 /// Write the per-worker Chrome-trace lanes: one `shard N` track per
-/// worker, with `drain` / `barrier` / `dispatch` / `merge` spans laid out
+/// worker, with `barrier` / `merge` / `drain` / `dispatch` spans laid out
 /// on the wall-clock timeline (nanosecond offsets from the run start,
 /// rendered by the trace writer as microseconds). Truncated to
 /// [`MAX_LANE_ROUNDS`] rounds per worker.
@@ -566,11 +572,10 @@ fn write_lanes(dir: &Path, workers: &[WorkerTelemetry]) {
             for s in w.rounds.iter().take(MAX_LANE_ROUNDS) {
                 let mut t = s.start_ns;
                 let segments = [
-                    ("drain", s.drain_ns),
                     ("barrier", s.b1_wait_ns),
-                    ("dispatch", s.dispatch_ns),
-                    ("barrier", s.b2_wait_ns),
                     ("merge", s.merge_ns),
+                    ("drain", s.drain_ns),
+                    ("dispatch", s.dispatch_ns),
                 ];
                 for (label, d) in segments {
                     if d == 0 {
@@ -717,5 +722,39 @@ mod tests {
         assert_eq!(rate(100, 0), 0.0);
         assert_eq!(json_f64(f64::INFINITY), "0");
         assert_eq!(json_f64(f64::NAN), "0");
+    }
+
+    /// A synthetic zero-width round (every duration 0 — coarse clocks can
+    /// report that) and a zero-wall-time run must still produce a finite
+    /// idle fraction and a JSON report with no `inf`/`NaN` tokens.
+    #[test]
+    fn zero_width_rounds_serialize_finite() {
+        let zero = RoundSample::default();
+        assert_eq!(zero.busy_ns(), 0);
+        assert_eq!(zero.barrier_wait_ns(), 0);
+        assert_eq!(zero.idle_frac(), 0.0, "0/0 accounted time is 0, not NaN");
+        let rep = RunReport {
+            mode: "sharded",
+            shards: 1,
+            wall_ns: 0,
+            events: 100,
+            events_per_sec: rate(100, 0),
+            rounds: 1,
+            workers: vec![WorkerSummary {
+                worker: 0,
+                rounds: 1,
+                events: 100,
+                sent: 0,
+                recv: 0,
+                busy_ns: 0,
+                barrier_wait_ns: 0,
+                utilization: 0.0,
+            }],
+            window_ns: TailSummary::of(&[0.0]),
+            round_events: TailSummary::of(&[]),
+        };
+        let js = report_json(&rep);
+        assert!(js.contains("\"events_per_sec\": 0"));
+        assert!(!js.contains("inf") && !js.contains("NaN"), "{js}");
     }
 }
