@@ -8,7 +8,7 @@
 //! delivered by the time of the last delivery.
 
 use crate::provider::Provider;
-use hpsock_net::{Cluster, ConnId, Delivery, NodeId};
+use hpsock_net::{fault, Cluster, ConnId, Delivery, NodeId, StreamError, StreamErrorKind};
 use hpsock_sim::{Ctx, Message, Probe, Process, Sim, SimTime};
 
 /// One point of the latency series (Figure 4a).
@@ -52,20 +52,33 @@ impl Process for Pinger {
             .send(ctx, self.conn_out, self.bytes, Message::new(()));
     }
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        let d = msg
-            .downcast::<Delivery>()
-            .expect("pinger expects deliveries");
-        self.net.consumed(ctx, d.conn, d.msg_id);
-        let rtt = ctx.now().since(self.sent_at).as_micros_f64();
-        if self.warmup > 0 {
-            self.warmup -= 1;
-        } else {
-            self.rtt_us_sum += rtt;
-            self.rtt_count += 1;
-        }
-        if self.remaining > 0 {
-            self.remaining -= 1;
-            self.sent_at = ctx.now();
+        let msg = match msg.downcast::<Delivery>() {
+            Ok(d) => {
+                self.net.consumed(ctx, d.conn, d.msg_id);
+                let rtt = ctx.now().since(self.sent_at).as_micros_f64();
+                if self.warmup > 0 {
+                    self.warmup -= 1;
+                } else {
+                    self.rtt_us_sum += rtt;
+                    self.rtt_count += 1;
+                }
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    self.sent_at = ctx.now();
+                    self.net
+                        .send(ctx, self.conn_out, self.bytes, Message::new(()));
+                }
+                return;
+            }
+            Err(msg) => msg,
+        };
+        // Under an injected fault plan a dropped ping surfaces here as a
+        // stream error; resend it so the benchmark rides out the loss —
+        // the eventual RTT honestly includes the detect timeout.
+        let e = msg
+            .downcast::<StreamError>()
+            .expect("pinger expects deliveries or stream errors");
+        if matches!(e.kind, StreamErrorKind::Lost) {
             self.net
                 .send(ctx, self.conn_out, self.bytes, Message::new(()));
         }
@@ -83,12 +96,24 @@ impl Process for Ponger {
         "ponger".into()
     }
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        let d = msg
-            .downcast::<Delivery>()
-            .expect("ponger expects deliveries");
-        self.net.consumed(ctx, d.conn, d.msg_id);
-        self.net
-            .send(ctx, self.conn_back, d.bytes, Message::new(()));
+        let msg = match msg.downcast::<Delivery>() {
+            Ok(d) => {
+                self.net.consumed(ctx, d.conn, d.msg_id);
+                self.net
+                    .send(ctx, self.conn_back, d.bytes, Message::new(()));
+                return;
+            }
+            Err(msg) => msg,
+        };
+        // A lost echo (fault plan active) comes back as a stream error;
+        // re-echo so the pinger's round trip completes.
+        let e = msg
+            .downcast::<StreamError>()
+            .expect("ponger expects deliveries or stream errors");
+        if matches!(e.kind, StreamErrorKind::Lost) {
+            self.net
+                .send(ctx, self.conn_back, e.bytes, Message::new(()));
+        }
     }
 }
 
@@ -135,8 +160,13 @@ pub fn oneway_us(provider: &Provider, bytes: u64, iters: u32) -> f64 {
     cluster.apply_env_shards(&mut sim);
     sim.run();
     let p: &Pinger = sim.process(pinger).expect("pinger persists");
-    assert_eq!(p.rtt_count, iters, "all measured iterations completed");
-    p.rtt_us_sum / (2.0 * p.rtt_count as f64)
+    if fault::configured_plan().is_none() {
+        // On a clean fabric every iteration must complete; under an
+        // injected fault plan (crash/flap) the run may legitimately end
+        // short, and we report the mean over the iterations that did.
+        assert_eq!(p.rtt_count, iters, "all measured iterations completed");
+    }
+    p.rtt_us_sum / (2.0 * p.rtt_count.max(1) as f64)
 }
 
 /// Streams `count` messages back-to-back; the sender keeps the pipe full
@@ -153,7 +183,16 @@ impl Process for StreamSender {
             self.net.send(ctx, self.conn, self.bytes, Message::new(()));
         }
     }
-    fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Message) {}
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        // Lost frames (fault plan active) are resent; other errors
+        // (peer dead) end the stream short and the caller measures the
+        // bytes that did arrive.
+        if let Ok(e) = msg.downcast::<StreamError>() {
+            if matches!(e.kind, StreamErrorKind::Lost) {
+                self.net.send(ctx, self.conn, e.bytes, Message::new(()));
+            }
+        }
+    }
 }
 
 /// Receives, consumes immediately, records first/last delivery times.
@@ -219,10 +258,15 @@ pub fn streaming_mbps_probed(
     }
     let end = sim.run();
     let s: &StreamSink = sim.process(sink).expect("sink persists");
-    assert_eq!(s.msgs, count as u64, "all messages delivered");
-    assert_eq!(s.bytes, bytes * count as u64, "byte conservation");
+    if fault::configured_plan().is_none() {
+        // Exact conservation holds only on a clean fabric: a fault plan
+        // can deliver short (crash) or long (a false-positive loss
+        // detection retransmits a frame that was merely delayed).
+        assert_eq!(s.msgs, count as u64, "all messages delivered");
+        assert_eq!(s.bytes, bytes * count as u64, "byte conservation");
+    }
     (
-        8.0 * s.bytes as f64 / s.last.as_nanos() as f64 * 1_000.0,
+        8.0 * s.bytes as f64 / s.last.as_nanos().max(1) as f64 * 1_000.0,
         end,
     )
 }
@@ -280,6 +324,20 @@ mod tests {
         assert!((sv - 763.0).abs() < 40.0, "SocketVIA {sv}");
         assert!((tcp - 510.0).abs() < 40.0, "TCP {tcp}");
         assert!(sv / tcp > 1.4, "the ~50% improvement claim");
+    }
+
+    #[test]
+    fn microbench_rides_out_injected_frame_loss() {
+        // Regression: a fault plan used to trip the "all messages
+        // delivered" asserts and the Delivery-only downcasts. With loss
+        // the peers resend and the measurements stay finite and sane.
+        fault::with_spec("drop=0.02,detect=100us,backoff=100us", || {
+            let p = Provider::new(TransportKind::SocketVia);
+            let us = oneway_us(&p, 1_024, 16);
+            assert!(us.is_finite() && us > 0.0, "latency {us}");
+            let mbps = streaming_mbps(&p, 8_192, 64);
+            assert!(mbps.is_finite() && mbps > 0.0, "bandwidth {mbps}");
+        });
     }
 
     #[test]

@@ -14,6 +14,10 @@ use std::sync::Arc;
 pub const CONTROL_BYTES: u64 = 16;
 
 /// A unit of application data flowing on a stream.
+///
+/// Cloneable so fault-aware filters can retain an unacknowledged buffer
+/// for retry/replay; `meta` is shared, not deep-copied.
+#[derive(Clone)]
 pub struct DataBuffer {
     /// Unit-of-work this buffer belongs to.
     pub uow: u32,
@@ -55,6 +59,7 @@ impl std::fmt::Debug for DataBuffer {
 }
 
 /// What travels on a stream connection.
+#[derive(Clone)]
 pub enum StreamMsg {
     /// Application data.
     Data(DataBuffer),

@@ -11,11 +11,11 @@
 use crate::buffer::{DataBuffer, StreamMsg, CONTROL_BYTES};
 use crate::logic::{Action, FilterCtx, FilterLogic, SpeedModel};
 use crate::sched::{Policy, Scheduler};
-use hpsock_net::{ConnId, Delivery, Network, NodeId};
+use hpsock_net::{ConnId, Delivery, Network, NodeId, RecoveryCfg, StreamError, StreamErrorKind};
 use hpsock_sim::stats::Tally;
 use hpsock_sim::{Ctx, Dur, Message, ProbeEvent, Process, ProcessId, ResourceId, SimTime};
 use std::any::Any;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
 
 /// Driver → source-filter message: start a unit of work.
@@ -85,6 +85,12 @@ pub struct CopyWiring {
     pub speed: SpeedModel,
     /// Record per-buffer ack round-trips (Figure 10 instrumentation).
     pub ack_log: bool,
+    /// Recovery parameters when the cluster carries a fault plan; `None`
+    /// keeps every recovery path (retention, retries, failover) inert.
+    pub recovery: Option<RecoveryCfg>,
+    /// Scheduled fail-stop time of this copy's node under the fault plan:
+    /// from then on the copy plays dead and drops every message.
+    pub crash_at: Option<SimTime>,
 }
 
 /// One matched send→ack round-trip (demand-driven instrumentation).
@@ -117,6 +123,31 @@ pub struct FilterStats {
     pub queue_wait_us: Tally,
     /// `(uow, time)` each unit of work completed at this copy.
     pub uow_ends: Vec<(u32, SimTime)>,
+    /// Stream errors reported by the transport (lost or dead-peer sends).
+    pub stream_errors: u64,
+    /// Lost messages re-sent on the same connection.
+    pub retries: u64,
+    /// Connections that recovered (a post-retry delivery was acknowledged).
+    pub streams_recovered: u64,
+    /// Consumer copies failed over away from permanently.
+    pub consumers_failed: u64,
+    /// Buffers dropped because every consumer copy on their port was dead.
+    pub buffers_failed: u64,
+    /// Deliveries that raced a torn-down route and were discarded.
+    pub stale_deliveries: u64,
+}
+
+/// A sent stream message retained until acknowledged, for retry/replay.
+struct Retained {
+    msg: StreamMsg,
+    bytes: u64,
+    attempts: u32,
+}
+
+/// Self-message: re-send a lost message after its backoff delay.
+struct RetryMsg {
+    conn: ConnId,
+    msg_id: u64,
 }
 
 enum WorkItem {
@@ -179,6 +210,14 @@ pub struct FilterProcess {
     eow_seen: HashMap<(u32, usize), usize>,
     /// Ports fully ended per uow.
     ports_done: HashMap<u32, usize>,
+    /// `(port, consumer)` for every outbound data connection, for failover.
+    out_index: HashMap<ConnId, (usize, usize)>,
+    /// Unacknowledged sends retained for retry/replay (recovery mode only).
+    retained: HashMap<ConnId, HashMap<u64, Retained>>,
+    /// Connections failed over away from; late events on them are ignored.
+    dead_conns: HashSet<ConnId>,
+    /// Connections with a retry in flight, awaiting a post-retry ack.
+    recovering: HashSet<ConnId>,
     /// Collected statistics.
     pub stats: FilterStats,
     /// Ack (processing-start) round-trip log, if enabled.
@@ -217,6 +256,10 @@ impl FilterProcess {
             done_times: Vec::new(),
             eow_seen: HashMap::new(),
             ports_done: HashMap::new(),
+            out_index: HashMap::new(),
+            retained: HashMap::new(),
+            dead_conns: HashSet::new(),
+            recovering: HashSet::new(),
             stats: FilterStats::default(),
             ack_log: Vec::new(),
             done_log: Vec::new(),
@@ -236,6 +279,129 @@ impl FilterProcess {
             time: t,
             value: depth,
         });
+    }
+
+    /// Emit a global `+1` counter probe (fault/recovery bookkeeping).
+    fn count_probe(ctx: &mut Ctx<'_>, name: &'static str) {
+        ctx.probe_emit(|t| ProbeEvent::Counter {
+            name: name.to_string(),
+            time: t,
+            delta: 1.0,
+        });
+    }
+
+    /// Send on a stream connection, retaining a copy for retry/replay when
+    /// the cluster runs under a fault plan. `Done` completion notices are
+    /// best-effort instrumentation and are never retained.
+    fn send_stream(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, bytes: u64, msg: StreamMsg) {
+        if self.wiring().recovery.is_some() && !matches!(msg, StreamMsg::Done) {
+            let msg_id = self.net.send(ctx, conn, bytes, Message::new(msg.clone()));
+            self.retained.entry(conn).or_default().insert(
+                msg_id,
+                Retained {
+                    msg,
+                    bytes,
+                    attempts: 0,
+                },
+            );
+        } else {
+            self.net.send(ctx, conn, bytes, Message::new(msg));
+        }
+    }
+
+    /// Transport-reported send failure: retry with backoff, or fail the
+    /// consumer copy over once retries are exhausted or the peer is dead.
+    fn on_stream_error(&mut self, ctx: &mut Ctx<'_>, e: StreamError) {
+        self.stats.stream_errors += 1;
+        Self::count_probe(ctx, "dc.stream.error");
+        if self.dead_conns.contains(&e.conn) {
+            return;
+        }
+        let cfg = self.wiring().recovery.unwrap_or_default();
+        let attempts = self
+            .retained
+            .get(&e.conn)
+            .and_then(|m| m.get(&e.msg_id))
+            .map(|r| r.attempts);
+        let can_retry =
+            matches!(e.kind, StreamErrorKind::Lost) && attempts.is_some_and(|a| a < cfg.retries);
+        if can_retry {
+            let attempts = {
+                let r = self
+                    .retained
+                    .get_mut(&e.conn)
+                    .and_then(|m| m.get_mut(&e.msg_id))
+                    .expect("retained entry checked above");
+                r.attempts += 1;
+                r.attempts
+            };
+            // Exponential backoff: backoff * 2^(attempts-1), shift-capped.
+            let delay = cfg.backoff.mul_f64((1u64 << (attempts - 1).min(16)) as f64);
+            if self.out_index.contains_key(&e.conn) {
+                self.recovering.insert(e.conn);
+            }
+            ctx.send_self_in(
+                delay,
+                Message::new(RetryMsg {
+                    conn: e.conn,
+                    msg_id: e.msg_id,
+                }),
+            );
+        } else if self.out_index.contains_key(&e.conn) {
+            self.fail_conn(ctx, e.conn);
+        } else {
+            // A lost control message out of retries (or one that was never
+            // retained): give up on it without failing anything over.
+            Self::count_probe(ctx, "dc.stream.ack_lost");
+        }
+    }
+
+    /// Re-send a lost message once its backoff timer fires.
+    fn retry_send(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msg_id: u64) {
+        if self.dead_conns.contains(&conn) {
+            return;
+        }
+        let Some(r) = self.retained.get_mut(&conn).and_then(|m| m.remove(&msg_id)) else {
+            return;
+        };
+        self.stats.retries += 1;
+        Self::count_probe(ctx, "dc.stream.retry");
+        let new_id = self
+            .net
+            .send(ctx, conn, r.bytes, Message::new(r.msg.clone()));
+        self.retained.entry(conn).or_default().insert(new_id, r);
+    }
+
+    /// Permanently fail a data-out connection over: mark the consumer copy
+    /// dead, write off its window, and replay retained buffers (in send
+    /// order) to the surviving copies on the port.
+    fn fail_conn(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        if !self.dead_conns.insert(conn) {
+            return;
+        }
+        let Some(&(port, consumer)) = self.out_index.get(&conn) else {
+            return;
+        };
+        self.scheds[port].on_dead(consumer);
+        self.sent_times[port][consumer].clear();
+        self.done_times[port][consumer].clear();
+        self.recovering.remove(&conn);
+        self.stats.consumers_failed += 1;
+        Self::count_probe(ctx, "dc.stream.failover");
+        let mut lost: Vec<(u64, Retained)> = self
+            .retained
+            .remove(&conn)
+            .map(|m| m.into_iter().collect())
+            .unwrap_or_default();
+        lost.sort_by_key(|&(id, _)| id);
+        // push_front in reverse keeps the original send order at the head
+        // of the queue, ahead of not-yet-sent buffers.
+        for (_, r) in lost.into_iter().rev() {
+            if let StreamMsg::Data(buf) = r.msg {
+                self.out_queues[port].push_front(OutItem::Buf(buf));
+            }
+        }
+        self.dispatch(ctx, port);
     }
 
     fn filter_ctx<'a>(
@@ -354,20 +520,27 @@ impl FilterProcess {
                     let Some(OutItem::Eow(uow)) = self.out_queues[port].pop_front() else {
                         unreachable!()
                     };
-                    // EOW is broadcast to every consumer copy, outside the
-                    // demand-driven window (it carries no data).
+                    // EOW is broadcast to every live consumer copy, outside
+                    // the demand-driven window (it carries no data).
                     let conns = self.wiring().outputs[port].data_conns.clone();
-                    for conn in conns {
-                        self.net.send(
-                            ctx,
-                            conn,
-                            CONTROL_BYTES,
-                            Message::new(StreamMsg::Eow { uow }),
-                        );
+                    for (i, conn) in conns.into_iter().enumerate() {
+                        if self.scheds[port].is_dead(i) {
+                            continue;
+                        }
+                        self.send_stream(ctx, conn, CONTROL_BYTES, StreamMsg::Eow { uow });
                     }
                 }
                 Some(OutItem::Buf(_)) => {
                     let Some(i) = self.scheds[port].pick() else {
+                        if self.scheds[port].alive() == 0 && self.wiring().recovery.is_some() {
+                            // Every consumer copy on this port is dead: the
+                            // buffer can never be delivered. Count and drop
+                            // it rather than wedging the queue forever.
+                            self.out_queues[port].pop_front();
+                            self.stats.buffers_failed += 1;
+                            Self::count_probe(ctx, "dc.stream.failed");
+                            continue;
+                        }
                         return; // demand-driven: all consumers at the cap
                     };
                     let Some(OutItem::Buf(buf)) = self.out_queues[port].pop_front() else {
@@ -385,8 +558,7 @@ impl FilterProcess {
                     self.stats.bytes_out += buf.bytes;
                     let conn = self.wiring().outputs[port].data_conns[i];
                     let bytes = buf.bytes;
-                    self.net
-                        .send(ctx, conn, bytes, Message::new(StreamMsg::Data(buf)));
+                    self.send_stream(ctx, conn, bytes, StreamMsg::Data(buf));
                 }
             }
         }
@@ -415,9 +587,7 @@ impl FilterProcess {
                     let input_policy = input.policy;
                     let ack_conn_for_done = input.ack_conns[producer];
                     if input_policy.wants_acks() {
-                        let ack_conn = input.ack_conns[producer];
-                        self.net
-                            .send(ctx, ack_conn, CONTROL_BYTES, Message::new(StreamMsg::Ack));
+                        self.send_stream(ctx, ack_conn_for_done, CONTROL_BYTES, StreamMsg::Ack);
                     }
                     self.stats.buffers_in += 1;
                     self.stats.bytes_in += buf.bytes;
@@ -490,6 +660,17 @@ impl Process for FilterProcess {
             .map(|o| vec![VecDeque::new(); o.data_conns.len()])
             .collect();
         self.done_times = self.sent_times.clone();
+        self.out_index = wiring
+            .outputs
+            .iter()
+            .enumerate()
+            .flat_map(|(p, o)| {
+                o.data_conns
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, &c)| (c, (p, i)))
+            })
+            .collect();
         self.wiring = Some(wiring);
         let mut external = Vec::new();
         let now = ctx.now();
@@ -504,13 +685,28 @@ impl Process for FilterProcess {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        if self
+            .wiring
+            .as_ref()
+            .is_some_and(|w| w.crash_at.is_some_and(|t| ctx.now() >= t))
+        {
+            // The node has fail-stopped: this copy plays dead and drops
+            // everything (peers observe the loss through the transport's
+            // crash cut, not through any reply from here).
+            Self::count_probe(ctx, "dc.dead_drop");
+            return;
+        }
         let msg = match msg.downcast::<Delivery>() {
             Ok(d) => {
-                let route = *self
-                    .wiring()
-                    .routes
-                    .get(&d.conn)
-                    .unwrap_or_else(|| panic!("{}: delivery on unknown conn", self.name));
+                let Some(&route) = self.wiring().routes.get(&d.conn) else {
+                    // A delivery racing teardown, or one for a connection
+                    // this copy never owned: count and discard instead of
+                    // panicking, and leave the transport's flow state for
+                    // the unknown route untouched.
+                    self.stats.stale_deliveries += 1;
+                    Self::count_probe(ctx, "dc.stream.stale_delivery");
+                    return;
+                };
                 match route {
                     Route::DataIn { port, producer } => {
                         match d.payload.downcast::<StreamMsg>().expect("stream message") {
@@ -536,38 +732,69 @@ impl Process for FilterProcess {
                     }
                     Route::AckIn { port, consumer } => {
                         self.net.consumed(ctx, d.conn, d.msg_id);
+                        // Under a fault plan, acks can be late (after a
+                        // failover wrote the window off) or duplicated (a
+                        // spurious-loss retry): tolerate rather than assert.
+                        let lenient = self.wiring().recovery.is_some();
+                        if lenient && self.scheds[port].is_dead(consumer) {
+                            self.maybe_start(ctx);
+                            return;
+                        }
                         match d.payload.downcast::<StreamMsg>().expect("stream message") {
                             StreamMsg::Ack => {
-                                self.scheds[port].on_ack(consumer);
+                                if !lenient || self.scheds[port].unacked(consumer) > 0 {
+                                    self.scheds[port].on_ack(consumer);
+                                }
                                 ctx.probe_emit(|t| ProbeEvent::Counter {
                                     name: "dc.acks".to_string(),
                                     time: t,
                                     delta: 1.0,
                                 });
-                                let sent_at = self.sent_times[port][consumer]
-                                    .pop_front()
-                                    .expect("ack matches a sent buffer");
-                                if self.wiring().ack_log {
-                                    self.ack_log.push(AckRecord {
-                                        port,
-                                        consumer,
-                                        sent_at,
-                                        acked_at: ctx.now(),
-                                    });
+                                let sent_at = if lenient {
+                                    self.sent_times[port][consumer].pop_front()
+                                } else {
+                                    Some(
+                                        self.sent_times[port][consumer]
+                                            .pop_front()
+                                            .expect("ack matches a sent buffer"),
+                                    )
+                                };
+                                if let Some(sent_at) = sent_at {
+                                    if self.wiring().ack_log {
+                                        self.ack_log.push(AckRecord {
+                                            port,
+                                            consumer,
+                                            sent_at,
+                                            acked_at: ctx.now(),
+                                        });
+                                    }
+                                }
+                                let fwd = self.wiring().outputs[port].data_conns[consumer];
+                                if self.recovering.remove(&fwd) {
+                                    self.stats.streams_recovered += 1;
+                                    Self::count_probe(ctx, "dc.stream.recovered");
                                 }
                                 self.dispatch(ctx, port);
                             }
                             StreamMsg::Done => {
-                                let sent_at = self.done_times[port][consumer]
-                                    .pop_front()
-                                    .expect("done matches a sent buffer");
-                                if self.wiring().ack_log {
-                                    self.done_log.push(AckRecord {
-                                        port,
-                                        consumer,
-                                        sent_at,
-                                        acked_at: ctx.now(),
-                                    });
+                                let sent_at = if lenient {
+                                    self.done_times[port][consumer].pop_front()
+                                } else {
+                                    Some(
+                                        self.done_times[port][consumer]
+                                            .pop_front()
+                                            .expect("done matches a sent buffer"),
+                                    )
+                                };
+                                if let Some(sent_at) = sent_at {
+                                    if self.wiring().ack_log {
+                                        self.done_log.push(AckRecord {
+                                            port,
+                                            consumer,
+                                            sent_at,
+                                            acked_at: ctx.now(),
+                                        });
+                                    }
                                 }
                             }
                             _ => panic!("data message arrived on an ack route"),
@@ -575,6 +802,20 @@ impl Process for FilterProcess {
                     }
                 }
                 self.maybe_start(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<StreamError>() {
+            Ok(e) => {
+                self.on_stream_error(ctx, e);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RetryMsg>() {
+            Ok(r) => {
+                self.retry_send(ctx, r.conn, r.msg_id);
                 return;
             }
             Err(m) => m,

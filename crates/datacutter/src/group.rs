@@ -149,6 +149,8 @@ impl GroupBuilder {
                         routes: HashMap::new(),
                         speed,
                         ack_log: def.ack_log,
+                        recovery: cluster.fault_recovery(),
+                        crash_at: cluster.crash_time(node),
                     })
                     .collect()
             })

@@ -2,15 +2,17 @@
 
 #![cfg(test)]
 
-use crate::buffer::DataBuffer;
+use crate::buffer::{DataBuffer, StreamMsg};
+use crate::filter::{CopyWiring, FilterProcess};
 use crate::group::{FilterHandle, GroupBuilder, Instance};
 use crate::logic::{Action, FilterCtx, FilterLogic, SpeedModel};
 use crate::sched::Policy;
-use hpsock_net::{Cluster, NodeId, TransportKind};
-use hpsock_sim::{Dur, Sim, SimTime};
+use hpsock_net::{fault, Cluster, ConnId, Delivery, NodeId, TransportKind};
+use hpsock_sim::{Ctx, Dur, Message, Process, ProcessId, Sim, SimTime};
 use socketvia::Provider;
 use std::any::Any;
-use std::sync::Arc;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
 
 /// Source: emits `blocks` buffers of `bytes` each per unit of work, one per
 /// continuation step (paced generation, so demand-driven choices see
@@ -333,6 +335,160 @@ fn determinism_same_seed_same_trace() {
         (b.sim.trace_digest(), b.sim.events_dispatched())
     };
     assert_eq!(run(), run());
+}
+
+/// Fires one delivery at `target` for a connection it never owned — the
+/// teardown-then-deliver race.
+struct StrayDelivery {
+    target: ProcessId,
+}
+impl Process for StrayDelivery {
+    fn name(&self) -> String {
+        "stray".to_string()
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.send(
+            self.target,
+            Message::new(Delivery {
+                conn: ConnId(9999),
+                msg_id: 0,
+                bytes: 0,
+                sent_at: SimTime::ZERO,
+                payload: Message::new(StreamMsg::Ack),
+            }),
+        );
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Message) {}
+}
+
+/// Regression: a delivery racing filter teardown (or arriving on a
+/// connection the copy never owned) used to panic the whole sim; it is now
+/// counted and discarded.
+#[test]
+fn stale_delivery_is_counted_not_a_panic() {
+    let mut sim = Sim::new(7);
+    let cluster = Cluster::build(&mut sim, 2);
+    let slot = Arc::new(Mutex::new(None));
+    let lone = FilterProcess::new(
+        "lone".to_string(),
+        0,
+        1,
+        Box::<SinkLogic>::default(),
+        cluster.network(),
+        Arc::clone(&slot),
+    );
+    let pid = sim.add_process(Box::new(lone));
+    *slot.lock().unwrap() = Some(CopyWiring {
+        node: NodeId(0),
+        cpu: cluster.cpu(NodeId(0)),
+        inputs: Vec::new(),
+        outputs: Vec::new(),
+        routes: HashMap::new(),
+        speed: SpeedModel::default(),
+        ack_log: false,
+        recovery: None,
+        crash_at: None,
+    });
+    sim.add_process(Box::new(StrayDelivery { target: pid }));
+    sim.run();
+    let fp = sim
+        .process::<FilterProcess>(pid)
+        .expect("filter process present");
+    assert_eq!(fp.stats.stale_deliveries, 1, "counted, not a panic");
+}
+
+/// Lossy links with retry/backoff recovery: every buffer still arrives
+/// exactly once (no failover, so replay never duplicates).
+#[test]
+fn lossy_links_recover_and_conserve_buffers() {
+    let mut b = fault::with_spec("drop=0.02,detect=200us,backoff=200us", || {
+        build_pipeline(
+            TransportKind::SocketVia,
+            Policy::demand_driven(),
+            64,
+            2048,
+            18,
+            &[],
+        )
+    });
+    run_one_uow(&mut b);
+    let sink = b.inst.copy(&b.sim, b.sink, 0);
+    assert_eq!(sink.stats.buffers_in, 64, "every buffer eventually arrives");
+    assert_eq!(sink.stats.bytes_in, 64 * 2048);
+    let retries: u64 = (0..3)
+        .map(|c| b.inst.copy(&b.sim, b.mid, c).stats.retries)
+        .sum::<u64>()
+        + b.inst.copy(&b.sim, b.src, 0).stats.retries;
+    assert!(retries > 0, "the drop filter actually fired");
+    assert_eq!(
+        b.inst.copy(&b.sim, b.src, 0).stats.consumers_failed,
+        0,
+        "bounded loss never exhausts retries"
+    );
+}
+
+/// Sink that records distinct block tags through shared state, so the
+/// crash-failover test can check at-least-once coverage from outside.
+struct TagSink {
+    tags: Arc<Mutex<HashSet<u64>>>,
+}
+impl FilterLogic for TagSink {
+    fn on_buffer(&mut self, _fc: &mut FilterCtx<'_>, _port: usize, buf: DataBuffer) -> Action {
+        self.tags.lock().unwrap().insert(buf.tag);
+        Action::none()
+    }
+}
+
+/// A consumer copy's node fail-stops mid-run: the producer fails it over,
+/// replays its retained buffers to the survivors, and every block still
+/// reaches the sink at least once.
+#[test]
+fn crashed_worker_fails_over_and_survivors_cover_all_blocks() {
+    let blocks: u32 = 200;
+    let tags = Arc::new(Mutex::new(HashSet::new()));
+    let (mut sim, inst, src_h) = fault::with_spec("crash=2@300us,detect=100us", || {
+        let mut sim = Sim::new(42);
+        let cluster = Cluster::build(&mut sim, 5);
+        let provider = Provider::new(TransportKind::SocketVia);
+        let mut g = GroupBuilder::new();
+        let src = g.filter(
+            "src",
+            vec![NodeId(0)],
+            Box::new(move |_| Box::new(Source::new(blocks, 2048))),
+        );
+        let mid = g.filter(
+            "work",
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+            Box::new(move |_| Box::new(Worker { ns_per_byte: 18 })),
+        );
+        let sink_tags = Arc::clone(&tags);
+        let sink = g.filter(
+            "sink",
+            vec![NodeId(4)],
+            Box::new(move |_| {
+                Box::new(TagSink {
+                    tags: Arc::clone(&sink_tags),
+                })
+            }),
+        );
+        g.stream(src, mid, Policy::demand_driven(), &provider);
+        g.stream(mid, sink, Policy::RoundRobin, &provider);
+        let inst = g.instantiate(&mut sim, &cluster);
+        (sim, inst, src)
+    });
+    inst.start_uow_at(&mut sim, SimTime::ZERO, src_h, 0, Arc::new(()));
+    sim.run();
+    let src = inst.copy(&sim, src_h, 0);
+    assert!(
+        src.stats.consumers_failed >= 1,
+        "the crashed worker was failed over away from"
+    );
+    assert!(src.stats.stream_errors > 0);
+    let distinct = tags.lock().unwrap().len();
+    assert_eq!(
+        distinct, blocks as usize,
+        "failover replay keeps at-least-once coverage"
+    );
 }
 
 #[test]

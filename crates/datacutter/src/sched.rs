@@ -57,6 +57,9 @@ pub struct Scheduler {
     unacked: Vec<u32>,
     sent: Vec<u64>,
     acked: Vec<u64>,
+    /// Copies failed over away from (crashed node or exhausted stream
+    /// retries); they are never picked again.
+    dead: Vec<bool>,
 }
 
 impl Scheduler {
@@ -69,20 +72,24 @@ impl Scheduler {
             unacked: vec![0; consumers],
             sent: vec![0; consumers],
             acked: vec![0; consumers],
+            dead: vec![false; consumers],
         }
     }
 
     /// Which consumer copy should receive the next buffer, or `None` if
     /// dispatch must wait for an acknowledgment (demand-driven, all copies
-    /// at the window cap).
+    /// at the window cap) — or if every copy is dead.
     pub fn pick(&self) -> Option<usize> {
+        let n = self.unacked.len();
         match self.policy {
-            Policy::RoundRobin | Policy::RoundRobinAcked => Some(self.rr_next),
+            Policy::RoundRobin | Policy::RoundRobinAcked => (0..n)
+                .map(|k| (self.rr_next + k) % n)
+                .find(|&i| !self.dead[i]),
             Policy::DemandDriven { window } => self
                 .unacked
                 .iter()
                 .enumerate()
-                .filter(|(_, &u)| u < window)
+                .filter(|&(i, &u)| !self.dead[i] && u < window)
                 .min_by_key(|(i, &u)| (u, *i))
                 .map(|(i, _)| i),
         }
@@ -93,8 +100,11 @@ impl Scheduler {
         self.sent[i] += 1;
         self.unacked[i] += 1;
         if matches!(self.policy, Policy::RoundRobin | Policy::RoundRobinAcked) {
-            debug_assert_eq!(i, self.rr_next, "round-robin sends follow pick order");
-            self.rr_next = (self.rr_next + 1) % self.unacked.len();
+            debug_assert!(
+                self.dead.iter().any(|&d| d) || i == self.rr_next,
+                "round-robin sends follow pick order"
+            );
+            self.rr_next = (i + 1) % self.unacked.len();
         }
     }
 
@@ -103,6 +113,24 @@ impl Scheduler {
         assert!(self.unacked[i] > 0, "ack without an outstanding buffer");
         self.unacked[i] -= 1;
         self.acked[i] += 1;
+    }
+
+    /// Fail copy `i` over: it is never picked again and its outstanding
+    /// buffers are written off (late acks from it must be ignored by the
+    /// caller, matched against [`Scheduler::is_dead`]).
+    pub fn on_dead(&mut self, i: usize) {
+        self.dead[i] = true;
+        self.unacked[i] = 0;
+    }
+
+    /// Has copy `i` been failed over away from?
+    pub fn is_dead(&self, i: usize) -> bool {
+        self.dead[i]
+    }
+
+    /// Number of copies still alive.
+    pub fn alive(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
     }
 
     /// Unacknowledged buffers currently outstanding at copy `i`.
@@ -189,6 +217,51 @@ mod tests {
     fn ack_underflow_panics() {
         let mut s = Scheduler::new(Policy::RoundRobin, 1);
         s.on_ack(0);
+    }
+
+    #[test]
+    fn dead_copies_are_skipped_by_round_robin() {
+        let mut s = Scheduler::new(Policy::RoundRobin, 3);
+        s.on_dead(1);
+        let mut order = vec![];
+        for _ in 0..4 {
+            let i = s.pick().unwrap();
+            s.on_sent(i);
+            order.push(i);
+        }
+        assert_eq!(order, vec![0, 2, 0, 2], "copy 1 never picked");
+        assert_eq!(s.alive(), 2);
+        assert!(s.is_dead(1));
+    }
+
+    #[test]
+    fn dead_copies_are_skipped_by_demand_driven() {
+        let mut s = Scheduler::new(Policy::DemandDriven { window: 2 }, 2);
+        s.on_sent(0);
+        s.on_sent(0); // copy 0 at the cap
+        s.on_dead(1); // the empty copy dies
+        assert_eq!(s.pick(), None, "only live copy is at the window cap");
+        s.on_ack(0);
+        assert_eq!(s.pick(), Some(0));
+    }
+
+    #[test]
+    fn on_dead_writes_off_outstanding_buffers() {
+        let mut s = Scheduler::new(Policy::demand_driven(), 2);
+        s.on_sent(1);
+        s.on_sent(1);
+        s.on_dead(1);
+        assert_eq!(s.unacked(1), 0, "outstanding written off");
+        assert_eq!(s.alive(), 1);
+    }
+
+    #[test]
+    fn all_dead_picks_none() {
+        let mut s = Scheduler::new(Policy::RoundRobin, 2);
+        s.on_dead(0);
+        s.on_dead(1);
+        assert_eq!(s.pick(), None);
+        assert_eq!(s.alive(), 0);
     }
 
     proptest! {

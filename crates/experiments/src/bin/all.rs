@@ -5,11 +5,11 @@ use hpsock_experiments as x;
 fn main() {
     let quick = x::quick_mode();
     let dir = x::results_dir();
-    eprintln!("[1/8] Figure 4 + Figure 2 ...");
+    eprintln!("[1/9] Figure 4 + Figure 2 ...");
     let (iters, total) = if quick { (4, 1 << 20) } else { (16, 1 << 22) };
     x::emit(&x::fig4::run(iters, total), &dir);
     x::export_under_trace("fig4", |tdir| x::fig4::export_traces(tdir, total));
-    eprintln!("[2/8] Figure 7 ...");
+    eprintln!("[2/9] Figure 7 ...");
     let scale = if quick {
         x::fig7::Scale {
             n_complete: 3,
@@ -20,23 +20,25 @@ fn main() {
     };
     x::emit(&x::fig7::run(scale), &dir);
     x::export_under_trace("fig7", |tdir| x::fig7::export_traces(tdir, scale));
-    eprintln!("[3/8] Figure 8 ...");
+    eprintln!("[3/9] Figure 8 ...");
     let n8 = if quick { 3 } else { 5 };
     x::emit(&x::fig8::run(n8), &dir);
     x::export_under_trace("fig8", |tdir| x::fig8::export_traces(tdir, n8));
-    eprintln!("[4/8] Figure 9 ...");
+    eprintln!("[4/9] Figure 9 ...");
     let n9 = if quick { 5 } else { 10 };
     x::emit(&x::fig9::run(n9), &dir);
     x::export_under_trace("fig9", |tdir| x::fig9::export_traces(tdir, n9));
-    eprintln!("[5/8] Figure 10 ...");
+    eprintln!("[5/9] Figure 10 ...");
     x::emit(&x::fig10::run(), &dir);
     x::export_under_trace("fig10", x::fig10::export_traces);
-    eprintln!("[6/8] Figure 11 ...");
+    eprintln!("[6/9] Figure 11 ...");
     x::emit(&x::fig11::run(), &dir);
     x::export_under_trace("fig11", x::fig11::export_traces);
-    eprintln!("[7/8] Future work: RDMA ...");
+    eprintln!("[7/9] Future work: RDMA ...");
     x::emit(&x::future::run(), &dir);
-    eprintln!("[8/8] Supplementary: Figure 1 amplification, partition trade-off ...");
+    eprintln!("[8/9] Supplementary: Figure 1 amplification, partition trade-off ...");
     x::emit(&x::extra::run(if quick { 3 } else { 6 }), &dir);
+    eprintln!("[9/9] Fault injection: availability and guarantee retention ...");
+    x::emit(&x::fig_faults::run(quick), &dir);
     eprintln!("done: CSVs under {}", dir.display());
 }

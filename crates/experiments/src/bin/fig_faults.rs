@@ -1,0 +1,10 @@
+//! Regenerate the fault-injection tables: availability, recovery
+//! counters and guarantee retention per transport (`--quick` shrinks the
+//! workload; `HPSOCK_FAULTS` is not consulted — the experiment scopes its
+//! own plans).
+
+fn main() {
+    let quick = hpsock_experiments::quick_mode();
+    let tables = hpsock_experiments::fig_faults::run(quick);
+    hpsock_experiments::emit(&tables, hpsock_experiments::results_dir());
+}

@@ -13,6 +13,7 @@
 //! | [`fig10`] | Figure 10: round-robin load-balancer reaction time |
 //! | [`fig11`] | Figure 11: demand-driven execution under random slowdowns |
 //! | [`future`] | beyond the paper: the conclusion's RDMA future work, quantified |
+//! | [`fig_faults`] | beyond the paper: availability and guarantee retention under injected faults |
 
 pub mod bigtopo;
 pub mod breakdown;
@@ -23,6 +24,7 @@ pub mod fig4;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fig_faults;
 pub mod future;
 pub mod replicate;
 pub mod runner;
@@ -63,11 +65,31 @@ pub fn emit(tables: &[Table], dir: impl AsRef<Path>) {
     }
 }
 
+/// Parse an `HPSOCK_QUICK` value: strictly `1` (on) or `0` (off),
+/// anything else is an error naming the variable — the old behaviour
+/// silently treated garbage like `HPSOCK_QUICK=yes` as "off", which
+/// masked misconfiguration (the `HPSOCK_THREADS`/`HPSOCK_TAILS`
+/// convention).
+pub fn parse_quick_flag(raw: &str) -> Result<bool, String> {
+    match raw.trim() {
+        "1" => Ok(true),
+        "0" => Ok(false),
+        _ => Err(format!(
+            "HPSOCK_QUICK must be 0 or 1, got {raw:?} (1 shrinks the sweeps for smoke runs)"
+        )),
+    }
+}
+
 /// True when `--quick` was passed or `HPSOCK_QUICK=1` is set (reduced
 /// sweep scale for smoke runs; see README "Environment variables").
+/// Invalid `HPSOCK_QUICK` values abort with a message naming the
+/// variable.
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
-        || std::env::var_os("HPSOCK_QUICK").is_some_and(|v| v == "1")
+        || match std::env::var("HPSOCK_QUICK") {
+            Ok(v) => parse_quick_flag(&v).unwrap_or_else(|e| panic!("{e}")),
+            Err(_) => false,
+        }
 }
 
 /// Results directory: `$HPSOCK_RESULTS` or `results/`.
@@ -116,6 +138,18 @@ pub fn export_under_trace(figure: &str, export: impl FnOnce(&Path)) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_quick_flag_is_strict() {
+        assert_eq!(parse_quick_flag("1"), Ok(true));
+        assert_eq!(parse_quick_flag("0"), Ok(false));
+        assert_eq!(parse_quick_flag(" 1 "), Ok(true), "whitespace tolerated");
+        for bad in ["yes", "true", "2", "", "on", "01"] {
+            let err = parse_quick_flag(bad).expect_err(bad);
+            assert!(err.contains("HPSOCK_QUICK"), "names the variable: {err}");
+            assert!(err.contains(&format!("{bad:?}")), "echoes the value: {err}");
+        }
+    }
 
     #[test]
     fn ensure_trace_dir_creates_missing_directories() {

@@ -34,6 +34,8 @@ pub const FIG10_SEED: u64 = 0x10;
 pub const FIG11_SEED: u64 = 0x11;
 /// Seed of the supplementary (`extra`) partition-tradeoff tables.
 pub const EXTRA_SEED: u64 = 0xE;
+/// Seed of the fault-injection availability experiment (`fig_faults`).
+pub const FIG_FAULTS_SEED: u64 = 0xFA17;
 
 /// Configuration of one guarantee-experiment run.
 #[derive(Debug, Clone)]

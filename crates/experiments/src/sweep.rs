@@ -78,18 +78,21 @@ where
     // shared write safe.
     let jobs: Mutex<Vec<(usize, I)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
     let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    // Scoped overrides (`with_shard_count`, `with_telemetry_dir`) are
-    // thread-local; re-install the submitting thread's overrides in every
-    // pool worker so sweep points run under the same shard count and
-    // telemetry setting as the caller.
+    // Scoped overrides (`with_shard_count`, `with_telemetry_dir`,
+    // `fault::with_plan`) are thread-local; re-install the submitting
+    // thread's overrides in every pool worker so sweep points run under
+    // the same shard count, telemetry setting and fault plan as the
+    // caller.
     let shards = hpsock_sim::shard::shard_override();
     let telemetry = hpsock_sim::telemetry::telemetry_override();
+    let faults = hpsock_net::fault::fault_override();
     std::thread::scope(|s| {
         for _ in 0..workers {
             let jobs = &jobs;
             let slots = &slots;
             let f = &f;
             let telemetry = telemetry.clone();
+            let faults = faults.clone();
             s.spawn(move || {
                 let drain = || loop {
                     let Some((idx, item)) = jobs.lock().expect("job queue lock").pop() else {
@@ -102,9 +105,13 @@ where
                     Some(k) => hpsock_sim::shard::with_shard_count(k, drain),
                     None => drain(),
                 };
-                match telemetry {
-                    Some(dir) => hpsock_sim::telemetry::with_telemetry_dir(dir.as_deref(), sharded),
+                let faulted = || match faults {
+                    Some(p) => hpsock_net::fault::with_plan(p, sharded),
                     None => sharded(),
+                };
+                match telemetry {
+                    Some(dir) => hpsock_sim::telemetry::with_telemetry_dir(dir.as_deref(), faulted),
+                    None => faulted(),
                 }
             });
         }
@@ -226,6 +233,23 @@ mod tests {
             seen.iter().all(|d| d.as_deref() == Some(dir.as_path())),
             "pool workers saw {seen:?}"
         );
+    }
+
+    /// A scoped fault-plan override on the submitting thread must be
+    /// visible inside every pool worker, like the shard-count and
+    /// telemetry overrides — otherwise a faulted sweep would silently run
+    /// its points fault-free.
+    #[test]
+    fn fault_override_propagates_to_pool_workers() {
+        let plan = std::sync::Arc::new(
+            hpsock_net::FaultPlan::parse("drop=0.5").expect("valid fault spec"),
+        );
+        let seen = hpsock_net::fault::with_plan(Some(plan), || {
+            parallel_map_workers((0..8).collect::<Vec<u32>>(), 4, |_| {
+                hpsock_net::fault::configured_plan().is_some()
+            })
+        });
+        assert!(seen.iter().all(|&b| b), "pool workers saw {seen:?}");
     }
 
     #[test]

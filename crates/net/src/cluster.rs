@@ -6,7 +6,8 @@
 //! on one cLAN 5300 switch (non-blocking crossbar).
 
 use crate::engine::{Endpoint, NetSwitch, Network, NodeResources};
-use hpsock_sim::{ProcessId, ResourceId, ShardPlan, Sim};
+use crate::fault::{self, FaultPlan, RecoveryCfg};
+use hpsock_sim::{ProcessId, ResourceId, ShardPlan, Sim, SimTime};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -27,6 +28,10 @@ impl Default for NodeSpec {
 pub struct Cluster {
     nodes: Vec<NodeResources>,
     net: Network,
+    /// The fault plan active when the cluster was built (from
+    /// `HPSOCK_FAULTS` or a scoped [`fault::with_plan`] override); `None`
+    /// keeps the engine's fault paths entirely cold.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Cluster {
@@ -49,7 +54,27 @@ impl Cluster {
             })
             .collect();
         let net = NetSwitch::install(sim, nodes.clone());
-        Cluster { nodes, net }
+        let faults = fault::configured_plan();
+        if let Some(p) = &faults {
+            net.registry.lock().expect("registry lock").faults = Some(Arc::clone(p));
+        }
+        Cluster { nodes, net, faults }
+    }
+
+    /// The fault plan this cluster was built under, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.clone()
+    }
+
+    /// Recovery parameters for fault-aware stream layers; `None` when no
+    /// faults are injected (recovery machinery should then stay inert).
+    pub fn fault_recovery(&self) -> Option<RecoveryCfg> {
+        self.faults.as_ref().map(|p| p.recovery)
+    }
+
+    /// Scheduled fail-stop time of `node` under the active fault plan.
+    pub fn crash_time(&self, node: crate::engine::NodeId) -> Option<SimTime> {
+        self.faults.as_ref().and_then(|p| p.crash_time(node.0))
     }
 
     /// Number of nodes.
@@ -534,5 +559,137 @@ mod tests {
         assert_eq!(run(2), seq);
         // Requesting more shards than racks clamps to whole racks.
         assert_eq!(run(4), seq);
+    }
+
+    /// Using the network before `Sim::run` reports a typed [`NetError`]
+    /// naming the operation and the simulation phase, not a bare expect.
+    #[test]
+    fn pre_start_use_reports_a_typed_error() {
+        let mut sim = hpsock_sim::Sim::new(1);
+        let cluster = Cluster::build(&mut sim, 2);
+        let net = cluster.network();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net.core_of(NodeId(0));
+        }))
+        .expect_err("routes do not exist before the run");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("typed errors panic with a formatted String");
+        assert!(msg.contains("core_of"), "names the operation: {msg}");
+        assert!(
+            msg.contains("before the simulation started"),
+            "names the phase: {msg}"
+        );
+        // And the conn-bearing rendering is pinned exactly.
+        let e = crate::engine::NetError::NotStarted {
+            op: "send",
+            conn: Some(ConnId(3)),
+        };
+        assert_eq!(
+            e.to_string(),
+            "net: send on conn 3 before the simulation started; routes exist \
+             only once the net switch has run its start phase"
+        );
+    }
+
+    /// A seeded drop+delay fault run is digest-reproducible across
+    /// repeated invocations and across a 1 vs 2 shard partition: fate
+    /// draws come from the transmitting core's shard-invariant RNG
+    /// stream, and fault delays only ever add latency, so the
+    /// conservative-window lookahead still holds.
+    #[test]
+    fn seeded_faults_are_deterministic_across_shards() {
+        let run = |shards: usize| {
+            fault::with_spec("drop=0.05,delay=0.2:30us", || {
+                let mut sim = hpsock_sim::Sim::new(11);
+                let cluster = Cluster::build(&mut sim, 2);
+                assert!(cluster.fault_plan().is_some(), "plan installed at build");
+                let net = cluster.network();
+                let sink = sim.add_process(Box::new(Sink {
+                    net: net.clone(),
+                    sender: None,
+                    oneway_us: vec![],
+                    last_delivery: SimTime::ZERO,
+                    delivered: 0,
+                }));
+                let blaster = sim.add_process(Box::new(BurstBlaster {
+                    net: net.clone(),
+                    conn: ConnId(0),
+                    bytes: 16_384,
+                    count: 50,
+                }));
+                net.connect(
+                    cluster.endpoint(NodeId(0), blaster),
+                    cluster.endpoint(NodeId(1), sink),
+                    TransportKind::SocketVia,
+                );
+                if shards > 1 {
+                    sim.set_shard_plan(cluster.shard_plan(2, vec![0, 1], vec![]));
+                }
+                let end = sim.run();
+                let s: &Sink = sim.process(sink).unwrap();
+                (
+                    end.as_nanos(),
+                    sim.trace_digest(),
+                    sim.events_dispatched(),
+                    s.delivered,
+                )
+            })
+        };
+        let seq = run(1);
+        assert_eq!(run(1), seq, "repeat invocation reproduces the digest");
+        assert_eq!(run(2), seq, "2-shard partition reproduces the digest");
+        let delivered = seq.3;
+        assert!(delivered > 0, "some messages survive a 5% drop rate");
+        assert!(
+            delivered < 16_384 * 50,
+            "the drop filter lost something: {delivered} bytes all arrived"
+        );
+    }
+
+    /// A scheduled node crash cuts the connection: the sender's queued
+    /// messages fail over to `StreamError` events instead of wedging the
+    /// run, and frames arriving at the dead node return nothing.
+    #[test]
+    fn node_crash_cuts_streams_deterministically() {
+        let run = || {
+            fault::with_spec("crash=1@200us,detect=100us", || {
+                let mut sim = hpsock_sim::Sim::new(3);
+                let cluster = Cluster::build(&mut sim, 2);
+                assert_eq!(
+                    cluster.crash_time(NodeId(1)),
+                    Some(SimTime::ZERO + hpsock_sim::Dur::micros(200))
+                );
+                let net = cluster.network();
+                let sink = sim.add_process(Box::new(Sink {
+                    net: net.clone(),
+                    sender: None,
+                    oneway_us: vec![],
+                    last_delivery: SimTime::ZERO,
+                    delivered: 0,
+                }));
+                let blaster = sim.add_process(Box::new(BurstBlaster {
+                    net: net.clone(),
+                    conn: ConnId(0),
+                    bytes: 16_384,
+                    count: 50,
+                }));
+                net.connect(
+                    cluster.endpoint(NodeId(0), blaster),
+                    cluster.endpoint(NodeId(1), sink),
+                    TransportKind::SocketVia,
+                );
+                let end = sim.run();
+                let s: &Sink = sim.process(sink).unwrap();
+                (end.as_nanos(), sim.trace_digest(), s.delivered)
+            })
+        };
+        let a = run();
+        assert_eq!(run(), a, "crash runs reproduce");
+        assert!(
+            a.2 < 16_384 * 50,
+            "the crash cut the stream: {} bytes all arrived",
+            a.2
+        );
     }
 }

@@ -37,12 +37,13 @@
 //! as the commanding endpoint) and receive [`Delivery`] messages when a
 //! whole application message has been reassembled at the receiver.
 
+use crate::fault::{ConnFaults, FaultPlan, MsgFate};
 use crate::flow::Flow;
 use crate::frame::{frame_count, frame_len};
 use crate::params::{PathCosts, TransportKind};
 use hpsock_sim::stats::{Tally, TimeWeighted};
 use hpsock_sim::{Ctx, Dur, Message, ProbeEvent, Process, ProcessId, ResourceId, Sim, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// A node in the simulated cluster.
@@ -90,12 +91,79 @@ pub struct Delivery {
     pub payload: Message,
 }
 
+/// A typed start/stop edge error: the engine was driven outside the
+/// window in which its routes exist. Rendered (and panicked with) instead
+/// of a bare `expect`, so a mis-sequenced driver reports *what* was used
+/// early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// An operation needed the connection routes before the simulation
+    /// started (routes are installed when [`NetSwitch`] starts).
+    NotStarted {
+        /// The operation that was attempted.
+        op: &'static str,
+        /// The connection involved, when the operation names one.
+        conn: Option<ConnId>,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::NotStarted { op, conn } => {
+                write!(f, "net: {op}")?;
+                if let Some(c) = conn {
+                    write!(f, " on conn {}", c.0)?;
+                }
+                write!(
+                    f,
+                    " before the simulation started; routes exist only once \
+                     the net switch has run its start phase"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Why a stream operation failed. Carried on [`StreamError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamErrorKind {
+    /// The message was lost on the wire by an injected fault (drop filter
+    /// or link flap); the connection itself is still up.
+    Lost,
+    /// An endpoint node fail-stopped; the connection is cut and every
+    /// queued or in-flight message on it has failed.
+    PeerDead,
+    /// A send was submitted on a connection that was already cut.
+    NotConnected,
+}
+
+/// A recoverable stream failure, delivered to the *sending* process as an
+/// ordinary event in place of silent loss (and in place of the panics the
+/// engine used to reserve for impossible states). Senders learn the engine
+/// message id from the return value of [`Network::send`].
+#[derive(Debug, Clone, Copy)]
+pub struct StreamError {
+    /// The connection the message was submitted on.
+    pub conn: ConnId,
+    /// Engine message id, as returned by [`Network::send`].
+    pub msg_id: u64,
+    /// Application payload size of the failed message.
+    pub bytes: u64,
+    /// What happened.
+    pub kind: StreamErrorKind,
+}
+
 /// Commands applications send to the engine.
 pub enum NetCmd {
     /// Transmit `payload` (`bytes` simulated bytes) on `conn`.
     Send {
         /// Connection to send on.
         conn: ConnId,
+        /// Engine message id pre-assigned by [`Network::send`].
+        msg_id: u64,
         /// Simulated payload size.
         bytes: u64,
         /// Opaque payload delivered to the peer.
@@ -171,6 +239,19 @@ enum Ev {
         conn: ConnId,
         bytes: u64,
     },
+    /// Loss-detection timer for a fault-doomed message fired at the
+    /// sender: repair flow control for the charged frames and surface a
+    /// [`StreamError`] to the sending process.
+    MsgLost {
+        conn: ConnId,
+        msg: u64,
+    },
+    /// Crash-detection timer for a connection whose endpoint node
+    /// fail-stops: fail everything queued or in flight and mark the send
+    /// half dead.
+    ConnCut {
+        conn: ConnId,
+    },
 }
 
 /// Counters and distributions per connection. Send-side fields are filled
@@ -226,16 +307,49 @@ struct RxMsgState {
     payload: Option<Message>,
 }
 
+/// Bookkeeping for a message the fault layer doomed at the wire: its
+/// already-emitted frames are drained from the stage pipeline without
+/// being forwarded, and flow control is repaired when the loss-detection
+/// timer fires.
+struct DoomedMsg {
+    bytes: u64,
+    /// Frames charged to flow control before the doom verdict (frames the
+    /// repair must return).
+    frames_charged: u32,
+    /// Charged frames whose `WireDone` has drained so far.
+    seen: u32,
+    /// The `MsgLost` repair has run; the entry only lingers to absorb
+    /// still-in-pipeline frames.
+    repaired: bool,
+    kind: StreamErrorKind,
+}
+
+/// A message a delay filter hit: every frame gets the same added wire
+/// latency, so frames of one message never reorder among themselves.
+struct DelayedMsg {
+    extra: Dur,
+    frames: u32,
+    seen: u32,
+}
+
 /// Send half of a connection, owned by the source node's core.
 struct TxConn {
     costs: Arc<PathCosts>,
     flow: Flow,
     sendq: VecDeque<PendingMsg>,
     pending_meta: HashMap<u64, TxMsgMeta>,
-    next_msg_id: u64,
     stats: ConnStats,
     /// When the sender last became credit-blocked with data queued.
     stall_since: Option<SimTime>,
+    /// Compiled fault state (`None` on a fault-free link: the hot path
+    /// then performs no RNG draws and schedules no extra events).
+    faults: Option<ConnFaults>,
+    /// The sending process, target of [`StreamError`] events.
+    src_pid: ProcessId,
+    /// Set by [`Ev::ConnCut`]; a dead connection accepts no traffic.
+    dead: bool,
+    doomed: HashMap<u64, DoomedMsg>,
+    delayed: HashMap<u64, DelayedMsg>,
 }
 
 /// Receive half of a connection, owned by the destination node's core.
@@ -249,6 +363,10 @@ struct RxConn {
     /// Delivered, not yet consumed: msg_id -> (bytes, frames).
     unconsumed: HashMap<u64, (u64, u32)>,
     stats: ConnStats,
+    /// Fail-stop time of this (destination) node, when the fault plan
+    /// crashes it: frames arriving afterwards are dropped, returning no
+    /// acks or credits.
+    cut_at: Option<SimTime>,
 }
 
 /// Connection specification recorded before the run starts.
@@ -262,6 +380,13 @@ pub(crate) struct ConnSpec {
 pub(crate) struct Registry {
     pub(crate) conns: Vec<ConnSpec>,
     pub(crate) sealed: bool,
+    /// Next engine message id per connection. Lives in the registry (not
+    /// the send half) so [`Network::send`] can hand the id back to the
+    /// caller synchronously; each connection has a single sending process,
+    /// so the sequence stays deterministic under sharding.
+    pub(crate) next_msg_id: Vec<u64>,
+    /// The fault plan the owning cluster was built under, if any.
+    pub(crate) faults: Option<Arc<FaultPlan>>,
 }
 
 /// Where each connection's halves live, fixed once the simulation starts.
@@ -301,32 +426,48 @@ impl Network {
         );
         let id = ConnId(reg.conns.len());
         reg.conns.push(ConnSpec { src, dst, costs });
+        reg.next_msg_id.push(0);
         id
     }
 
-    fn route(&self) -> &Route {
-        self.route
-            .get()
-            .expect("network used before the simulation started")
+    /// The routing table, or a typed [`NetError`] naming the operation
+    /// (and connection) that was attempted too early.
+    fn try_route(&self, op: &'static str, conn: Option<ConnId>) -> Result<&Route, NetError> {
+        self.route.get().ok_or(NetError::NotStarted { op, conn })
+    }
+
+    fn route(&self, op: &'static str, conn: Option<ConnId>) -> &Route {
+        self.try_route(op, conn).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Submit a message (called from an application process handler).
-    pub fn send(&self, ctx: &mut Ctx<'_>, conn: ConnId, bytes: u64, payload: Message) {
+    /// Returns the engine message id, which identifies this message in the
+    /// matching [`Delivery`] — or in a [`StreamError`], should the fault
+    /// layer lose it.
+    pub fn send(&self, ctx: &mut Ctx<'_>, conn: ConnId, bytes: u64, payload: Message) -> u64 {
+        let msg_id = {
+            let mut reg = self.registry.lock().expect("registry lock");
+            let id = reg.next_msg_id[conn.0];
+            reg.next_msg_id[conn.0] += 1;
+            id
+        };
         ctx.send(
-            self.route().tx_core[conn.0],
+            self.route("send", Some(conn)).tx_core[conn.0],
             Message::new(NetCmd::Send {
                 conn,
+                msg_id,
                 bytes,
                 payload,
             }),
         );
+        msg_id
     }
 
     /// Report consumption of a delivered message (frees flow-control
     /// resources at the sender after the transport's ack latency).
     pub fn consumed(&self, ctx: &mut Ctx<'_>, conn: ConnId, msg_id: u64) {
         ctx.send(
-            self.route().rx_core[conn.0],
+            self.route("consumed", Some(conn)).rx_core[conn.0],
             Message::new(NetCmd::Consumed { conn, msg_id }),
         );
     }
@@ -334,7 +475,7 @@ impl Network {
     /// The engine core process serving `node` (valid once the simulation
     /// has started). Useful to read back [`NodeCore`] statistics.
     pub fn core_of(&self, node: NodeId) -> ProcessId {
-        self.route().core_of_node[node.0]
+        self.route("core_of", None).core_of_node[node.0]
     }
 }
 
@@ -440,16 +581,37 @@ impl NodeCore {
     }
 
     fn rx_core(&self, conn: ConnId) -> ProcessId {
-        self.route.get().expect("route set at start").rx_core[conn.0]
+        match self.route.get() {
+            Some(r) => r.rx_core[conn.0],
+            None => panic!(
+                "{}",
+                NetError::NotStarted {
+                    op: "rx-core lookup",
+                    conn: Some(conn),
+                }
+            ),
+        }
     }
 
     fn tx_core(&self, conn: ConnId) -> ProcessId {
-        self.route.get().expect("route set at start").tx_core[conn.0]
+        match self.route.get() {
+            Some(r) => r.tx_core[conn.0],
+            None => panic!(
+                "{}",
+                NetError::NotStarted {
+                    op: "tx-core lookup",
+                    conn: Some(conn),
+                }
+            ),
+        }
     }
 
     fn pump(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
         loop {
             let c = self.tx[conn.0].as_mut().expect("send half owned here");
+            if c.dead {
+                return;
+            }
             let Some(head) = c.sendq.front_mut() else {
                 c.stats.queue_depth.set(ctx.now(), 0.0);
                 return;
@@ -513,12 +675,26 @@ impl NodeCore {
         match cmd {
             NetCmd::Send {
                 conn,
+                msg_id,
                 bytes,
                 payload,
             } => {
                 let c = self.tx[conn.0].as_mut().expect("send half owned here");
-                let msg_id = c.next_msg_id;
-                c.next_msg_id += 1;
+                if c.dead {
+                    // The connection was cut before this send arrived:
+                    // fail it immediately instead of queueing forever.
+                    let pid = c.src_pid;
+                    ctx.send(
+                        pid,
+                        Message::new(StreamError {
+                            conn,
+                            msg_id,
+                            bytes,
+                            kind: StreamErrorKind::NotConnected,
+                        }),
+                    );
+                    return;
+                }
                 let frames = frame_count(bytes, c.costs.frame_payload);
                 c.pending_meta.insert(
                     msg_id,
@@ -600,12 +776,85 @@ impl NodeCore {
                 flen,
             } => {
                 let c = self.tx[conn.0].as_mut().expect("send half owned here");
-                let delay = c.costs.switch_latency + c.costs.prop_delay;
+                if c.dead {
+                    // Frames of a cut connection die on the wire.
+                    return;
+                }
+                if let Some(d) = c.doomed.get_mut(&msg) {
+                    // An already-doomed message's frame draining out of
+                    // the stage pipeline: swallow it.
+                    d.seen += 1;
+                    if d.repaired && d.seen >= d.frames_charged {
+                        c.doomed.remove(&msg);
+                    }
+                    return;
+                }
+                let mut delay = c.costs.switch_latency + c.costs.prop_delay;
                 let arrive = if frame == 0 {
                     let meta = c
                         .pending_meta
                         .remove(&msg)
                         .expect("first frame of unknown message");
+                    // The whole message's fate is decided as its first
+                    // frame enters the wire; frames always cross in order,
+                    // so the verdict covers every later frame too.
+                    let now = ctx.now();
+                    let fate = match &c.faults {
+                        Some(f) => {
+                            let kind = if f.cut_at.is_some_and(|t| now >= t) {
+                                StreamErrorKind::PeerDead
+                            } else {
+                                StreamErrorKind::Lost
+                            };
+                            Some((f.fate(now, ctx.rng()), kind, f.detect))
+                        }
+                        None => None,
+                    };
+                    match fate {
+                        Some((MsgFate::Drop, kind, detect)) => {
+                            // Unemitted frames leave the send queue; only
+                            // frames already charged to flow control need
+                            // repair when the loss is detected.
+                            let frames_charged = match c.sendq.iter().position(|p| p.msg == msg) {
+                                Some(i) => {
+                                    let p = c.sendq.remove(i).expect("index just found");
+                                    p.next_frame
+                                }
+                                None => meta.frames,
+                            };
+                            c.doomed.insert(
+                                msg,
+                                DoomedMsg {
+                                    bytes: meta.bytes,
+                                    frames_charged,
+                                    seen: 1,
+                                    repaired: false,
+                                    kind,
+                                },
+                            );
+                            ctx.probe_emit(|t| ProbeEvent::Counter {
+                                name: "net.fault.dropped".to_string(),
+                                time: t,
+                                delta: 1.0,
+                            });
+                            ctx.send_self_in(detect, Message::new(Ev::MsgLost { conn, msg }));
+                            return;
+                        }
+                        Some((MsgFate::Deliver { extra }, _, _)) if extra > Dur::ZERO => {
+                            delay += extra;
+                            if meta.frames > 1 {
+                                c.delayed.insert(
+                                    msg,
+                                    DelayedMsg {
+                                        extra,
+                                        frames: meta.frames,
+                                        seen: 1,
+                                    },
+                                );
+                            }
+                        }
+                        _ => {}
+                    }
                     Ev::RxFirst {
                         conn,
                         msg,
@@ -616,6 +865,15 @@ impl NodeCore {
                         payload: meta.payload,
                     }
                 } else {
+                    if let Some(d) = c.delayed.get_mut(&msg) {
+                        // Later frames of a delayed message get the same
+                        // extra latency, preserving intra-message order.
+                        delay += d.extra;
+                        d.seen += 1;
+                        if d.seen >= d.frames {
+                            c.delayed.remove(&msg);
+                        }
+                    }
                     Ev::RxArrive { conn, msg, flen }
                 };
                 let rx_core = self.rx_core(conn);
@@ -631,6 +889,11 @@ impl NodeCore {
                 payload,
             } => {
                 let c = self.rx[conn.0].as_mut().expect("receive half owned here");
+                if c.cut_at.is_some_and(|t| ctx.now() >= t) {
+                    // This node fail-stopped: arriving frames fall on the
+                    // floor, returning no acks and no credits.
+                    return;
+                }
                 c.msgs.insert(
                     msg,
                     RxMsgState {
@@ -644,6 +907,10 @@ impl NodeCore {
                 self.on_rx_frame(ctx, conn, msg, flen);
             }
             Ev::RxArrive { conn, msg, flen } => {
+                let c = self.rx[conn.0].as_ref().expect("receive half owned here");
+                if c.cut_at.is_some_and(|t| ctx.now() >= t) {
+                    return;
+                }
                 self.on_rx_frame(ctx, conn, msg, flen);
             }
             Ev::HostRxFrameDone { conn, msg, flen } => {
@@ -720,28 +987,112 @@ impl NodeCore {
                 ctx.send(c.dst.pid, Message::new(delivery));
             }
             Ev::AckArrive { conn, frame_bytes } => {
-                self.tx[conn.0]
-                    .as_mut()
-                    .expect("send half owned here")
-                    .flow
-                    .on_frame_arrived(frame_bytes);
+                let c = self.tx[conn.0].as_mut().expect("send half owned here");
+                if c.dead {
+                    return;
+                }
+                c.flow.on_frame_arrived(frame_bytes);
                 self.pump(ctx, conn);
             }
             Ev::CreditArrive { conn, n } => {
-                self.tx[conn.0]
-                    .as_mut()
-                    .expect("send half owned here")
-                    .flow
-                    .on_credits_returned(n);
+                let c = self.tx[conn.0].as_mut().expect("send half owned here");
+                if c.dead {
+                    return;
+                }
+                c.flow.on_credits_returned(n);
                 self.pump(ctx, conn);
             }
             Ev::FlowReturn { conn, bytes } => {
-                self.tx[conn.0]
-                    .as_mut()
-                    .expect("send half owned here")
-                    .flow
-                    .on_consumed(bytes);
+                let c = self.tx[conn.0].as_mut().expect("send half owned here");
+                if c.dead {
+                    return;
+                }
+                c.flow.on_consumed(bytes);
                 self.pump(ctx, conn);
+            }
+            Ev::MsgLost { conn, msg } => {
+                let c = self.tx[conn.0].as_mut().expect("send half owned here");
+                if c.dead {
+                    // ConnCut already failed everything on this link.
+                    return;
+                }
+                let Some(d) = c.doomed.get_mut(&msg) else {
+                    return;
+                };
+                let (bytes, kind, frames_charged) = (d.bytes, d.kind, d.frames_charged);
+                if d.seen >= frames_charged {
+                    c.doomed.remove(&msg);
+                } else {
+                    d.repaired = true;
+                }
+                // Repair flow control for exactly the charged frames. The
+                // receiver never saw them, so its descriptor ring is
+                // untouched: the credits model gets its loaned credits
+                // back directly, the window model frees the in-flight
+                // bytes frame by frame.
+                if c.flow.is_credits() {
+                    c.flow.on_credits_returned(frames_charged);
+                } else {
+                    let fp = c.costs.frame_payload;
+                    for i in 0..frames_charged {
+                        c.flow.on_frame_arrived(frame_len(bytes, fp, i) as u64);
+                    }
+                }
+                let pid = c.src_pid;
+                ctx.probe_emit(|t| ProbeEvent::Counter {
+                    name: "net.fault.lost".to_string(),
+                    time: t,
+                    delta: 1.0,
+                });
+                ctx.send(
+                    pid,
+                    Message::new(StreamError {
+                        conn,
+                        msg_id: msg,
+                        bytes,
+                        kind,
+                    }),
+                );
+                self.pump(ctx, conn);
+            }
+            Ev::ConnCut { conn } => {
+                let c = self.tx[conn.0].as_mut().expect("send half owned here");
+                if c.dead {
+                    return;
+                }
+                c.dead = true;
+                c.stall_since = None;
+                c.delayed.clear();
+                // Everything queued or in flight fails. Collect ids into
+                // an ordered map first — HashMap iteration order must not
+                // leak into the event sequence.
+                let mut failed: BTreeMap<u64, u64> = BTreeMap::new();
+                for (id, m) in c.pending_meta.drain() {
+                    failed.insert(id, m.bytes);
+                }
+                for p in c.sendq.drain(..) {
+                    failed.insert(p.msg, p.bytes);
+                }
+                for (id, d) in c.doomed.drain() {
+                    failed.insert(id, d.bytes);
+                }
+                let pid = c.src_pid;
+                ctx.probe_emit(|t| ProbeEvent::Counter {
+                    name: "net.conn.cut".to_string(),
+                    time: t,
+                    delta: 1.0,
+                });
+                for (msg_id, bytes) in failed {
+                    ctx.send(
+                        pid,
+                        Message::new(StreamError {
+                            conn,
+                            msg_id,
+                            bytes,
+                            kind: StreamErrorKind::PeerDead,
+                        }),
+                    );
+                }
             }
         }
     }
@@ -752,7 +1103,7 @@ impl Process for NodeCore {
         format!("net-core{}", self.node.0)
     }
 
-    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         // The switch's on_start (which seals the registry) always runs
         // before spawned cores start.
         let reg = self.registry.lock().expect("registry lock");
@@ -766,9 +1117,16 @@ impl Process for NodeCore {
                     flow: Flow::new(spec.costs.flow, spec.costs.frame_payload),
                     sendq: VecDeque::new(),
                     pending_meta: HashMap::new(),
-                    next_msg_id: 0,
                     stats: ConnStats::default(),
                     stall_since: None,
+                    faults: reg
+                        .faults
+                        .as_ref()
+                        .and_then(|p| p.compile(spec.src.node.0, spec.dst.node.0)),
+                    src_pid: spec.src.pid,
+                    dead: false,
+                    doomed: HashMap::new(),
+                    delayed: HashMap::new(),
                 })
             })
             .collect();
@@ -783,9 +1141,25 @@ impl Process for NodeCore {
                     msgs: HashMap::new(),
                     unconsumed: HashMap::new(),
                     stats: ConnStats::default(),
+                    cut_at: reg.faults.as_ref().and_then(|p| p.crash_time(self.node.0)),
                 })
             })
             .collect();
+        // Crash-detection timers for connections an endpoint crash will
+        // cut: everything queued on them fails at crash + detect.
+        let cuts: Vec<(usize, Dur)> = self
+            .tx
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| {
+                let f = t.as_ref()?.faults.as_ref()?;
+                let cut_at = f.cut_at?;
+                Some((i, Dur::nanos(cut_at.as_nanos()) + f.detect))
+            })
+            .collect();
+        for (i, at) in cuts {
+            ctx.send_self_in(at, Message::new(Ev::ConnCut { conn: ConnId(i) }));
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {

@@ -19,6 +19,7 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod fault;
 pub mod flow;
 pub mod frame;
 pub mod params;
@@ -26,9 +27,10 @@ pub mod via;
 
 pub use cluster::{Cluster, NodeSpec};
 pub use engine::{
-    ConnId, ConnStats, Delivery, Endpoint, NetCmd, NetSwitch, Network, NodeCore, NodeId,
-    NodeResources,
+    ConnId, ConnStats, Delivery, Endpoint, NetCmd, NetError, NetSwitch, Network, NodeCore, NodeId,
+    NodeResources, StreamError, StreamErrorKind,
 };
+pub use fault::{FaultPlan, LinkFilter, LinkFilterKind, LinkScope, RecoveryCfg};
 pub use flow::Flow;
 pub use params::{FlowModel, PathCosts, TransportKind};
 pub use via::{Completion, CreditRing, RecvDescriptor};

@@ -8,14 +8,14 @@
 use crate::driver::RunCapture;
 use crate::pipeline::QueryDesc;
 use hpsock_datacutter::{
-    Action, DataBuffer, FilterCtx, FilterLogic, GroupBuilder, Policy, SpeedModel,
+    Action, DataBuffer, FilterCtx, FilterLogic, FilterStats, GroupBuilder, Policy, SpeedModel,
 };
 use hpsock_net::{Cluster, NodeId, TransportKind};
 use hpsock_sim::{Dur, Probe, Sim, SimTime};
 use socketvia::Provider;
 use std::any::Any;
-use std::collections::VecDeque;
-use std::sync::Arc;
+use std::collections::{HashSet, VecDeque};
+use std::sync::{Arc, Mutex};
 
 /// Load-balancer source: streams the query's blocks one at a time, paced
 /// at the cluster's aggregate consumption rate (perfect pipelining:
@@ -332,6 +332,131 @@ fn run_lb_workload_probed(
     (end.since(SimTime::ZERO), RunCapture::of(&sim, end))
 }
 
+/// Recovery/availability outcome of one fault-injected load-balancing run
+/// (the `fig_faults` experiment's unit of measurement).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultedLbOutcome {
+    /// Blocks in the workload.
+    pub blocks: u32,
+    /// Distinct blocks actually processed by surviving workers — failover
+    /// replay duplicates collapse, genuinely lost blocks show up as gaps.
+    pub processed: u64,
+    /// Stream errors the runtime absorbed (lost or dead-peer sends).
+    pub errors: u64,
+    /// Lost messages re-sent after backoff.
+    pub retries: u64,
+    /// Streams that recovered (a post-retry delivery was acknowledged).
+    pub recovered: u64,
+    /// Worker copies permanently failed over away from.
+    pub failovers: u64,
+    /// Buffers dropped because no live consumer remained on their port.
+    pub failed: u64,
+    /// Deliveries discarded as stale (teardown races).
+    pub stale: u64,
+    /// Virtual wall-clock of the run, µs.
+    pub makespan_us: f64,
+    /// Event-trace digest, for reproducibility checks.
+    pub digest: u64,
+}
+
+impl FaultedLbOutcome {
+    /// Fraction of the workload that was processed at least once.
+    pub fn availability(&self) -> f64 {
+        if self.blocks == 0 {
+            return 1.0;
+        }
+        self.processed as f64 / self.blocks as f64
+    }
+}
+
+/// Worker that also records the distinct block tags it processed, so the
+/// caller can measure guarantee retention under faults.
+struct TrackingWorker {
+    ns_per_byte: f64,
+    seen: Arc<Mutex<HashSet<u64>>>,
+}
+
+impl FilterLogic for TrackingWorker {
+    fn on_buffer(&mut self, _fc: &mut FilterCtx<'_>, _port: usize, buf: DataBuffer) -> Action {
+        self.seen.lock().expect("tag set lock").insert(buf.tag);
+        Action::compute(Dur::nanos(
+            (self.ns_per_byte * buf.bytes as f64).round() as u64
+        ))
+    }
+}
+
+/// Run the Figure 6 load-balancing workload under whatever fault plan is
+/// currently installed (`HPSOCK_FAULTS` or `hpsock_net::fault::with_plan`),
+/// demand-driven with homogeneous workers, and report what survived. With
+/// no plan installed this is an ordinary run: `processed == blocks` and
+/// every fault counter is zero.
+pub fn faulted_lb_run(setup: &LbSetup, blocks: u32, seed: u64) -> FaultedLbOutcome {
+    let mut sim = Sim::new(seed);
+    let cluster = Cluster::build(&mut sim, setup.workers + 1);
+    let provider = Provider::new(setup.kind);
+    let mut g = GroupBuilder::new();
+    let bb = setup.block_bytes;
+    let emit_interval = Dur::nanos((setup.ns_per_byte * setup.block_bytes as f64).round() as u64);
+    let lb = g.filter(
+        "load-balancer",
+        vec![NodeId(0)],
+        Box::new(move |_| {
+            Box::new(LbSource {
+                queue: VecDeque::new(),
+                block_bytes: bb,
+                emit_interval,
+            })
+        }),
+    );
+    let seen = Arc::new(Mutex::new(HashSet::new()));
+    let npb = setup.ns_per_byte;
+    let worker_seen = Arc::clone(&seen);
+    let workers = g.filter(
+        "worker",
+        (1..=setup.workers).map(NodeId).collect(),
+        Box::new(move |_| {
+            Box::new(TrackingWorker {
+                ns_per_byte: npb,
+                seen: Arc::clone(&worker_seen),
+            })
+        }),
+    );
+    g.stream(lb, workers, Policy::demand_driven(), &provider);
+    let inst = g.instantiate(&mut sim, &cluster);
+    let desc = QueryDesc {
+        kind: crate::pipeline::QueryKind::Complete,
+        blocks: (0..blocks as u64).collect(),
+        block_bytes: setup.block_bytes,
+    };
+    inst.start_uow_at(&mut sim, SimTime::ZERO, lb, 0, Arc::new(desc));
+    let end = sim.run();
+    let mut out = FaultedLbOutcome {
+        blocks,
+        processed: seen.lock().expect("tag set lock").len() as u64,
+        errors: 0,
+        retries: 0,
+        recovered: 0,
+        failovers: 0,
+        failed: 0,
+        stale: 0,
+        makespan_us: end.since(SimTime::ZERO).as_micros_f64(),
+        digest: sim.trace_digest(),
+    };
+    let mut add = |s: &FilterStats| {
+        out.errors += s.stream_errors;
+        out.retries += s.retries;
+        out.recovered += s.streams_recovered;
+        out.failovers += s.consumers_failed;
+        out.failed += s.buffers_failed;
+        out.stale += s.stale_deliveries;
+    };
+    add(&inst.copy(&sim, lb, 0).stats);
+    for i in 0..setup.workers {
+        add(&inst.copy(&sim, workers, i).stats);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -394,6 +519,38 @@ mod tests {
             (0.7..1.6).contains(&ratio),
             "TCP/SocketVIA execution ratio {ratio}: {t_tcp} vs {t_sv}"
         );
+    }
+
+    #[test]
+    fn faulted_run_without_a_plan_is_clean() {
+        let sv = LbSetup::paper(TransportKind::SocketVia);
+        let out = faulted_lb_run(&sv, 200, 9);
+        assert_eq!(out.processed, 200);
+        assert_eq!(out.availability(), 1.0);
+        assert_eq!(
+            (out.errors, out.retries, out.failovers, out.failed),
+            (0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn faulted_run_recovers_under_loss_and_crash() {
+        let sv = LbSetup::paper(TransportKind::SocketVia);
+        let run = || {
+            hpsock_net::fault::with_spec("drop=0.01,crash=2@2ms,detect=100us,backoff=100us", || {
+                faulted_lb_run(&sv, 400, 9)
+            })
+        };
+        let out = run();
+        assert!(out.errors > 0, "faults fired");
+        assert!(out.retries > 0, "losses were retried");
+        assert_eq!(out.failovers, 1, "the crashed worker was failed over");
+        assert_eq!(
+            out.processed, 400,
+            "replay + retry keep every block covered"
+        );
+        let again = run();
+        assert_eq!(out.digest, again.digest, "faulted run is reproducible");
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub use dataset::{declustered_share, BlockedImage, Rect};
 pub use driver::{Plan, QueryDriver, QueryResult, RunCapture, TargetSlot};
 pub use guarantee::{block_size_for_partial_latency, block_size_for_update_rate, MIN_BLOCK};
 pub use hetero::{
-    dd_execution_time, dd_execution_time_probed, rr_execution_time, rr_reaction_time,
-    rr_reaction_time_probed, LbSetup,
+    dd_execution_time, dd_execution_time_probed, faulted_lb_run, rr_execution_time,
+    rr_reaction_time, rr_reaction_time_probed, FaultedLbOutcome, LbSetup,
 };
 pub use pipeline::{
     ComputeModel, PipelineCfg, QueryDesc, QueryKind, UowDone, VizPipeline, PAPER_NS_PER_BYTE,

@@ -309,6 +309,80 @@ fn fig9_mixed_stream_is_shard_count_invariant() {
 // sequential and sharded runs alike. The directory is injected with
 // `with_telemetry_dir` (scoped thread-local, like `with_shard_count`).
 
+// ---------------------------------------------------------------------
+// Fault-layer neutrality and reproducibility: installing the
+// `net::fault` layer without an active plan must leave every figure
+// byte-identical (the fault hooks sit on the delivery path of every
+// transport), and an *active* seeded plan must itself be deterministic —
+// same digest across invocations and across shard counts, because fault
+// decisions draw from the sim's seeded RNG at the faulting endpoint,
+// never from ambient entropy.
+
+/// An inactive fault plan (empty spec and an explicit `None` override)
+/// renders fig4 tables and the fig7 guarantee digest byte-identical to
+/// a run with no fault scope installed at all.
+#[test]
+fn inactive_fault_plan_is_digest_and_table_neutral() {
+    use hpsock_experiments::fig4;
+    use hpsock_experiments::runner::{run_guarantee_traced, GuaranteeRun, FIG7_SEED};
+    use hpsock_net::fault;
+
+    let run = GuaranteeRun {
+        kind: TransportKind::SocketVia,
+        block_bytes: 65_536,
+        compute: ComputeModel::None,
+        target_ups: 2.0,
+        n_complete: 5,
+        n_partial: 3,
+        seed: FIG7_SEED,
+    };
+    let observe = || {
+        let (result, cap) = run_guarantee_traced(&run, None);
+        let tables = format!(
+            "{}\n{}",
+            fig4::latency_table(3),
+            fig4::bandwidth_table(1 << 18)
+        );
+        (format!("{result:?}"), cap.digest, cap.end, tables)
+    };
+    let bare = observe();
+    let empty_spec = fault::with_spec("", observe);
+    assert_eq!(
+        bare, empty_spec,
+        "an empty HPSOCK_FAULTS spec changed a digest or a table"
+    );
+    let none_override = fault::with_plan(None, observe);
+    assert_eq!(
+        bare, none_override,
+        "a None fault override changed a digest or a table"
+    );
+}
+
+/// A seeded fault run (1% drop on every link) is reproducible: the same
+/// seed yields the same trace digest and recovery counters on every
+/// invocation, and sharded execution (`HPSOCK_SHARDS=2`) replays the
+/// exact same faults as the sequential run.
+#[test]
+fn seeded_fault_run_is_reproducible_and_shard_count_invariant() {
+    use hpsock_experiments::fig_faults;
+    use hpsock_experiments::runner::FIG_FAULTS_SEED;
+
+    let spec = "drop=0.01,detect=100us,backoff=100us";
+    let observe = || {
+        let o = fig_faults::availability_run(TransportKind::SocketVia, spec, true, FIG_FAULTS_SEED);
+        format!("{o:?}")
+    };
+    let first = observe();
+    assert_eq!(first, observe(), "same seed, same faults, same recovery");
+    let sharded = per_shard_count(&[1, 2], observe);
+    assert_eq!(first, sharded[0], "shard scope (1) left the run unchanged");
+    assert_eq!(first, sharded[1], "2 shards replayed the same faults");
+    assert!(
+        first.contains("digest"),
+        "outcome debug form carries the trace digest: {first}"
+    );
+}
+
 #[test]
 fn telemetry_is_digest_and_table_neutral() {
     use hpsock_experiments::fig4;
