@@ -284,6 +284,74 @@ fn bench_sharded_big(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&tel_dir);
 }
 
+/// The big rack topology on the flow-vs-packet gate workload (64 TCP
+/// streams at 32 KiB — ~120 packet-engine events per message): the same
+/// run under the packet engine (`flow_big_packet`) and the fluid model
+/// (`flow_big_fluid`). These are separate baselines like the sharded
+/// variants; the cross-variant ratio is the fluid fast path's payoff and
+/// is additionally gated in-tree (≥10× fewer events) and by the CI
+/// flow-smoke job.
+fn bench_flow_big(c: &mut Criterion) {
+    use hpsock_experiments::bigtopo::{self, GATE_BYTES};
+    use hpsock_net::{with_netmodel, NetModel, TransportKind};
+
+    const MSGS_PER_CONN: u32 = 20;
+    let run = |model: NetModel| {
+        with_netmodel(model, || {
+            bigtopo::run_big_custom(1, MSGS_PER_CONN, TransportKind::KTcp, GATE_BYTES)
+        })
+    };
+
+    // The fast path must actually be fast before its timing means
+    // anything: assert the event reduction once up-front (untimed).
+    {
+        let (_, _, ev_packet) = run(NetModel::Packet);
+        let (_, _, ev_flow) = run(NetModel::Flow);
+        assert!(
+            ev_packet >= 10 * ev_flow,
+            "flow model dispatched {ev_flow} events vs packet {ev_packet}: < 10x reduction"
+        );
+    }
+
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.throughput(Throughput::Elements(
+        u64::from(MSGS_PER_CONN) * bigtopo::CONNS as u64,
+    ));
+    for (label, model) in [
+        ("flow_big_packet", NetModel::Packet),
+        ("flow_big_fluid", NetModel::Flow),
+    ] {
+        g.bench_function(label, |b| b.iter(|| black_box(run(model))));
+    }
+    g.finish();
+
+    // Wall-clock companion: under the fluid model the kernel's own report
+    // carries flows/sec next to events/sec, so the two engines compare
+    // like with like (a fluid "event" is a whole flow state change).
+    let tel_dir = std::env::temp_dir().join(format!("hpsock_bench_flowtel_{}", std::process::id()));
+    for (label, model) in [
+        ("flow_big_packet", NetModel::Packet),
+        ("flow_big_fluid", NetModel::Flow),
+    ] {
+        hpsock_sim::telemetry::with_telemetry_dir(Some(&tel_dir), || run(model));
+        match hpsock_sim::telemetry::last_report() {
+            Some(r) => println!(
+                "run_report.json: {label}: {} events in {:.2} ms wall = {:.0} events/sec, \
+                 {} flows = {:.0} flows/sec",
+                r.events,
+                r.wall_ns as f64 / 1e6,
+                r.events_per_sec,
+                r.flows,
+                r.flows_per_sec,
+            ),
+            None => println!("run_report.json: no telemetry report for {label}"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&tel_dir);
+}
+
 criterion_group!(
     engine,
     bench_event_dispatch,
@@ -292,5 +360,6 @@ criterion_group!(
     bench_transport_messages,
     bench_sharded_cluster,
     bench_sharded_big,
+    bench_flow_big,
 );
 criterion_main!(engine);

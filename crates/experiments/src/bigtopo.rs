@@ -12,6 +12,13 @@
 //! amortize the round protocol and beat the sequential kernel on
 //! multi-core hosts. The `engine/sharded_big_{1,2,4}` criterion benches
 //! and the CI shard-smoke speedup gate both drive [`run_big`].
+//!
+//! [`run_big_custom`] parameterizes the same topology by transport and
+//! message size. The flow-vs-packet speed gate uses TCP at
+//! [`GATE_BYTES`]: a 32 KiB TCP message segments into 23 wire frames
+//! (~120 stage events per message under the packet engine) while the
+//! fluid model spends a handful of events per flow regardless of size —
+//! the workload where the fast path must show its ≥10× event reduction.
 
 use hpsock_net::{Cluster, ConnId, Delivery, NodeId, TransportKind};
 use hpsock_sim::{Ctx, Message, Process, Sim, SimTime};
@@ -24,11 +31,14 @@ pub const PER_RACK: usize = 16;
 pub const CONNS: usize = RACKS * PER_RACK / 2;
 /// Message size per send; flow control paces the stream.
 pub const BYTES: u64 = 16_384;
+/// Message size of the flow-vs-packet gate workload (23 TCP frames).
+pub const GATE_BYTES: u64 = 32_768;
 
 /// Submits `count` messages up front; flow control paces the stream.
 struct Burst {
     net: hpsock_net::Network,
     conn: ConnId,
+    bytes: u64,
     count: u32,
 }
 impl Process for Burst {
@@ -37,7 +47,7 @@ impl Process for Burst {
     }
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         for _ in 0..self.count {
-            self.net.send(ctx, self.conn, BYTES, Message::new(()));
+            self.net.send(ctx, self.conn, self.bytes, Message::new(()));
         }
     }
     fn on_message(&mut self, _ctx: &mut Ctx<'_>, _msg: Message) {}
@@ -65,6 +75,18 @@ impl Process for Drain {
 /// all three are shard-count invariant, which the determinism suite and
 /// the CI smoke gate both pin.
 pub fn run_big(shards: usize, msgs_per_conn: u32) -> (SimTime, u64, u64) {
+    run_big_custom(shards, msgs_per_conn, TransportKind::SocketVia, BYTES)
+}
+
+/// [`run_big`] parameterized by transport and message size (the topology,
+/// stream layout and seed stay fixed). The network model comes from
+/// `HPSOCK_NETMODEL` / `with_netmodel`, as everywhere.
+pub fn run_big_custom(
+    shards: usize,
+    msgs_per_conn: u32,
+    kind: TransportKind,
+    bytes: u64,
+) -> (SimTime, u64, u64) {
     let mut sim = Sim::new(0xB16);
     let cluster = Cluster::build_racks(&mut sim, RACKS, PER_RACK);
     let net = cluster.network();
@@ -72,13 +94,14 @@ pub fn run_big(shards: usize, msgs_per_conn: u32) -> (SimTime, u64, u64) {
         let tx = sim.add_process(Box::new(Burst {
             net: net.clone(),
             conn: ConnId(i),
+            bytes,
             count: msgs_per_conn,
         }));
         let rx = sim.add_process(Box::new(Drain { net: net.clone() }));
         net.connect(
             cluster.endpoint(NodeId(i), tx),
             cluster.endpoint(NodeId(CONNS + i), rx),
-            TransportKind::SocketVia,
+            kind,
         );
     }
     if shards > 1 {
@@ -91,6 +114,7 @@ pub fn run_big(shards: usize, msgs_per_conn: u32) -> (SimTime, u64, u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hpsock_net::{with_netmodel, NetModel};
 
     /// The big-topology run is shard-count invariant — the property the
     /// criterion benches assert before timing and CI gates on speed.
@@ -101,5 +125,34 @@ mod tests {
         assert!(seq.2 > 0, "the run dispatches events");
         assert_eq!(run_big(2, 3), seq, "2 shards replay sequential");
         assert_eq!(run_big(4, 3), seq, "4 shards replay sequential");
+    }
+
+    /// The fluid fast path dispatches ≥10× fewer events than the packet
+    /// engine on the gate workload (TCP at [`GATE_BYTES`]), and both
+    /// models agree on delivered work (same virtual end-time order of
+    /// magnitude, same stream count). This is the in-tree twin of the CI
+    /// `flow-smoke` event-ratio gate.
+    #[test]
+    fn flow_model_cuts_gate_workload_events_10x() {
+        let gate = |model| {
+            with_netmodel(model, || {
+                run_big_custom(1, 5, TransportKind::KTcp, GATE_BYTES)
+            })
+        };
+        let (end_p, _, ev_packet) = gate(NetModel::Packet);
+        let (end_f, _, ev_flow) = gate(NetModel::Flow);
+        assert!(
+            ev_packet >= 10 * ev_flow,
+            "packet {ev_packet} events vs flow {ev_flow}: ratio {:.1}x < 10x",
+            ev_packet as f64 / ev_flow as f64
+        );
+        // Same workload, comparable virtual completion time (the fluid
+        // model idealizes flow control, so allow a loose band).
+        let (a, b) = (end_p.as_nanos() as f64, end_f.as_nanos() as f64);
+        let rel = (a - b).abs() / a.max(b);
+        assert!(
+            rel < 0.25,
+            "virtual end times diverge: packet {a} ns vs flow {b} ns"
+        );
     }
 }

@@ -2,25 +2,50 @@
 //!
 //! Shard count comes from `HPSOCK_SHARDS` (clamped to the rack count);
 //! `--quick` / `HPSOCK_QUICK=1` shrinks the message count for smoke runs.
-//! With `HPSOCK_TELEMETRY=<dir>` the kernel writes `run_report.json`
-//! (and, sharded, `shard_rounds.csv` + `shard_lanes.json`) there — the CI
-//! shard-smoke job compares the printed digests across shard counts and
-//! gates on the reports' events/sec ratio.
+//! `--transport=tcp` switches the streams to kernel TCP at the 32 KiB
+//! gate message size (`--transport=socketvia` is the default workload);
+//! `HPSOCK_NETMODEL=flow` runs the same topology through the fluid
+//! engine. With `HPSOCK_TELEMETRY=<dir>` the kernel writes
+//! `run_report.json` (and, sharded, `shard_rounds.csv` +
+//! `shard_lanes.json`) there — the CI shard-smoke job compares the
+//! printed digests across shard counts and gates on the reports'
+//! events/sec ratio, and the flow-smoke job compares `events=` between
+//! `HPSOCK_NETMODEL=packet` and `flow` on the TCP workload.
 
 use hpsock_experiments::bigtopo;
+use hpsock_net::{configured_netmodel, TransportKind};
 use hpsock_sim::shard::{clamp_shards, configured_shards};
 
 fn main() {
+    let mut transport = TransportKind::SocketVia;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--transport=tcp" => transport = TransportKind::KTcp,
+            "--transport=socketvia" => transport = TransportKind::SocketVia,
+            "--quick" => {} // read by quick_mode()
+            other => {
+                eprintln!("bigsim: unknown argument {other:?}");
+                eprintln!("usage: bigsim [--quick] [--transport=tcp|socketvia]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let bytes = match transport {
+        TransportKind::SocketVia => bigtopo::BYTES,
+        _ => bigtopo::GATE_BYTES,
+    };
     let msgs: u32 = if hpsock_experiments::quick_mode() {
         30
     } else {
         100
     };
     let shards = clamp_shards(configured_shards(), bigtopo::RACKS, "the big rack topology");
-    let (end, digest, events) = bigtopo::run_big(shards, msgs);
+    let (end, digest, events) = bigtopo::run_big_custom(shards, msgs, transport, bytes);
     println!(
-        "bigsim shards={shards} msgs_per_conn={msgs} events={events} \
-         digest={digest:016x} end_us={:.1}",
+        "bigsim model={} transport={} shards={shards} msgs_per_conn={msgs} \
+         events={events} digest={digest:016x} end_us={:.1}",
+        configured_netmodel().label(),
+        transport.label(),
         end.as_nanos() as f64 / 1e3
     );
 }

@@ -1,0 +1,22 @@
+//! Regenerate the fig_scale validation: flow-vs-packet agreement on the
+//! fig4/fig7/fig9 headline series (asserted within the documented
+//! tolerances), then the hierarchical cluster-size sweep only the fluid
+//! model can afford. `--quick` / `HPSOCK_QUICK=1` shrinks iteration
+//! counts; `HPSOCK_OVERSUB` sets the core oversubscription of the swept
+//! topologies.
+
+use hpsock_experiments::{emit, fig_scale, quick_mode, results_dir};
+
+fn main() {
+    let quick = quick_mode();
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("results dir");
+    eprintln!("fig_scale: flow-vs-packet agreement (quick={quick}) ...");
+    let rows = fig_scale::agreement_rows(quick);
+    let agreement = fig_scale::agreement_table(&rows);
+    eprintln!("fig_scale: cluster-size sweep ...");
+    let scale = fig_scale::scale_table(quick);
+    emit(&[agreement, scale], &dir);
+    fig_scale::assert_agreement(&rows);
+    println!("fig_scale: all series within tolerance");
+}

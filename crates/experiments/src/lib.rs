@@ -14,6 +14,7 @@
 //! | [`fig11`] | Figure 11: demand-driven execution under random slowdowns |
 //! | [`future`] | beyond the paper: the conclusion's RDMA future work, quantified |
 //! | [`fig_faults`] | beyond the paper: availability and guarantee retention under injected faults |
+//! | [`fig_scale`] | beyond the paper: fluid-model agreement with the packet engine + cluster-size sweep |
 
 pub mod bigtopo;
 pub mod breakdown;
@@ -25,6 +26,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod fig_faults;
+pub mod fig_scale;
 pub mod future;
 pub mod replicate;
 pub mod runner;

@@ -79,13 +79,14 @@ where
     let jobs: Mutex<Vec<(usize, I)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
     let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
     // Scoped overrides (`with_shard_count`, `with_telemetry_dir`,
-    // `fault::with_plan`) are thread-local; re-install the submitting
-    // thread's overrides in every pool worker so sweep points run under
-    // the same shard count, telemetry setting and fault plan as the
-    // caller.
+    // `fault::with_plan`, `with_netmodel`) are thread-local; re-install
+    // the submitting thread's overrides in every pool worker so sweep
+    // points run under the same shard count, telemetry setting, fault
+    // plan and network model as the caller.
     let shards = hpsock_sim::shard::shard_override();
     let telemetry = hpsock_sim::telemetry::telemetry_override();
     let faults = hpsock_net::fault::fault_override();
+    let netmodel = hpsock_net::netmodel::netmodel_override();
     std::thread::scope(|s| {
         for _ in 0..workers {
             let jobs = &jobs;
@@ -101,9 +102,13 @@ where
                     let out = f(item);
                     *slots[idx].lock().expect("slot lock") = Some(out);
                 };
-                let sharded = || match shards {
-                    Some(k) => hpsock_sim::shard::with_shard_count(k, drain),
+                let modeled = || match netmodel {
+                    Some(m) => hpsock_net::netmodel::with_netmodel(m, drain),
                     None => drain(),
+                };
+                let sharded = || match shards {
+                    Some(k) => hpsock_sim::shard::with_shard_count(k, modeled),
+                    None => modeled(),
                 };
                 let faulted = || match faults {
                     Some(p) => hpsock_net::fault::with_plan(p, sharded),
@@ -250,6 +255,22 @@ mod tests {
             })
         });
         assert!(seen.iter().all(|&b| b), "pool workers saw {seen:?}");
+    }
+
+    /// A scoped network-model override on the submitting thread must be
+    /// visible inside every pool worker — otherwise a flow-model sweep
+    /// would silently build packet-model clusters on the pool.
+    #[test]
+    fn netmodel_override_propagates_to_pool_workers() {
+        let seen = hpsock_net::with_netmodel(hpsock_net::NetModel::Flow, || {
+            parallel_map_workers((0..8).collect::<Vec<u32>>(), 4, |_| {
+                hpsock_net::configured_netmodel()
+            })
+        });
+        assert!(
+            seen.iter().all(|&m| m == hpsock_net::NetModel::Flow),
+            "pool workers saw {seen:?}"
+        );
     }
 
     #[test]

@@ -7,9 +7,81 @@
 
 use crate::engine::{Endpoint, NetSwitch, Network, NodeResources};
 use crate::fault::{self, FaultPlan, RecoveryCfg};
-use hpsock_sim::{ProcessId, ResourceId, ShardPlan, Sim, SimTime};
+use crate::netmodel::NetModel;
+use hpsock_sim::{Dur, ProcessId, ResourceId, ShardPlan, Sim, SimTime};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Extra switch latency a connection pays when its endpoints sit in
+/// different racks of a hierarchical topology: one additional store-and-
+/// forward hop through the core switch (1 µs, of the same order as the
+/// cLAN leaf-switch latency). Applied by `Network::connect_with` for both
+/// network models.
+pub const INTER_RACK_HOP: Dur = Dur::nanos(1_000);
+
+/// Physical shape of a cluster, fixed at build time.
+///
+/// The packet engine models contention at the hosts only (the paper's
+/// single cLAN 5300 crossbar is non-blocking), so [`Topology::Flat`]
+/// matches the testbed. [`Topology::Racks`] adds per-rack leaf switches
+/// under an oversubscribed core: cross-rack connections pay
+/// [`INTER_RACK_HOP`] extra latency under either model, and under the
+/// flow model every cross-rack flow additionally shares its source rack's
+/// uplink and destination rack's downlink, each of capacity
+/// `per_rack × node_wire_rate / oversub`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Topology {
+    /// All nodes on one non-blocking crossbar (the paper's testbed).
+    #[default]
+    Flat,
+    /// `racks × per_rack` nodes, numbered rack-major, behind per-rack leaf
+    /// switches with oversubscribed core uplinks.
+    Racks {
+        /// Number of racks.
+        racks: usize,
+        /// Nodes per rack.
+        per_rack: usize,
+        /// Core oversubscription factor (≥ 1.0): a rack's uplink carries
+        /// `per_rack / oversub` node-rates of traffic.
+        oversub: f64,
+    },
+}
+
+impl Topology {
+    /// The rack `node` sits in (0 for every node of a flat cluster).
+    pub fn rack_of(&self, node: usize) -> usize {
+        match self {
+            Topology::Flat => 0,
+            Topology::Racks { per_rack, .. } => node / per_rack,
+        }
+    }
+
+    /// True when two nodes sit in different racks.
+    pub fn inter_rack(&self, a: usize, b: usize) -> bool {
+        !matches!(self, Topology::Flat) && self.rack_of(a) != self.rack_of(b)
+    }
+}
+
+/// Strictly parse a core oversubscription factor: a finite number ≥ 1.
+/// Anything else is a hard error naming `HPSOCK_OVERSUB`.
+pub fn parse_oversub(raw: &str) -> Result<f64, String> {
+    match raw.trim().parse::<f64>() {
+        Ok(v) if v.is_finite() && v >= 1.0 => Ok(v),
+        _ => Err(format!(
+            "HPSOCK_OVERSUB must be a finite factor >= 1, got {raw:?}"
+        )),
+    }
+}
+
+/// The `HPSOCK_OVERSUB` core oversubscription factor (default 4, a common
+/// datacenter leaf/spine ratio). Invalid values abort with a clear
+/// message rather than silently defaulting.
+pub fn configured_oversub() -> f64 {
+    match std::env::var("HPSOCK_OVERSUB") {
+        Ok(raw) => parse_oversub(&raw).unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => 4.0,
+    }
+}
 
 /// Per-node hardware description.
 #[derive(Debug, Clone, Copy)]
@@ -149,28 +221,71 @@ impl Cluster {
         let mut link_name = vec![vec![String::new(); shards]; shards];
         {
             let reg = self.net.registry.lock().expect("registry lock");
-            for (ci, c) in reg.conns.iter().enumerate() {
-                let (sa, sb) = (node_to_shard[c.src.node.0], node_to_shard[c.dst.node.0]);
-                if sa == sb {
-                    continue;
+            if reg.model == NetModel::Flow {
+                // Under the fluid model all cross-node traffic flows
+                // through the fluid core, which the plan pins to shard 0:
+                // submissions cross `src → 0` after switch+prop, delivered
+                // flows cross `0 → dst` after the minimum delivery
+                // residual, and fault notices cross `0 → src` after the
+                // loss-detection latency. No packet-era data/ack edges
+                // exist.
+                for (ci, c) in reg.conns.iter().enumerate() {
+                    let (sa, sb) = (node_to_shard[c.src.node.0], node_to_shard[c.dst.node.0]);
+                    let d_tx = crate::fluid::tx_hop(&c.costs).as_nanos();
+                    if sa != 0 && d_tx < lookahead[sa][0] {
+                        lookahead[sa][0] = d_tx;
+                        link_name[sa][0] =
+                            format!("conn{ci} node{} -> fluid core (flow arrival)", c.src.node.0);
+                    }
+                    let drx = crate::fluid::min_delivery(&c.costs).as_nanos();
+                    if sb != 0 && drx < lookahead[0][sb] {
+                        lookahead[0][sb] = drx;
+                        link_name[0][sb] = format!(
+                            "fluid core -> conn{ci} node{} (flow delivery)",
+                            c.dst.node.0
+                        );
+                    }
+                    if sa != 0 {
+                        if let Some(f) = reg
+                            .faults
+                            .as_ref()
+                            .and_then(|p| p.compile(c.src.node.0, c.dst.node.0))
+                        {
+                            let det = f.detect.as_nanos().max(1);
+                            if det < lookahead[0][sa] {
+                                lookahead[0][sa] = det;
+                                link_name[0][sa] = format!(
+                                    "fluid core -> conn{ci} node{} (fault notice)",
+                                    c.src.node.0
+                                );
+                            }
+                        }
+                    }
                 }
-                // Data path: frames src -> dst after switch + propagation.
-                let data = c.costs.switch_latency.as_nanos() + c.costs.prop_delay.as_nanos();
-                if data < lookahead[sa][sb] {
-                    lookahead[sa][sb] = data;
-                    link_name[sa][sb] = format!(
-                        "conn{ci} node{} -> node{} (data path)",
-                        c.src.node.0, c.dst.node.0
-                    );
-                }
-                // Ack/credit path: dst -> src after the ack latency.
-                let ack = c.costs.ack_latency.as_nanos();
-                if ack < lookahead[sb][sa] {
-                    lookahead[sb][sa] = ack;
-                    link_name[sb][sa] = format!(
-                        "conn{ci} node{} -> node{} (ack path)",
-                        c.src.node.0, c.dst.node.0
-                    );
+            } else {
+                for (ci, c) in reg.conns.iter().enumerate() {
+                    let (sa, sb) = (node_to_shard[c.src.node.0], node_to_shard[c.dst.node.0]);
+                    if sa == sb {
+                        continue;
+                    }
+                    // Data path: frames src -> dst after switch + propagation.
+                    let data = c.costs.switch_latency.as_nanos() + c.costs.prop_delay.as_nanos();
+                    if data < lookahead[sa][sb] {
+                        lookahead[sa][sb] = data;
+                        link_name[sa][sb] = format!(
+                            "conn{ci} node{} -> node{} (data path)",
+                            c.src.node.0, c.dst.node.0
+                        );
+                    }
+                    // Ack/credit path: dst -> src after the ack latency.
+                    let ack = c.costs.ack_latency.as_nanos();
+                    if ack < lookahead[sb][sa] {
+                        lookahead[sb][sa] = ack;
+                        link_name[sb][sa] = format!(
+                            "conn{ci} node{} -> node{} (ack path)",
+                            c.src.node.0, c.dst.node.0
+                        );
+                    }
                 }
             }
         }
@@ -198,6 +313,9 @@ impl Cluster {
                     .route
                     .get()
                     .expect("shard plan resolved before the simulation started");
+                if route.fluid_core == Some(pid) {
+                    return 0; // the fluid core is always pinned to shard 0
+                }
                 for (node, &core) in route.core_of_node.iter().enumerate() {
                     if core == pid {
                         return resolve_nodes[node];
@@ -262,6 +380,31 @@ impl Cluster {
             "a rack cluster needs at least one rack of at least one node"
         );
         Cluster::build(sim, racks * per_rack)
+    }
+
+    /// [`Cluster::build_racks`] with a hierarchical topology installed:
+    /// per-rack leaf switches behind a core oversubscribed by `oversub`
+    /// (see [`Topology::Racks`]). Cross-rack connections registered
+    /// afterwards pay [`INTER_RACK_HOP`] extra switch latency, and under
+    /// `HPSOCK_NETMODEL=flow` share the rack uplinks. `build_racks` itself
+    /// stays flat so existing figures and digests are untouched.
+    pub fn build_racks_hier(sim: &mut Sim, racks: usize, per_rack: usize, oversub: f64) -> Cluster {
+        assert!(
+            oversub.is_finite() && oversub >= 1.0,
+            "oversubscription must be a finite factor >= 1, got {oversub}"
+        );
+        let cluster = Cluster::build_racks(sim, racks, per_rack);
+        cluster.net.registry.lock().expect("registry lock").topology = Topology::Racks {
+            racks,
+            per_rack,
+            oversub,
+        };
+        cluster
+    }
+
+    /// The topology this cluster was built with.
+    pub fn topology(&self) -> Topology {
+        self.net.registry.lock().expect("registry lock").topology
     }
 
     /// [`Cluster::shard_plan`] that splits *whole racks* across shards:
@@ -644,6 +787,335 @@ mod tests {
         assert!(
             delivered < 16_384 * 50,
             "the drop filter lost something: {delivered} bytes all arrived"
+        );
+    }
+
+    /// The fluid model preserves unloaded one-way latency: a lone message
+    /// drains at its bottleneck-stage rate and the delivery residual makes
+    /// the end-to-end time equal the packet engine's closed form.
+    #[test]
+    fn flow_model_matches_unloaded_latency() {
+        crate::netmodel::with_netmodel(NetModel::Flow, || {
+            for kind in TransportKind::PAPER_SET {
+                for bytes in [4u64, 256, 1024, 4096, 16_384] {
+                    let sim_us = one_way(kind, bytes);
+                    let model_us = PathCosts::for_kind(kind)
+                        .oneway_latency(bytes)
+                        .as_micros_f64();
+                    let err = (sim_us - model_us).abs() / model_us;
+                    assert!(
+                        err < 0.01,
+                        "{} {}B: fluid {:.2}us vs model {:.2}us",
+                        kind.label(),
+                        bytes,
+                        sim_us,
+                        model_us
+                    );
+                }
+            }
+        });
+    }
+
+    /// A streamed fluid transfer reaches the same calibrated peak
+    /// bandwidths as the packet engine (and conserves every byte).
+    #[test]
+    fn flow_model_reaches_paper_peak_bandwidths() {
+        crate::netmodel::with_netmodel(NetModel::Flow, || {
+            let via = streamed_bandwidth_mbps(TransportKind::Via, 65_536, 200);
+            let sv = streamed_bandwidth_mbps(TransportKind::SocketVia, 65_536, 200);
+            let tcp = streamed_bandwidth_mbps(TransportKind::KTcp, 65_536, 200);
+            assert!((via - 795.0).abs() < 40.0, "VIA {via}");
+            assert!((sv - 763.0).abs() < 40.0, "SocketVIA {sv}");
+            assert!((tcp - 510.0).abs() < 40.0, "TCP {tcp}");
+        });
+    }
+
+    /// Two senders sharing one receive host split its bottleneck stage
+    /// fairly under the fluid allocator. TCP is the receive-limited
+    /// transport (the paper's rx-side protocol cost dominates), so two
+    /// TCP streams into one node each get about half the 510 Mbps peak —
+    /// while the senders' own NIC stages stay un-contended.
+    #[test]
+    fn flow_model_shares_a_receive_host_fairly() {
+        crate::netmodel::with_netmodel(NetModel::Flow, || {
+            let mut sim = hpsock_sim::Sim::new(7);
+            let cluster = Cluster::build(&mut sim, 3);
+            let net = cluster.network();
+            let mut sinks = vec![];
+            for i in 0..2usize {
+                let sink = sim.add_process(Box::new(Sink {
+                    net: net.clone(),
+                    sender: None,
+                    oneway_us: vec![],
+                    last_delivery: SimTime::ZERO,
+                    delivered: 0,
+                }));
+                let blaster = sim.add_process(Box::new(BurstBlaster {
+                    net: net.clone(),
+                    conn: ConnId(i),
+                    bytes: 65_536,
+                    count: 100,
+                }));
+                // Both connections terminate at node 2: its host_rx link
+                // is the shared bottleneck.
+                net.connect(
+                    cluster.endpoint(NodeId(i), blaster),
+                    cluster.endpoint(NodeId(2), sink),
+                    TransportKind::KTcp,
+                );
+                sinks.push(sink);
+            }
+            sim.run();
+            for sink in sinks {
+                let s: &Sink = sim.process(sink).unwrap();
+                assert_eq!(s.delivered, 65_536 * 100, "all bytes delivered");
+                let mbps = 8.0 * s.delivered as f64 / s.last_delivery.as_nanos() as f64 * 1_000.0;
+                // Half of the ~510 Mbps TCP peak, within startup slack.
+                assert!(
+                    (mbps - 255.0).abs() < 30.0,
+                    "each stream gets a fair half: {mbps} Mbps"
+                );
+            }
+        });
+    }
+
+    /// A sharded fluid run reproduces the sequential digest, byte counts
+    /// and timings exactly: all flow state lives on the pinned fluid core
+    /// and every edge touching it has positive lookahead.
+    #[test]
+    fn flow_model_sharded_run_matches_sequential() {
+        let run = |shards: usize| {
+            crate::netmodel::with_netmodel(NetModel::Flow, || {
+                let mut sim = hpsock_sim::Sim::new(7);
+                let cluster = Cluster::build(&mut sim, 2);
+                let net = cluster.network();
+                let sink = sim.add_process(Box::new(Sink {
+                    net: net.clone(),
+                    sender: None,
+                    oneway_us: vec![],
+                    last_delivery: SimTime::ZERO,
+                    delivered: 0,
+                }));
+                let blaster = sim.add_process(Box::new(BurstBlaster {
+                    net: net.clone(),
+                    conn: ConnId(0),
+                    bytes: 16_384,
+                    count: 50,
+                }));
+                net.connect(
+                    cluster.endpoint(NodeId(0), blaster),
+                    cluster.endpoint(NodeId(1), sink),
+                    TransportKind::SocketVia,
+                );
+                if shards > 1 {
+                    sim.set_shard_plan(cluster.shard_plan(2, vec![0, 1], vec![]));
+                }
+                let end = sim.run();
+                let s: &Sink = sim.process(sink).unwrap();
+                (
+                    end.as_nanos(),
+                    sim.trace_digest(),
+                    sim.events_dispatched(),
+                    s.delivered,
+                    s.last_delivery.as_nanos(),
+                )
+            })
+        };
+        assert_eq!(run(2), run(1));
+    }
+
+    /// `HPSOCK_FAULTS` composes with the fluid model: fates are drawn at
+    /// flow granularity on the fluid core's own RNG stream, reproducibly
+    /// across repeats and shard partitions, and drops actually lose data.
+    #[test]
+    fn flow_model_composes_with_faults() {
+        let run = |shards: usize| {
+            crate::netmodel::with_netmodel(NetModel::Flow, || {
+                fault::with_spec("drop=0.05,delay=0.2:30us", || {
+                    let mut sim = hpsock_sim::Sim::new(11);
+                    let cluster = Cluster::build(&mut sim, 2);
+                    assert!(cluster.fault_plan().is_some(), "plan installed at build");
+                    let net = cluster.network();
+                    let sink = sim.add_process(Box::new(Sink {
+                        net: net.clone(),
+                        sender: None,
+                        oneway_us: vec![],
+                        last_delivery: SimTime::ZERO,
+                        delivered: 0,
+                    }));
+                    let blaster = sim.add_process(Box::new(BurstBlaster {
+                        net: net.clone(),
+                        conn: ConnId(0),
+                        bytes: 16_384,
+                        count: 50,
+                    }));
+                    net.connect(
+                        cluster.endpoint(NodeId(0), blaster),
+                        cluster.endpoint(NodeId(1), sink),
+                        TransportKind::SocketVia,
+                    );
+                    if shards > 1 {
+                        sim.set_shard_plan(cluster.shard_plan(2, vec![0, 1], vec![]));
+                    }
+                    let end = sim.run();
+                    let s: &Sink = sim.process(sink).unwrap();
+                    (
+                        end.as_nanos(),
+                        sim.trace_digest(),
+                        sim.events_dispatched(),
+                        s.delivered,
+                    )
+                })
+            })
+        };
+        let seq = run(1);
+        assert_eq!(run(1), seq, "repeat invocation reproduces the digest");
+        assert_eq!(run(2), seq, "2-shard partition reproduces the digest");
+        let delivered = seq.3;
+        assert!(delivered > 0, "some flows survive a 5% drop rate");
+        assert!(
+            delivered < 16_384 * 50,
+            "the drop filter lost something: {delivered} bytes all arrived"
+        );
+    }
+
+    /// A scheduled node crash cuts fluid streams too: in-flight and queued
+    /// flows fail over to `StreamError`s and the stream stops short.
+    #[test]
+    fn flow_model_node_crash_cuts_streams() {
+        let run = || {
+            crate::netmodel::with_netmodel(NetModel::Flow, || {
+                fault::with_spec("crash=1@200us,detect=100us", || {
+                    let mut sim = hpsock_sim::Sim::new(3);
+                    let cluster = Cluster::build(&mut sim, 2);
+                    let net = cluster.network();
+                    let sink = sim.add_process(Box::new(Sink {
+                        net: net.clone(),
+                        sender: None,
+                        oneway_us: vec![],
+                        last_delivery: SimTime::ZERO,
+                        delivered: 0,
+                    }));
+                    let blaster = sim.add_process(Box::new(BurstBlaster {
+                        net: net.clone(),
+                        conn: ConnId(0),
+                        bytes: 16_384,
+                        count: 50,
+                    }));
+                    net.connect(
+                        cluster.endpoint(NodeId(0), blaster),
+                        cluster.endpoint(NodeId(1), sink),
+                        TransportKind::SocketVia,
+                    );
+                    let end = sim.run();
+                    let s: &Sink = sim.process(sink).unwrap();
+                    (end.as_nanos(), sim.trace_digest(), s.delivered)
+                })
+            })
+        };
+        let a = run();
+        assert_eq!(run(), a, "crash runs reproduce");
+        assert!(a.2 > 0, "flows before the crash deliver");
+        assert!(
+            a.2 < 16_384 * 50,
+            "the crash cut the stream: {} bytes all arrived",
+            a.2
+        );
+    }
+
+    /// Hierarchical topology: cross-rack connections pay the extra core
+    /// hop under both models, and under the fluid model an oversubscribed
+    /// uplink caps aggregate cross-rack bandwidth below the sum of the
+    /// per-host peaks.
+    #[test]
+    fn hier_topology_adds_hop_and_caps_uplinks() {
+        // Latency: one cross-rack message pays exactly INTER_RACK_HOP more.
+        let one_way_hier = |oversub: f64| {
+            let mut sim = hpsock_sim::Sim::new(7);
+            let cluster = Cluster::build_racks_hier(&mut sim, 2, 2, oversub);
+            let net = cluster.network();
+            let sink = sim.add_process(Box::new(Sink {
+                net: net.clone(),
+                sender: None,
+                oneway_us: vec![],
+                last_delivery: SimTime::ZERO,
+                delivered: 0,
+            }));
+            let blaster = sim.add_process(Box::new(Blaster {
+                net: net.clone(),
+                conn: ConnId(0),
+                bytes: 4096,
+                count: 1,
+                sent: 0,
+            }));
+            net.connect(
+                cluster.endpoint(NodeId(0), blaster),
+                cluster.endpoint(NodeId(2), sink),
+                TransportKind::Via,
+            );
+            sim.run();
+            let s: &Sink = sim.process(sink).unwrap();
+            s.oneway_us[0]
+        };
+        let flat = one_way(TransportKind::Via, 4096);
+        let hier = one_way_hier(4.0);
+        let extra_us = INTER_RACK_HOP.as_nanos() as f64 / 1_000.0;
+        assert!(
+            (hier - flat - extra_us).abs() < 0.01,
+            "cross-rack adds one core hop: flat {flat}us hier {hier}us"
+        );
+
+        // Bandwidth: 2 cross-rack VIA streams into distinct receivers
+        // would reach ~2x795 Mbps flat; an oversub=4 uplink of 2-node
+        // racks caps the pair at per_rack/oversub = 0.5 node-rates.
+        let aggregate = |oversub: f64| {
+            crate::netmodel::with_netmodel(NetModel::Flow, || {
+                let mut sim = hpsock_sim::Sim::new(7);
+                let cluster = Cluster::build_racks_hier(&mut sim, 2, 2, oversub);
+                let net = cluster.network();
+                let mut sinks = vec![];
+                for i in 0..2usize {
+                    let sink = sim.add_process(Box::new(Sink {
+                        net: net.clone(),
+                        sender: None,
+                        oneway_us: vec![],
+                        last_delivery: SimTime::ZERO,
+                        delivered: 0,
+                    }));
+                    let blaster = sim.add_process(Box::new(BurstBlaster {
+                        net: net.clone(),
+                        conn: ConnId(i),
+                        bytes: 65_536,
+                        count: 50,
+                    }));
+                    net.connect(
+                        cluster.endpoint(NodeId(i), blaster),
+                        cluster.endpoint(NodeId(2 + i), sink),
+                        TransportKind::Via,
+                    );
+                    sinks.push(sink);
+                }
+                sim.run();
+                sinks
+                    .iter()
+                    .map(|&s| {
+                        let s: &Sink = sim.process(s).unwrap();
+                        assert_eq!(s.delivered, 65_536 * 50, "all bytes delivered");
+                        8.0 * s.delivered as f64 / s.last_delivery.as_nanos() as f64 * 1_000.0
+                    })
+                    .sum::<f64>()
+            })
+        };
+        let capped = aggregate(4.0);
+        // 2-node racks, oversub 4: uplink = 2/4 node-rates = ~397 Mbps.
+        assert!(
+            (capped - 397.5).abs() < 25.0,
+            "oversubscribed uplink caps the aggregate: {capped} Mbps"
+        );
+        let uncapped = aggregate(1.0);
+        assert!(
+            uncapped > 2.0 * 700.0,
+            "a non-blocking core carries both streams at full rate: {uncapped} Mbps"
         );
     }
 

@@ -37,9 +37,12 @@
 //! as the commanding endpoint) and receive [`Delivery`] messages when a
 //! whole application message has been reassembled at the receiver.
 
+use crate::cluster::Topology;
 use crate::fault::{ConnFaults, FaultPlan, MsgFate};
 use crate::flow::Flow;
+use crate::fluid::{FluidCore, FluidEv};
 use crate::frame::{frame_count, frame_len};
+use crate::netmodel::NetModel;
 use crate::params::{PathCosts, TransportKind};
 use hpsock_sim::stats::{Tally, TimeWeighted};
 use hpsock_sim::{Ctx, Dur, Message, ProbeEvent, Process, ProcessId, ResourceId, Sim, SimTime};
@@ -387,6 +390,15 @@ pub(crate) struct Registry {
     pub(crate) next_msg_id: Vec<u64>,
     /// The fault plan the owning cluster was built under, if any.
     pub(crate) faults: Option<Arc<FaultPlan>>,
+    /// Which network engine this cluster simulates with; resolved from
+    /// `HPSOCK_NETMODEL` (or a scoped override) on the thread that built
+    /// the cluster, so worker threads of a sharded run see the builder's
+    /// choice.
+    pub(crate) model: NetModel,
+    /// Physical shape of the cluster. [`Topology::Racks`] adds the
+    /// inter-rack switch hop to cross-rack connections and, under the flow
+    /// model, routes their flows through oversubscribed rack uplinks.
+    pub(crate) topology: Topology,
 }
 
 /// Where each connection's halves live, fixed once the simulation starts.
@@ -397,6 +409,9 @@ pub(crate) struct Route {
     pub(crate) rx_core: Vec<ProcessId>,
     /// Core process of each node.
     pub(crate) core_of_node: Vec<ProcessId>,
+    /// The single [`FluidCore`] process under [`NetModel::Flow`]; `None`
+    /// under the packet model. Shard plans pin it to shard 0.
+    pub(crate) fluid_core: Option<ProcessId>,
 }
 
 /// Cheap-to-clone application handle to the network engine.
@@ -418,12 +433,22 @@ impl Network {
     }
 
     /// Register a connection with explicit (e.g. ablated) path costs.
+    /// Under a hierarchical topology, connections that cross rack
+    /// boundaries pay one extra switch hop ([`crate::cluster::INTER_RACK_HOP`])
+    /// on top of the given costs.
     pub fn connect_with(&self, src: Endpoint, dst: Endpoint, costs: Arc<PathCosts>) -> ConnId {
         let mut reg = self.registry.lock().expect("registry lock");
         assert!(
             !reg.sealed,
             "connections must be registered before the simulation runs"
         );
+        let costs = if reg.topology.inter_rack(src.node.0, dst.node.0) {
+            let mut c = (*costs).clone();
+            c.switch_latency += crate::cluster::INTER_RACK_HOP;
+            Arc::new(c)
+        } else {
+            costs
+        };
         let id = ConnId(reg.conns.len());
         reg.conns.push(ConnSpec { src, dst, costs });
         reg.next_msg_id.push(0);
@@ -493,7 +518,13 @@ impl NetSwitch {
     /// any application process so the connection routes exist by the time
     /// application `on_start` hooks send.
     pub fn install(sim: &mut Sim, nodes: Vec<NodeResources>) -> Network {
-        let registry = Arc::new(Mutex::new(Registry::default()));
+        // The network model is resolved here, on the building thread, so
+        // scoped `with_netmodel` overrides take effect even when the run
+        // itself executes on sharded worker threads.
+        let registry = Arc::new(Mutex::new(Registry {
+            model: crate::netmodel::configured_netmodel(),
+            ..Registry::default()
+        }));
         let route = Arc::new(OnceLock::new());
         let switch = NetSwitch {
             nodes,
@@ -527,11 +558,20 @@ impl Process for NetSwitch {
                     res: self.nodes[i],
                     registry: Arc::clone(&self.registry),
                     route: Arc::clone(&self.route),
+                    model: reg.model,
                     tx: Vec::new(),
                     rx: Vec::new(),
                 }))
             })
             .collect();
+        // The fluid core spawns after the node cores so their pids (and
+        // RNG streams) are identical under either model.
+        let fluid_core = (reg.model == NetModel::Flow).then(|| {
+            ctx.spawn(Box::new(FluidCore::new(
+                Arc::clone(&self.registry),
+                Arc::clone(&self.route),
+            )))
+        });
         let route = Route {
             tx_core: reg
                 .conns
@@ -544,6 +584,7 @@ impl Process for NetSwitch {
                 .map(|s| core_of_node[s.dst.node.0])
                 .collect(),
             core_of_node,
+            fluid_core,
         };
         if self.route.set(route).is_err() {
             panic!("network route initialized twice");
@@ -563,6 +604,9 @@ pub struct NodeCore {
     res: NodeResources,
     registry: Arc<Mutex<Registry>>,
     route: Arc<OnceLock<Route>>,
+    /// The cluster's network model: under [`NetModel::Flow`] the core only
+    /// does endpoint bookkeeping and hands transfers to the fluid core.
+    model: NetModel,
     /// Send halves, indexed by connection id (None when sourced elsewhere).
     tx: Vec<Option<TxConn>>,
     /// Receive halves, indexed by connection id.
@@ -604,6 +648,13 @@ impl NodeCore {
                 }
             ),
         }
+    }
+
+    fn fluid_core(&self) -> ProcessId {
+        self.route
+            .get()
+            .and_then(|r| r.fluid_core)
+            .expect("no fluid core under the flow model")
     }
 
     fn pump(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
@@ -695,6 +746,28 @@ impl NodeCore {
                     );
                     return;
                 }
+                if self.model == NetModel::Flow {
+                    // Fluid fast path: account the send and hand the whole
+                    // message to the fluid core after the switch hop. Fault
+                    // fates (including crash cuts) are decided there, at
+                    // flow granularity.
+                    c.stats.msgs_sent += 1;
+                    c.stats.bytes_sent += bytes;
+                    let d_tx = c.costs.switch_latency + c.costs.prop_delay;
+                    let fluid = self.fluid_core();
+                    ctx.send_in(
+                        d_tx,
+                        fluid,
+                        Message::new(FluidEv::Arrive {
+                            conn,
+                            msg: msg_id,
+                            bytes,
+                            sent_at: ctx.now(),
+                            payload,
+                        }),
+                    );
+                    return;
+                }
                 let frames = frame_count(bytes, c.costs.frame_payload);
                 c.pending_meta.insert(
                     msg_id,
@@ -722,6 +795,11 @@ impl NodeCore {
                     .unconsumed
                     .remove(&msg_id)
                     .expect("consumed an unknown or already-consumed message");
+                // The fluid model has no per-frame flow control to repair:
+                // consumption is pure bookkeeping.
+                if self.model == NetModel::Flow {
+                    return;
+                }
                 // Credits were re-posted at frame arrival; only the window
                 // model needs a receive-buffer update at the sender.
                 if !c.flow.is_credits() {
@@ -1096,6 +1174,80 @@ impl NodeCore {
             }
         }
     }
+
+    /// Endpoint-side handlers of the fluid engine: completed flows arrive
+    /// as [`FluidEv::Deliver`] at the destination node's core, failed ones
+    /// as [`FluidEv::Failed`] at the source node's core.
+    fn on_fluid(&mut self, ctx: &mut Ctx<'_>, ev: FluidEv) {
+        match ev {
+            FluidEv::Deliver {
+                conn,
+                msg,
+                bytes,
+                sent_at,
+                payload,
+            } => {
+                let c = self.rx[conn.0].as_mut().expect("receive half owned here");
+                if c.cut_at.is_some_and(|t| ctx.now() >= t) {
+                    // This node fail-stopped while the delivery was in its
+                    // final hop: it falls on the floor, as arriving frames
+                    // do under the packet model.
+                    return;
+                }
+                let frames = c.costs.frames_for(bytes);
+                c.unconsumed.insert(msg, (bytes, frames));
+                c.stats.msgs_delivered += 1;
+                c.stats.bytes_delivered += bytes;
+                c.stats
+                    .latency_us
+                    .add(ctx.now().since(sent_at).as_micros_f64());
+                let delivered = c.stats.bytes_delivered;
+                ctx.probe_emit(|t| ProbeEvent::Gauge {
+                    name: format!("net.conn{}.mbps", conn.0),
+                    time: t,
+                    value: if t == SimTime::ZERO {
+                        0.0
+                    } else {
+                        8.0 * delivered as f64 / t.as_nanos() as f64 * 1_000.0
+                    },
+                });
+                let delivery = Delivery {
+                    conn,
+                    msg_id: msg,
+                    bytes,
+                    sent_at,
+                    payload,
+                };
+                ctx.send(c.dst.pid, Message::new(delivery));
+            }
+            FluidEv::Failed {
+                conn,
+                msg,
+                bytes,
+                kind,
+            } => {
+                let c = self.tx[conn.0].as_ref().expect("send half owned here");
+                let pid = c.src_pid;
+                ctx.probe_emit(|t| ProbeEvent::Counter {
+                    name: "net.fault.lost".to_string(),
+                    time: t,
+                    delta: 1.0,
+                });
+                ctx.send(
+                    pid,
+                    Message::new(StreamError {
+                        conn,
+                        msg_id: msg,
+                        bytes,
+                        kind,
+                    }),
+                );
+            }
+            FluidEv::Arrive { .. } | FluidEv::Complete { .. } => {
+                panic!("fluid-core event routed to a node core")
+            }
+        }
+    }
 }
 
 impl Process for NodeCore {
@@ -1146,7 +1298,12 @@ impl Process for NodeCore {
             })
             .collect();
         // Crash-detection timers for connections an endpoint crash will
-        // cut: everything queued on them fails at crash + detect.
+        // cut: everything queued on them fails at crash + detect. Under
+        // the flow model the fluid core owns all in-flight state, so it
+        // fails crashed flows itself and these timers stay unscheduled.
+        if self.model == NetModel::Flow {
+            return;
+        }
         let cuts: Vec<(usize, Dur)> = self
             .tx
             .iter()
@@ -1169,7 +1326,10 @@ impl Process for NodeCore {
             Ok(ev) => self.on_ev(ctx, ev),
             Err(other) => match other.downcast::<NetCmd>() {
                 Ok(cmd) => self.on_cmd(ctx, cmd),
-                Err(_) => panic!("net core received an unknown message type"),
+                Err(other) => match other.downcast::<FluidEv>() {
+                    Ok(fev) => self.on_fluid(ctx, fev),
+                    Err(_) => panic!("net core received an unknown message type"),
+                },
             },
         }
     }

@@ -21,17 +21,21 @@ pub mod cluster;
 pub mod engine;
 pub mod fault;
 pub mod flow;
+pub mod fluid;
 pub mod frame;
+pub mod netmodel;
 pub mod params;
 pub mod via;
 
-pub use cluster::{Cluster, NodeSpec};
+pub use cluster::{configured_oversub, parse_oversub, Cluster, NodeSpec, Topology, INTER_RACK_HOP};
 pub use engine::{
     ConnId, ConnStats, Delivery, Endpoint, NetCmd, NetError, NetSwitch, Network, NodeCore, NodeId,
     NodeResources, StreamError, StreamErrorKind,
 };
 pub use fault::{FaultPlan, LinkFilter, LinkFilterKind, LinkScope, RecoveryCfg};
 pub use flow::Flow;
+pub use fluid::max_min_rates;
+pub use netmodel::{configured_netmodel, parse_netmodel, with_netmodel, NetModel};
 pub use params::{FlowModel, PathCosts, TransportKind};
 pub use via::{Completion, CreditRing, RecvDescriptor};
 

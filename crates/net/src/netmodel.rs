@@ -1,0 +1,127 @@
+//! Network-model selection: per-segment packet simulation (the default)
+//! or the flow-level fluid fast path.
+//!
+//! The model is chosen per cluster build, from the `HPSOCK_NETMODEL`
+//! environment variable (`packet` | `flow`) or a scoped test override
+//! ([`with_netmodel`]), following the same strict-parse and
+//! thread-local-override conventions as `HPSOCK_SHARDS` and
+//! `HPSOCK_FAULTS`: invalid values abort with a message naming the
+//! variable, and tests never call `set_var` (undefined behaviour on glibc
+//! while other threads read the environment).
+
+/// Which network engine a [`crate::cluster::Cluster`] simulates with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetModel {
+    /// Per-segment discrete-event simulation: every frame walks the host
+    /// engine, NIC/wire, switch and receive engine as individual events.
+    /// Exact per the calibrated stage costs; cost grows with segments.
+    #[default]
+    Packet,
+    /// Flow-level fluid simulation: each in-flight message is a flow over
+    /// capacitated links receiving a max-min fair bandwidth share; only
+    /// flow arrivals and departures are events. O(flows) work per state
+    /// change regardless of message size. See `DESIGN.md` §13 for the
+    /// semantics and the documented tolerance vs the packet model.
+    Flow,
+}
+
+impl NetModel {
+    /// Short label used in printed tables and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            NetModel::Packet => "packet",
+            NetModel::Flow => "flow",
+        }
+    }
+}
+
+/// Strictly parse a network-model name. Anything but `packet` or `flow`
+/// is a hard error naming the variable, never silently defaulted.
+pub fn parse_netmodel(raw: &str) -> Result<NetModel, String> {
+    match raw.trim() {
+        "packet" => Ok(NetModel::Packet),
+        "flow" => Ok(NetModel::Flow),
+        _ => Err(format!(
+            "HPSOCK_NETMODEL must be packet or flow, got {raw:?}"
+        )),
+    }
+}
+
+thread_local! {
+    /// Per-thread override consulted by [`configured_netmodel`] before the
+    /// `HPSOCK_NETMODEL` environment variable (see [`with_netmodel`]).
+    static NETMODEL_OVERRIDE: std::cell::Cell<Option<NetModel>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// The network-model override active on this thread, if any. Thread pools
+/// that fan simulation work out to worker threads (the experiment sweeps)
+/// capture this on the submitting thread and re-install it in each worker
+/// via [`with_netmodel`], so an override behaves like a process-wide
+/// setting for the work it scopes.
+pub fn netmodel_override() -> Option<NetModel> {
+    NETMODEL_OVERRIDE.with(std::cell::Cell::get)
+}
+
+/// Run `f` with [`configured_netmodel`] returning `model` on this thread,
+/// regardless of the `HPSOCK_NETMODEL` environment variable; the previous
+/// override (if any) is restored afterwards, including on unwind.
+pub fn with_netmodel<T>(model: NetModel, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<NetModel>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            NETMODEL_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(NETMODEL_OVERRIDE.with(|c| c.replace(Some(model))));
+    f()
+}
+
+/// The network model requested via [`with_netmodel`] or, absent an
+/// override, the `HPSOCK_NETMODEL` environment variable (default
+/// [`NetModel::Packet`]). Invalid values abort with a clear message
+/// rather than silently falling back to the packet engine.
+pub fn configured_netmodel() -> NetModel {
+    if let Some(m) = netmodel_override() {
+        return m;
+    }
+    match std::env::var("HPSOCK_NETMODEL") {
+        Ok(raw) => parse_netmodel(&raw).unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => NetModel::Packet,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_is_strict() {
+        assert_eq!(parse_netmodel("packet"), Ok(NetModel::Packet));
+        assert_eq!(parse_netmodel(" flow "), Ok(NetModel::Flow));
+        for bad in ["", "fluid", "Flow", "packet,flow", "1"] {
+            let err = parse_netmodel(bad).unwrap_err();
+            assert!(
+                err.contains("HPSOCK_NETMODEL"),
+                "error must name the var: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn override_scopes_and_restores() {
+        assert_eq!(netmodel_override(), None);
+        let got = with_netmodel(NetModel::Flow, || {
+            assert_eq!(configured_netmodel(), NetModel::Flow);
+            with_netmodel(NetModel::Packet, configured_netmodel)
+        });
+        assert_eq!(got, NetModel::Packet);
+        assert_eq!(netmodel_override(), None);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(NetModel::Packet.label(), "packet");
+        assert_eq!(NetModel::Flow.label(), "flow");
+    }
+}

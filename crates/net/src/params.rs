@@ -279,11 +279,13 @@ impl PathCosts {
         Dur::nanos(rx_free.round() as u64)
     }
 
-    /// Closed-form occupancy of the throughput-bottleneck stage for an
-    /// `n`-byte message: the steady-state time between consecutive message
-    /// completions when many messages stream back-to-back. Peak bandwidth in
-    /// Mbps is `8 * n / occupancy_ns * 1000`.
-    pub fn bottleneck_occupancy(&self, n: u64) -> Dur {
+    /// Closed-form steady-state occupancy of each pipeline stage for an
+    /// `n`-byte message, in nanoseconds: `[send engine, NIC/wire, receive
+    /// engine]`. These are the per-message service demands the stages pay
+    /// when messages stream back-to-back; [`Self::bottleneck_occupancy`] is
+    /// their max, and the fluid network model divides them by the payload
+    /// size to get per-link ns/byte weights.
+    pub fn stage_occupancies(&self, n: u64) -> [f64; 3] {
         let frames = self.frames_for(n) as u64;
         let send_stage = self.per_msg_send.as_nanos() as f64
             + frames as f64 * self.per_frame_send.as_nanos() as f64
@@ -294,6 +296,15 @@ impl PathCosts {
         let recv_stage = self.per_msg_recv.as_nanos() as f64
             + frames as f64 * self.per_frame_recv.as_nanos() as f64
             + n as f64 * self.per_byte_recv_ns;
+        [send_stage, nic_stage, recv_stage]
+    }
+
+    /// Closed-form occupancy of the throughput-bottleneck stage for an
+    /// `n`-byte message: the steady-state time between consecutive message
+    /// completions when many messages stream back-to-back. Peak bandwidth in
+    /// Mbps is `8 * n / occupancy_ns * 1000`.
+    pub fn bottleneck_occupancy(&self, n: u64) -> Dur {
+        let [send_stage, nic_stage, recv_stage] = self.stage_occupancies(n);
         Dur::nanos(send_stage.max(nic_stage).max(recv_stage).round() as u64)
     }
 

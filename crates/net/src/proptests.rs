@@ -110,6 +110,54 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The max-min allocation is feasible (no link over capacity) and
+    /// Pareto-optimal (every flow is pinned by some saturated link, so no
+    /// flow's rate can grow without shrinking another's). Link graphs are
+    /// arbitrary: paths may repeat links, weights and capacities span
+    /// three decades.
+    #[test]
+    fn max_min_allocation_conserves_capacity_and_is_pareto(
+        links in 1usize..6,
+        caps_raw in proptest::collection::vec(100u64..100_000, 6),
+        flows_raw in proptest::collection::vec(
+            proptest::collection::vec((0usize..6, 10u64..10_000), 1..5), 1..8),
+    ) {
+        let caps: Vec<f64> = caps_raw[..links].iter().map(|&c| c as f64 / 1_000.0).collect();
+        let flows: Vec<Vec<(usize, f64)>> = flows_raw
+            .iter()
+            .map(|p| p.iter().map(|&(l, w)| (l % links, w as f64 / 1_000.0)).collect())
+            .collect();
+        let rates = crate::fluid::max_min_rates(&caps, &flows);
+        prop_assert_eq!(rates.len(), flows.len());
+        let mut used = vec![0.0f64; caps.len()];
+        for (f, path) in flows.iter().enumerate() {
+            prop_assert!(
+                rates[f].is_finite() && rates[f] > 0.0,
+                "flow {} rate {}", f, rates[f]
+            );
+            for &(l, w) in path {
+                used[l] += rates[f] * w;
+            }
+        }
+        for l in 0..caps.len() {
+            prop_assert!(
+                used[l] <= caps[l] * (1.0 + 1e-9),
+                "link {} over capacity: {} > {}", l, used[l], caps[l]
+            );
+        }
+        for (f, path) in flows.iter().enumerate() {
+            prop_assert!(
+                path.iter().any(|&(l, _)| used[l] >= caps[l] * (1.0 - 1e-6)),
+                "flow {} crosses no saturated link (rates {:?}, used {:?}, caps {:?})",
+                f, &rates, &used, &caps
+            );
+        }
+    }
+}
+
 #[test]
 fn zero_byte_message_is_delivered() {
     let (got, lats) = run_batch(TransportKind::SocketVia, vec![(0, 7)]);

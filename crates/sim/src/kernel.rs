@@ -334,6 +334,9 @@ impl Sim {
     }
 
     fn run_inner(&mut self, limit: Option<SimTime>) -> SimTime {
+        // Per-run flow counter (flow-level network model): reset before
+        // the shard branch so both kernels report this run's flows.
+        crate::telemetry::reset_flows();
         if let Some(plan) = &self.shard_plan {
             if plan.shards > 1 {
                 let plan = plan.clone();

@@ -44,6 +44,7 @@ use crate::stats::Histogram;
 use crate::time::SimTime;
 use std::cell::RefCell;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
@@ -343,6 +344,12 @@ pub struct RunReport {
     pub events: u64,
     /// `events / wall seconds`.
     pub events_per_sec: f64,
+    /// Completed network flows under the flow-level model (0 under the
+    /// packet model, where the unit of work is the event, not the flow).
+    pub flows: u64,
+    /// `flows / wall seconds` — the like-for-like rate to compare against
+    /// a packet run's events/sec when judging the fluid fast path.
+    pub flows_per_sec: f64,
     /// Protocol rounds (0 for sequential runs).
     pub rounds: u64,
     /// Per-shard totals (one entry, the whole run, for sequential runs).
@@ -357,6 +364,28 @@ pub struct RunReport {
 /// a parameter sweep) serialize their flushes here, and the stored report
 /// — like the files — reflects whichever run completed last.
 static LAST_REPORT: Mutex<Option<RunReport>> = Mutex::new(None);
+
+/// Completed network flows this run, counted by the flow-level network
+/// engine (`HPSOCK_NETMODEL=flow`); stays 0 under the packet model. Like
+/// [`LAST_REPORT`] this is process-wide last-run-wins state: the kernel
+/// resets it when a run starts and the flush folds it into the report, so
+/// concurrent sweep runs interleave (and the single-run bench/CI flows
+/// figures are exact).
+static FLOWS: AtomicU64 = AtomicU64::new(0);
+
+/// Record `n` completed flows for the current run (called by the
+/// flow-level network engine once per delivered flow).
+pub fn count_flows(n: u64) {
+    FLOWS.fetch_add(n, Ordering::Relaxed);
+}
+
+pub(crate) fn reset_flows() {
+    FLOWS.store(0, Ordering::Relaxed);
+}
+
+pub(crate) fn current_flows() -> u64 {
+    FLOWS.load(Ordering::Relaxed)
+}
 
 /// The [`RunReport`] of the most recently flushed run, if any run has
 /// flushed telemetry in this process. This is the in-memory twin of
@@ -401,6 +430,11 @@ fn report_json(rep: &RunReport) -> String {
         "  \"events_per_sec\": {},\n",
         json_f64(rep.events_per_sec)
     ));
+    s.push_str(&format!("  \"flows\": {},\n", rep.flows));
+    s.push_str(&format!(
+        "  \"flows_per_sec\": {},\n",
+        json_f64(rep.flows_per_sec)
+    ));
     s.push_str(&format!("  \"rounds\": {},\n", rep.rounds));
     s.push_str("  \"workers\": [\n");
     for (i, w) in rep.workers.iter().enumerate() {
@@ -432,12 +466,15 @@ fn report_json(rep: &RunReport) -> String {
 /// no rounds, mailboxes or barriers to itemize). The single worker entry
 /// covers the whole run.
 pub(crate) fn flush_sequential(dir: &Path, wall_ns: u64, events: u64) {
+    let flows = current_flows();
     let rep = RunReport {
         mode: "sequential",
         shards: 1,
         wall_ns,
         events,
         events_per_sec: rate(events, wall_ns),
+        flows,
+        flows_per_sec: rate(flows, wall_ns),
         rounds: 0,
         workers: vec![WorkerSummary {
             worker: 0,
@@ -515,12 +552,15 @@ pub(crate) fn flush_sharded(dir: &Path, wall_ns: u64, events: u64, workers: &[Wo
         .iter()
         .flat_map(|w| w.rounds.iter().map(|s| s.events as f64))
         .collect();
+    let flows = current_flows();
     let rep = RunReport {
         mode: "sharded",
         shards: workers.len(),
         wall_ns,
         events,
         events_per_sec: rate(events, wall_ns),
+        flows,
+        flows_per_sec: rate(flows, wall_ns),
         rounds: rounds as u64,
         workers: summaries,
         window_ns: TailSummary::of(&window_vals),
@@ -679,6 +719,8 @@ mod tests {
             wall_ns: 1_000_000,
             events: 500,
             events_per_sec: rate(500, 1_000_000),
+            flows: 20,
+            flows_per_sec: rate(20, 1_000_000),
             rounds: 7,
             workers: vec![
                 WorkerSummary {
@@ -739,6 +781,8 @@ mod tests {
             wall_ns: 0,
             events: 100,
             events_per_sec: rate(100, 0),
+            flows: 0,
+            flows_per_sec: rate(0, 0),
             rounds: 1,
             workers: vec![WorkerSummary {
                 worker: 0,

@@ -303,6 +303,57 @@ fn fig9_mixed_stream_is_shard_count_invariant() {
 }
 
 // ---------------------------------------------------------------------
+// Flow-model determinism: `HPSOCK_NETMODEL=flow` replaces per-segment
+// wire events with fluid fair-share completions, but the digest contract
+// is unchanged — same seed, same trace, and sharded execution replays
+// the sequential run bit for bit. The model is injected with
+// `with_netmodel` (scoped thread-local, like `with_shard_count`).
+
+/// The big rack topology under the fluid model is reproducible and
+/// shard-count invariant, on both the default SocketVIA workload and the
+/// TCP gate workload whose packet run is ~20× more expensive.
+#[test]
+fn flow_model_big_topology_is_shard_count_invariant() {
+    use hpsock_experiments::bigtopo::{self, GATE_BYTES};
+    use hpsock_net::{with_netmodel, NetModel};
+    with_netmodel(NetModel::Flow, || {
+        let seq = bigtopo::run_big(1, 3);
+        assert_eq!(seq, bigtopo::run_big(1, 3), "same seed, same fluid trace");
+        assert_eq!(seq, bigtopo::run_big(2, 3), "2 shards replay sequential");
+        assert_eq!(seq, bigtopo::run_big(4, 3), "4 shards replay sequential");
+        let tcp = |shards| bigtopo::run_big_custom(shards, 3, TransportKind::KTcp, GATE_BYTES);
+        let seq = tcp(1);
+        assert_eq!(seq, tcp(2), "2 shards replay the TCP gate workload");
+        assert_eq!(seq, tcp(4), "4 shards replay the TCP gate workload");
+    });
+}
+
+/// The fig9 mixed query stream under the fluid model: digest and
+/// measured response are shard-count invariant, like the packet run.
+#[test]
+fn flow_model_fig9_is_shard_count_invariant() {
+    use hpsock_experiments::fig9;
+    use hpsock_experiments::runner::FIG9_SEED;
+    use hpsock_net::{with_netmodel, NetModel};
+    let runs = with_netmodel(NetModel::Flow, || {
+        per_shard_count(&[1, 2, 4], || {
+            let (ms, cap) = fig9::mean_response_probed(
+                TransportKind::KTcp,
+                ComputeModel::None,
+                8,
+                0.5,
+                6,
+                FIG9_SEED,
+                |_| None,
+            );
+            (ms.to_bits(), cap.digest, cap.end)
+        })
+    });
+    assert_eq!(runs[0], runs[1], "2 shards: fluid digest identical");
+    assert_eq!(runs[0], runs[2], "4 shards: fluid digest identical");
+}
+
+// ---------------------------------------------------------------------
 // Telemetry neutrality: `HPSOCK_TELEMETRY` measures wall-clock behaviour
 // but must never touch simulated behaviour — digests, dispatch counts
 // and rendered tables are byte-identical with telemetry on and off, for
